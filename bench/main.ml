@@ -1,0 +1,148 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section V) on the structural ISCAS'89 twins, plus an
+   empirical attack campaign and Bechamel micro-benchmarks of the core
+   computations.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig1      # one experiment
+     dune exec bench/main.exe -- table1 table2 fig3 attacks micro
+     dune exec bench/main.exe -- quick table1   # small-benchmark subset *)
+
+module Runner = Sttc_experiments.Runner
+module Flow = Sttc_core.Flow
+module Profiles = Sttc_netlist.Iscas_profiles
+
+let section title =
+  Printf.printf
+    "\n==============================================\n%s\n==============================================\n%!"
+    title
+
+let cached_rows = ref None
+
+let rows ~quick () =
+  match !cached_rows with
+  | Some (q, rows) when q = quick -> rows
+  | _ ->
+      let r =
+        Runner.benchmark_rows ~quick
+          ~progress:(fun line -> Printf.printf "  %s\n%!" line)
+          ()
+      in
+      cached_rows := Some (quick, r);
+      r
+
+let fig1 () =
+  section "Fig. 1 - STT-based LUT vs static CMOS (normalized to CMOS)";
+  print_string (Runner.fig1 ())
+
+let table1 ~quick () =
+  section "Table I - performance / power / area overhead and #STT LUTs";
+  print_string (Runner.table1 (rows ~quick ()))
+
+let table2 ~quick () =
+  section "Table II - CPU time for gate selection (MM:SS.d)";
+  print_string (Runner.table2 (rows ~quick ()))
+
+let fig3 ~quick () =
+  section "Fig. 3 - required test clocks to determine the missing gates";
+  print_string (Runner.fig3 (rows ~quick ()))
+
+let attacks () =
+  section "Attack campaign (empirical; small circuits where attacks finish)";
+  print_string (Runner.attack_campaign ())
+
+let sidechannel () =
+  section "Side-channel experiment: DPA difference-of-means, CMOS vs hybrid";
+  print_string (Runner.sidechannel ())
+
+let baselines () =
+  section "Baselines: camouflaging [12] and SRAM LUTs [8] vs STT LUTs";
+  print_string (Runner.baselines ())
+
+let ablations () =
+  section "Ablation: parametric timing-constraint factor (s1196)";
+  print_string (Runner.ablation_parametric ());
+  section "Ablation: Section IV-A.3 hardening (dummy inputs / absorption)";
+  print_string (Runner.ablation_hardening ());
+  section "Ablation: Fig. 3 sensitivity to the alpha/P constants";
+  print_string (Runner.ablation_constants ())
+
+(* ---------- Bechamel micro-benchmarks ---------- *)
+
+let micro () =
+  section "Bechamel micro-benchmarks (core computations per table)";
+  let open Bechamel in
+  let nl = Profiles.build_by_name "s1196" in
+  let lib = Sttc_tech.Library.cmos90 in
+  let tests =
+    [
+      (* Fig. 1: the technology model *)
+      Test.make ~name:"fig1/stt-lut-model"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun (row : Sttc_tech.Stt_lib.fig1_row) ->
+                 ignore
+                   (Sttc_tech.Stt_lib.fig1_model row.Sttc_tech.Stt_lib.gate))
+               Sttc_tech.Stt_lib.fig1_reference));
+      (* Table I: the three selection algorithms end to end on s1196 *)
+      Test.make ~name:"table1/independent-s1196"
+        (Staged.stage (fun () ->
+             ignore (Flow.protect ~seed:1 (Flow.Independent { count = 5 }) nl)));
+      Test.make ~name:"table1/dependent-s1196"
+        (Staged.stage (fun () -> ignore (Flow.protect ~seed:1 Flow.Dependent nl)));
+      Test.make ~name:"table1/parametric-s1196"
+        (Staged.stage (fun () ->
+             ignore
+               (Flow.protect ~seed:1
+                  (Flow.Parametric Sttc_core.Algorithms.default_parametric)
+                  nl)));
+      (* Table II's underlying primitives *)
+      Test.make ~name:"table2/sta-s1196"
+        (Staged.stage (fun () -> ignore (Sttc_analysis.Sta.analyze lib nl)));
+      Test.make ~name:"table2/power-s1196"
+        (Staged.stage (fun () -> ignore (Sttc_analysis.Power.estimate lib nl)));
+      (* Fig. 3: the security equations *)
+      Test.make ~name:"fig3/security-eval"
+        (Staged.stage
+           (let hybrid = (Flow.protect ~seed:1 Flow.Dependent nl).Flow.hybrid in
+            let foundry = Sttc_core.Hybrid.foundry_view hybrid in
+            let luts = Sttc_core.Hybrid.lut_ids hybrid in
+            fun () -> ignore (Sttc_core.Security.evaluate foundry ~luts)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let tbl = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.printf "  %-32s %14.1f ns/run\n" name est
+          | Some [] | None -> Printf.printf "  %-32s (no estimate)\n" name)
+        tbl)
+    tests
+
+(* ---------- driver ---------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "quick" args in
+  let args = List.filter (fun a -> a <> "quick") args in
+  let all = args = [] in
+  let want name = all || List.mem name args in
+  if want "fig1" then fig1 ();
+  if want "table1" then table1 ~quick ();
+  if want "table2" then table2 ~quick ();
+  if want "fig3" then fig3 ~quick ();
+  if want "attacks" then attacks ();
+  if want "sidechannel" then sidechannel ();
+  if want "baseline" then baselines ();
+  if want "ablation" then ablations ();
+  if want "micro" then micro ();
+  Printf.printf "\nbench: done\n"

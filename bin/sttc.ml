@@ -1,0 +1,381 @@
+(* sttc — command-line front end to the hybrid STT-CMOS design flow.
+
+   Subcommands:
+     gen       generate a benchmark netlist (.bench)
+     stats     print netlist statistics, timing, power and area
+     protect   run the security-driven flow on a netlist
+     attack    protect a netlist and run the attack campaign against it
+     fig1 / table1 / table2 / fig3   regenerate the paper's experiments *)
+
+open Cmdliner
+
+let read_netlist path =
+  try Ok (Sttc_netlist.Bench_io.parse_file path) with
+  | Sttc_netlist.Bench_io.Parse_error (line, msg) ->
+      Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | Sys_error msg -> Error msg
+
+let netlist_arg =
+  let doc = "Input gate-level netlist in ISCAS'89 .bench format." in
+  Arg.(required & opt (some file) None & info [ "i"; "input" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed (experiments are deterministic per seed)." in
+  Arg.(value & opt int Sttc_experiments.Runner.master_seed & info [ "seed" ] ~doc)
+
+let exit_of_result = function
+  | Ok () -> 0
+  | Error msg ->
+      prerr_endline ("sttc: " ^ msg);
+      1
+
+(* ---------- gen ---------- *)
+
+let gen_cmd =
+  let bench =
+    let doc =
+      "Named ISCAS'89 structural twin (s641, s820, ..., s38584), or \
+       'custom'."
+    in
+    Arg.(value & opt string "s641" & info [ "b"; "bench" ] ~doc)
+  in
+  let gates = Arg.(value & opt int 200 & info [ "gates" ] ~doc:"Custom: gate count.") in
+  let pis = Arg.(value & opt int 16 & info [ "pis" ] ~doc:"Custom: primary inputs.") in
+  let pos = Arg.(value & opt int 16 & info [ "pos" ] ~doc:"Custom: primary outputs.") in
+  let ffs = Arg.(value & opt int 8 & info [ "ffs" ] ~doc:"Custom: flip-flops.") in
+  let levels = Arg.(value & opt int 10 & info [ "levels" ] ~doc:"Custom: logic depth.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output .bench path (stdout if omitted).")
+  in
+  let run bench gates pis pos ffs levels seed output =
+    exit_of_result
+      (try
+         let nl =
+           if bench = "custom" then
+             Sttc_netlist.Generator.generate ~seed
+               {
+                 Sttc_netlist.Generator.design_name = "custom";
+                 n_pi = pis;
+                 n_po = pos;
+                 n_ff = ffs;
+                 n_gates = gates;
+                 levels;
+               }
+           else Sttc_netlist.Iscas_profiles.build_by_name ~seed bench
+         in
+         let text = Sttc_netlist.Bench_io.to_string nl in
+         (match output with
+         | None -> print_string text
+         | Some path ->
+             let oc = open_out path in
+             output_string oc text;
+             close_out oc;
+             Printf.printf "wrote %s (%s)\n" path (Sttc_netlist.Netlist.stats nl));
+         Ok ()
+       with Invalid_argument m -> Error m)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark netlist.")
+    Term.(
+      const run $ bench $ gates $ pis $ pos $ ffs $ levels $ seed_arg $ output)
+
+(* ---------- stats ---------- *)
+
+let stats_cmd =
+  let run input =
+    exit_of_result
+      (match read_netlist input with
+      | Error m -> Error m
+      | Ok nl ->
+          let lib = Sttc_tech.Library.cmos90 in
+          print_endline (Sttc_netlist.Netlist.stats nl);
+          print_string
+            (Sttc_netlist.Profile_stats.render
+               (Sttc_netlist.Profile_stats.compute nl));
+          let sta = Sttc_analysis.Sta.analyze lib nl in
+          Printf.printf "critical delay: %.1f ps (max %.3f GHz)\n"
+            (Sttc_analysis.Sta.critical_delay_ps sta)
+            (Sttc_analysis.Sta.max_frequency_ghz sta);
+          Printf.printf "logic depth: %d levels\n" (Sttc_netlist.Query.depth nl);
+          let power = Sttc_analysis.Power.estimate lib nl in
+          Format.printf "%a@." Sttc_analysis.Power.pp_report power;
+          let area = Sttc_analysis.Area.estimate lib nl in
+          Format.printf "%a@." Sttc_analysis.Area.pp_report area;
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Netlist statistics, timing, power, area.")
+    Term.(const run $ netlist_arg)
+
+(* ---------- protect ---------- *)
+
+let algorithm_arg =
+  let doc = "Selection algorithm: independent, dependent or parametric." in
+  let parse = function
+    | "independent" -> Ok (Sttc_core.Flow.Independent { count = 5 })
+    | "dependent" -> Ok Sttc_core.Flow.Dependent
+    | "parametric" ->
+        Ok (Sttc_core.Flow.Parametric Sttc_core.Algorithms.default_parametric)
+    | s -> Error (`Msg ("unknown algorithm " ^ s))
+  in
+  let print fmt alg =
+    Format.pp_print_string fmt (Sttc_core.Flow.algorithm_name alg)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (Sttc_core.Flow.Independent { count = 5 })
+    & info [ "a"; "algorithm" ] ~doc)
+
+let protect_cmd =
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Write the foundry-view hybrid netlist (.bench).")
+  in
+  let bitstream =
+    Arg.(value & opt (some string) None
+         & info [ "bitstream" ] ~doc:"Write the secret configuration bitstream.")
+  in
+  let verilog =
+    Arg.(value & opt (some string) None
+         & info [ "verilog" ] ~doc:"Write structural Verilog of the programmed hybrid.")
+  in
+  let sign_off =
+    Arg.(value & flag
+         & info [ "sign-off" ] ~doc:"Formally verify programmed hybrid == original (SAT).")
+  in
+  let harden =
+    Arg.(value & flag
+         & info [ "harden" ]
+             ~doc:"Apply the Section IV-A.3 hardening: two dummy inputs per \
+                   LUT and complex-function driver absorption.")
+  in
+  let run input alg seed output bitstream verilog sign_off harden =
+    exit_of_result
+      (match read_netlist input with
+      | Error m -> Error m
+      | Ok nl ->
+          let hardening =
+            if harden then
+              { Sttc_core.Flow.extra_inputs_per_lut = 2; absorb_drivers = true }
+            else Sttc_core.Flow.no_hardening
+          in
+          let r = Sttc_core.Flow.protect ~seed ~hardening alg nl in
+          Format.printf "%a@." Sttc_core.Flow.pp_result r;
+          let hybrid = r.Sttc_core.Flow.hybrid in
+          Option.iter
+            (fun path ->
+              Sttc_netlist.Bench_io.write_file path
+                (Sttc_core.Hybrid.foundry_view hybrid);
+              Printf.printf "wrote foundry view to %s\n" path)
+            output;
+          Option.iter
+            (fun path ->
+              let oc = open_out path in
+              output_string oc
+                (Sttc_core.Provision.to_string
+                   (Sttc_core.Provision.of_hybrid hybrid));
+              close_out oc;
+              Format.printf "%a@." Sttc_core.Provision.pp_cost
+                (Sttc_core.Provision.programming_cost hybrid);
+              Printf.printf "wrote bitstream to %s\n" path)
+            bitstream;
+          Option.iter
+            (fun path ->
+              Sttc_netlist.Verilog_out.write_file path
+                (Sttc_core.Hybrid.programmed hybrid);
+              Printf.printf "wrote Verilog to %s\n" path)
+            verilog;
+          if sign_off then
+            if Sttc_core.Flow.sign_off r then begin
+              print_endline "sign-off: programmed hybrid is equivalent to the original";
+              Ok ()
+            end
+            else Error "sign-off FAILED: hybrid differs from original"
+          else Ok ())
+  in
+  Cmd.v
+    (Cmd.info "protect" ~doc:"Run the security-driven hybrid STT-CMOS flow.")
+    Term.(
+      const run $ netlist_arg $ algorithm_arg $ seed_arg $ output $ bitstream
+      $ verilog $ sign_off $ harden)
+
+(* ---------- optimize ---------- *)
+
+let optimize_cmd =
+  let output =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Output .bench path.")
+  in
+  let run input output =
+    exit_of_result
+      (match read_netlist input with
+      | Error m -> Error m
+      | Ok nl ->
+          let opt = Sttc_netlist.Opt.optimize nl in
+          (match Sttc_sim.Equiv.check_sat nl opt with
+          | Sttc_sim.Equiv.Equivalent ->
+              Sttc_netlist.Bench_io.write_file output opt;
+              Printf.printf
+                "optimized: %d -> %d combinational nodes (%.1f%% smaller), \
+                 equivalence SAT-proved, wrote %s\n"
+                (Sttc_netlist.Netlist.gate_count nl)
+                (Sttc_netlist.Netlist.gate_count opt)
+                (Sttc_netlist.Opt.size_reduction ~before:nl ~after:opt)
+                output;
+              Ok ()
+          | Sttc_sim.Equiv.Different f ->
+              Error ("optimizer changed the function at " ^ f.Sttc_sim.Equiv.signal)
+          | Sttc_sim.Equiv.Inconclusive m -> Error m))
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Constant-fold, collapse buffers and sweep dead logic (verified).")
+    Term.(const run $ netlist_arg $ output)
+
+(* ---------- program ---------- *)
+
+let program_cmd =
+  let bitstream =
+    Arg.(required & opt (some file) None
+         & info [ "bitstream" ] ~doc:"Bitstream file from 'protect --bitstream'.")
+  in
+  let output =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Programmed netlist output (.bench).")
+  in
+  let run input bitstream output =
+    exit_of_result
+      (match read_netlist input with
+      | Error m -> Error m
+      | Ok foundry -> (
+          try
+            let ic = open_in bitstream in
+            let text = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            let entries = Sttc_core.Provision.parse text in
+            let programmed = Sttc_core.Provision.apply foundry entries in
+            Sttc_netlist.Bench_io.write_file output programmed;
+            Printf.printf "programmed %d LUTs, wrote %s\n"
+              (List.length entries) output;
+            Ok ()
+          with
+          | Failure m | Invalid_argument m -> Error m
+          | Sys_error m -> Error m))
+  in
+  Cmd.v
+    (Cmd.info "program"
+       ~doc:"Install a configuration bitstream into a foundry-view netlist.")
+    Term.(const run $ netlist_arg $ bitstream $ output)
+
+(* ---------- attack ---------- *)
+
+let attack_cmd =
+  let timeout =
+    Arg.(value & opt float 15. & info [ "timeout" ] ~doc:"SAT attack timeout (s).")
+  in
+  let run input alg seed timeout =
+    exit_of_result
+      (match read_netlist input with
+      | Error m -> Error m
+      | Ok nl ->
+          let r = Sttc_core.Flow.protect ~seed alg nl in
+          let campaign =
+            Sttc_attack.Harness.run ~sat_timeout_s:timeout
+              ~circuit:(Sttc_netlist.Netlist.design_name nl)
+              ~algorithm:(Sttc_core.Flow.algorithm_name alg)
+              r.Sttc_core.Flow.hybrid
+          in
+          Format.printf "%a@." Sttc_attack.Harness.pp_campaign campaign;
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Protect a netlist, then run the reverse-engineering attack campaign against it.")
+    Term.(const run $ netlist_arg $ algorithm_arg $ seed_arg $ timeout)
+
+(* ---------- experiments ---------- *)
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Only the sub-1000-gate benchmarks.")
+
+let experiment_cmd name doc render =
+  let run quick seed =
+    let rows =
+      Sttc_experiments.Runner.benchmark_rows ~quick ~seed
+        ~progress:(fun line -> Printf.eprintf "  %s\n%!" line)
+        ()
+    in
+    print_string (render rows);
+    0
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg $ seed_arg)
+
+let fig1_cmd =
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"STT-LUT vs CMOS comparison (paper Fig. 1).")
+    Term.(
+      const (fun () ->
+          print_string (Sttc_experiments.Runner.fig1 ());
+          0)
+      $ const ())
+
+let table1_cmd =
+  experiment_cmd "table1" "PPA overhead table (paper Table I)."
+    Sttc_experiments.Runner.table1
+
+let table2_cmd =
+  experiment_cmd "table2" "Selection CPU time (paper Table II)."
+    Sttc_experiments.Runner.table2
+
+let fig3_cmd =
+  experiment_cmd "fig3" "Required test clocks (paper Fig. 3)."
+    Sttc_experiments.Runner.fig3
+
+let string_cmd name doc render =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun seed ->
+          print_string (render ~seed ());
+          0)
+      $ seed_arg)
+
+let sidechannel_cmd =
+  string_cmd "sidechannel" "DPA leakage: CMOS vs hybrid (beyond the paper)."
+    (fun ~seed () -> Sttc_experiments.Runner.sidechannel ~seed ())
+
+let baseline_cmd =
+  string_cmd "baseline"
+    "Camouflaging [12] and SRAM-LUT [8] baselines vs STT LUTs."
+    (fun ~seed () -> Sttc_experiments.Runner.baselines ~seed ())
+
+let ablation_cmd =
+  string_cmd "ablation"
+    "Parametric-constraint, hardening and constants ablations."
+    (fun ~seed () ->
+      Sttc_experiments.Runner.ablation_parametric ~seed ()
+      ^ "\n"
+      ^ Sttc_experiments.Runner.ablation_hardening ~seed ()
+      ^ "\n"
+      ^ Sttc_experiments.Runner.ablation_constants ~seed ())
+
+let () =
+  let doc = "Hybrid STT-CMOS designs for reverse-engineering prevention." in
+  let info = Cmd.info "sttc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            gen_cmd;
+            stats_cmd;
+            optimize_cmd;
+            program_cmd;
+            protect_cmd;
+            attack_cmd;
+            fig1_cmd;
+            table1_cmd;
+            table2_cmd;
+            fig3_cmd;
+            sidechannel_cmd;
+            baseline_cmd;
+            ablation_cmd;
+          ]))

@@ -1,0 +1,58 @@
+(* Attack demonstration: protect one small circuit with each selection
+   algorithm and let the implemented reverse-engineering attacks loose on
+   the result.  Shows the paper's core security claim empirically: the
+   same attacks that dismantle independent selection stall on the
+   dependent variants.
+
+   Run with:  dune exec examples/attack_demo.exe *)
+
+module Flow = Sttc_core.Flow
+module Harness = Sttc_attack.Harness
+
+let () =
+  let spec =
+    {
+      Sttc_netlist.Generator.design_name = "demo96";
+      n_pi = 12;
+      n_po = 8;
+      n_ff = 8;
+      n_gates = 96;
+      levels = 8;
+    }
+  in
+  let nl = Sttc_netlist.Generator.generate ~seed:2016 spec in
+  Printf.printf "target: %s\n\n" (Sttc_netlist.Netlist.stats nl);
+  let campaigns =
+    List.map
+      (fun alg ->
+        let r = Flow.protect ~seed:7 alg nl in
+        Printf.printf "protected with %s: %d LUT slots, %d config bits\n%!"
+          (Flow.algorithm_name alg)
+          (Sttc_core.Hybrid.lut_count r.Flow.hybrid)
+          (Sttc_core.Hybrid.bitstream_bits r.Flow.hybrid);
+        Harness.run ~sat_timeout_s:20. ~tt_budget:4000 ~guess_rounds:6
+          ~circuit:spec.Sttc_netlist.Generator.design_name
+          ~algorithm:(Flow.algorithm_name alg) r.Flow.hybrid)
+      Flow.default_algorithms
+  in
+  print_newline ();
+  print_string (Harness.to_table campaigns);
+  print_newline ();
+  print_endline
+    "Reading the table: the combinational SAT attack (scan access assumed)";
+  print_endline
+    "breaks small circuits regardless of selection, in line with the";
+  print_endline
+    "de-camouflaging literature the paper cites; the scan-disabled variant";
+  print_endline
+    "(sat-seq) pays reset-and-replay sequences per query and only refutes";
+  print_endline
+    "keys up to its unrolling depth; the truth-table and hill-climbing";
+  print_endline
+    "attacks degrade sharply on dependent/parametric hybrids; and brute";
+  print_endline
+    "force is already infeasible at a few dozen configuration bits (Eq. 3).";
+  print_endline
+    "The paper's deployment assumption -- scan locked, so only the";
+  print_endline
+    "sequential path remains -- is what the Fig. 3 clock counts quantify."

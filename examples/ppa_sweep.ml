@@ -1,0 +1,26 @@
+(* Security-vs-overhead frontier: sweep the number of inserted STT LUTs
+   (independent selection at increasing budgets) on one benchmark and
+   print overheads next to the Eq. (1)-(3) attack costs.
+
+   Run with:  dune exec examples/ppa_sweep.exe [-- s1238]
+   (default benchmark: s1196) *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "s1196" in
+  let nl =
+    match Sttc_netlist.Iscas_profiles.find name with
+    | Some info -> Sttc_netlist.Iscas_profiles.build info
+    | None ->
+        Printf.eprintf "unknown benchmark %s; available: %s\n" name
+          (String.concat ", " Sttc_netlist.Iscas_profiles.names);
+        exit 1
+  in
+  Printf.printf "%s\n\n" (Sttc_netlist.Netlist.stats nl);
+  let counts = [ 1; 2; 5; 10; 20; 40; 80 ] in
+  print_string (Sttc_experiments.Runner.sweep nl ~counts);
+  print_newline ();
+  print_endline
+    "Each row doubles-ish the LUT budget: overheads grow roughly linearly";
+  print_endline
+    "while the dependent/brute-force attack costs (N_dep, N_bf) grow";
+  print_endline "exponentially -- the asymmetry the defence rests on."

@@ -1,0 +1,79 @@
+(* Side-channel demonstration: the STT LUT's data-independent power draw
+   (Section II's second security benefit) measured with a DPA-style
+   difference-of-means analysis on simulated power traces.
+
+   We hide one heavily-loaded gate inside an STT LUT and compare how much
+   the chip's total per-cycle energy still tells an attacker about that
+   signal's value.
+
+   Run with:  dune exec examples/side_channel.exe *)
+
+module Netlist = Sttc_netlist.Netlist
+module Dpa = Sttc_attack.Dpa
+
+let () =
+  let lib = Sttc_tech.Library.cmos90 in
+  let spec =
+    {
+      Sttc_netlist.Generator.design_name = "sc150";
+      n_pi = 12;
+      n_po = 10;
+      n_ff = 8;
+      n_gates = 150;
+      levels = 8;
+    }
+  in
+  let nl = Sttc_netlist.Generator.generate ~seed:77 spec in
+  Printf.printf "circuit: %s\n\n" (Netlist.stats nl);
+  (* the most-loaded gates carry the most energy, so they leak the most *)
+  let ranked =
+    List.sort
+      (fun a b ->
+        Int.compare (Netlist.fanout_degree nl b) (Netlist.fanout_degree nl a))
+      (Netlist.gates nl)
+  in
+  let table =
+    Sttc_util.Table.create
+      ~headers:
+        [
+          ("Target", Sttc_util.Table.Left);
+          ("Fan-out", Sttc_util.Table.Right);
+          ("DoM/mean CMOS", Sttc_util.Table.Right);
+          ("DoM/mean hybrid", Sttc_util.Table.Right);
+          ("Reduction", Sttc_util.Table.Right);
+        ]
+  in
+  List.iteri
+    (fun i target_id ->
+      if i < 5 then begin
+        let target = Netlist.name nl target_id in
+        let hybrid =
+          Sttc_core.Hybrid.programmed (Sttc_core.Hybrid.make nl [ target_id ])
+        in
+        let orig = Dpa.measure ~cycles:24 ~batches:12 lib nl ~target in
+        let hyb = Dpa.measure ~cycles:24 ~batches:12 lib hybrid ~target in
+        let reduction =
+          Dpa.leakage_reduction ~cycles:24 ~batches:12 lib ~original:nl ~hybrid
+            ~target
+        in
+        Sttc_util.Table.add_row table
+          [
+            target;
+            string_of_int (Netlist.fanout_degree nl target_id);
+            Printf.sprintf "%.4f" orig.Dpa.dom_relative;
+            Printf.sprintf "%.4f" hyb.Dpa.dom_relative;
+            (if reduction = infinity then "inf"
+             else Printf.sprintf "%.2fx" reduction);
+          ]
+      end)
+    ranked;
+  Sttc_util.Table.print table;
+  print_newline ();
+  print_endline
+    "The hybrid's pre-charge energy is burned every cycle whatever the data,";
+  print_endline
+    "so hiding a gate inside an STT LUT removes that gate's contribution to";
+  print_endline
+    "the data-dependent power signature an attacker correlates against.";
+  print_endline
+    "Residual leakage comes from the CMOS fan-out the signal still drives."

@@ -1,0 +1,98 @@
+module Netlist = Sttc_netlist.Netlist
+module Truth = Sttc_logic.Truth
+module Gate_fn = Sttc_logic.Gate_fn
+
+type t = {
+  netlist : Netlist.t;
+  prob : float array;
+  converged : bool;
+}
+
+(* Exact output probability of a truth table given independent input
+   one-probabilities. *)
+let truth_probability table input_probs =
+  let n = Truth.arity table in
+  assert (Array.length input_probs = n);
+  let total = ref 0. in
+  for r = 0 to (1 lsl n) - 1 do
+    if Truth.row table r then begin
+      let p = ref 1. in
+      for k = 0 to n - 1 do
+        let pk = input_probs.(k) in
+        p := !p *. (if (r lsr k) land 1 = 1 then pk else 1. -. pk)
+      done;
+      total := !total +. !p
+    end
+  done;
+  (* rounding across many rows can drift a hair outside [0,1] *)
+  Float.min 1. (Float.max 0. !total)
+
+let analyze ?(pi_probability = 0.5) ?(max_iterations = 40) ?(tolerance = 1e-4)
+    nl =
+  if pi_probability < 0. || pi_probability > 1. then
+    invalid_arg "Activity.analyze: pi_probability";
+  let n = Netlist.node_count nl in
+  let prob = Array.make n 0.5 in
+  let order = Netlist.topo_order nl in
+  Netlist.iter
+    (fun id node ->
+      match node.Netlist.kind with
+      | Netlist.Pi -> prob.(id) <- pi_probability
+      | Netlist.Const v -> prob.(id) <- (if v then 1. else 0.)
+      | _ -> ())
+    nl;
+  let propagate_comb () =
+    Array.iter
+      (fun id ->
+        let node = Netlist.node nl id in
+        match node.Netlist.kind with
+        | Netlist.Gate fn ->
+            let ip = Array.map (fun s -> prob.(s)) node.Netlist.fanins in
+            prob.(id) <- truth_probability (Gate_fn.truth fn) ip
+        | Netlist.Lut { config = Some c; _ } ->
+            let ip = Array.map (fun s -> prob.(s)) node.Netlist.fanins in
+            prob.(id) <- truth_probability c ip
+        | Netlist.Lut { config = None; _ } -> prob.(id) <- 0.5
+        | Netlist.Pi | Netlist.Const _ | Netlist.Dff -> ())
+      order
+  in
+  let dffs = Netlist.dffs nl in
+  let rec iterate k =
+    propagate_comb ();
+    let delta = ref 0. in
+    List.iter
+      (fun ff ->
+        let d = (Netlist.fanins nl ff).(0) in
+        let next = prob.(d) in
+        delta := Float.max !delta (Float.abs (next -. prob.(ff)));
+        prob.(ff) <- next)
+      dffs;
+    if !delta <= tolerance then true
+    else if k >= max_iterations then false
+    else iterate (k + 1)
+  in
+  let converged = if dffs = [] then (propagate_comb (); true) else iterate 1 in
+  { netlist = nl; prob; converged }
+
+let probability t id =
+  if id < 0 || id >= Array.length t.prob then invalid_arg "Activity.probability";
+  t.prob.(id)
+
+(* Standard temporal-independence toggle estimate. *)
+let switching t id =
+  let p = probability t id in
+  2. *. p *. (1. -. p)
+
+let average_switching t =
+  let ids =
+    Netlist.fold
+      (fun id n acc -> if Netlist.is_combinational n.Netlist.kind then id :: acc else acc)
+      t.netlist []
+  in
+  match ids with
+  | [] -> 0.
+  | _ ->
+      List.fold_left (fun acc id -> acc +. switching t id) 0. ids
+      /. float_of_int (List.length ids)
+
+let converged t = t.converged

@@ -1,0 +1,32 @@
+(** Signal probability and switching-activity estimation.
+
+    Signal probabilities propagate from the primary inputs (default 0.5)
+    through exact per-gate truth-table evaluation under an input-
+    independence assumption; sequential feedback is resolved by fixpoint
+    iteration over the flip-flop state probabilities.  Switching activity
+    per node is the temporal-independence estimate [2 p (1 - p)] — the
+    alpha of the paper's Fig. 1 power columns. *)
+
+type t
+
+val analyze :
+  ?pi_probability:float ->
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  Sttc_netlist.Netlist.t ->
+  t
+(** Defaults: PI one-probability 0.5, 40 iterations, tolerance 1e-4.
+    Unconfigured LUTs take probability 0.5. *)
+
+val probability : t -> Sttc_netlist.Netlist.node_id -> float
+(** Probability that the node's signal is 1. *)
+
+val switching : t -> Sttc_netlist.Netlist.node_id -> float
+(** Per-cycle output switching activity in [0, 0.5]. *)
+
+val average_switching : t -> float
+(** Mean over combinational nodes, for reporting. *)
+
+val converged : t -> bool
+(** False when the flip-flop fixpoint hit the iteration limit (the result
+    is still usable as an estimate). *)

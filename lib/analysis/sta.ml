@@ -1,0 +1,110 @@
+module Netlist = Sttc_netlist.Netlist
+module Library = Sttc_tech.Library
+
+type t = {
+  netlist : Netlist.t;
+  arrival : float array;
+  endpoints : (Netlist.node_id * float) list; (* worst first *)
+  critical_end : Netlist.node_id;
+  critical : float;
+}
+
+let analyze lib nl =
+  let n = Netlist.node_count nl in
+  let arrival = Array.make n 0. in
+  let order = Netlist.topo_order nl in
+  Array.iter
+    (fun id ->
+      let node = Netlist.node nl id in
+      match node.Netlist.kind with
+      | Netlist.Pi | Netlist.Const _ -> arrival.(id) <- 0.
+      | Netlist.Dff ->
+          (* launch at clk-to-q; the D-input arrival is an endpoint handled
+             below, not part of this node's output arrival *)
+          arrival.(id) <- (Library.dff_cell lib).Sttc_tech.Cell.delay_ps
+      | Netlist.Gate _ | Netlist.Lut _ ->
+          let worst = ref 0. in
+          Array.iter
+            (fun src -> if arrival.(src) > !worst then worst := arrival.(src))
+            node.Netlist.fanins;
+          arrival.(id) <- !worst +. Library.node_delay_ps lib node.Netlist.kind)
+    order;
+  (* endpoints: D-inputs of flip-flops and primary-output drivers *)
+  let endpoint_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ff ->
+      let d = (Netlist.fanins nl ff).(0) in
+      let cur = try Hashtbl.find endpoint_tbl d with Not_found -> neg_infinity in
+      Hashtbl.replace endpoint_tbl d (Float.max cur arrival.(d)))
+    (Netlist.dffs nl);
+  List.iter
+    (fun po ->
+      let cur = try Hashtbl.find endpoint_tbl po with Not_found -> neg_infinity in
+      Hashtbl.replace endpoint_tbl po (Float.max cur arrival.(po)))
+    (Netlist.pos nl);
+  let endpoints =
+    Hashtbl.fold (fun id a acc -> (id, a) :: acc) endpoint_tbl []
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  in
+  let critical_end, critical =
+    match endpoints with
+    | [] -> invalid_arg "Sta.analyze: netlist has no endpoints"
+    | (id, a) :: _ -> (id, a)
+  in
+  { netlist = nl; arrival; endpoints; critical_end; critical }
+
+let arrival_ps t id =
+  if id < 0 || id >= Array.length t.arrival then invalid_arg "Sta.arrival_ps";
+  t.arrival.(id)
+
+let critical_delay_ps t = t.critical
+let critical_endpoint t = t.critical_end
+
+(* Walk backward from an endpoint through the fanin with the worst
+   arrival until a source is reached. *)
+let path_to t endpoint =
+  let nl = t.netlist in
+  let rec go id acc =
+    let acc = id :: acc in
+    if Netlist.is_combinational (Netlist.kind nl id) then begin
+      let fanins = Netlist.fanins nl id in
+      let best = ref fanins.(0) in
+      Array.iter
+        (fun src -> if t.arrival.(src) > t.arrival.(!best) then best := src)
+        fanins;
+      go !best acc
+    end
+    else acc
+  in
+  go endpoint []
+
+let critical_path t = path_to t t.critical_end
+
+let max_frequency_ghz t =
+  if t.critical <= 0. then infinity else 1000. /. t.critical
+
+let slack_ps t ~clock_ps = clock_ps -. t.critical
+let endpoint_arrivals t = t.endpoints
+
+let worst_paths t ~k =
+  List.filteri (fun i _ -> i < k) t.endpoints
+  |> List.map (fun (endpoint, arrival) -> (arrival, path_to t endpoint))
+
+let report ?(k = 3) t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "critical delay %.1f ps (max %.3f GHz), %d endpoints\n"
+       t.critical (max_frequency_ghz t) (List.length t.endpoints));
+  List.iteri
+    (fun i (arrival, path) ->
+      Buffer.add_string buf (Printf.sprintf "path %d (%.1f ps): " (i + 1) arrival);
+      Buffer.add_string buf
+        (String.concat " -> "
+           (List.map
+              (fun id ->
+                Printf.sprintf "%s@%.0f" (Netlist.name t.netlist id)
+                  t.arrival.(id))
+              path));
+      Buffer.add_char buf '\n')
+    (worst_paths t ~k);
+  Buffer.contents buf

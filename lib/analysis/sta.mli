@@ -1,0 +1,40 @@
+(** Static timing analysis.
+
+    Sequential model: primary inputs and constant drivers launch at time
+    0; flip-flop outputs launch at the cell's clk-to-q delay; a
+    combinational node's arrival is the worst fanin arrival plus its cell
+    delay.  Endpoints are flip-flop D-inputs and primary-output drivers.
+    The critical path delay is the worst endpoint arrival — the quantity
+    whose relative increase is the paper's "performance degradation". *)
+
+type t
+
+val analyze : Sttc_tech.Library.t -> Sttc_netlist.Netlist.t -> t
+
+val arrival_ps : t -> Sttc_netlist.Netlist.node_id -> float
+(** Worst-case arrival time at the node's output. *)
+
+val critical_delay_ps : t -> float
+(** Worst endpoint arrival = minimum usable clock period (ps). *)
+
+val critical_path : t -> Sttc_netlist.Netlist.node_id list
+(** One worst path, launch point first, endpoint last (combinational
+    segment only: the nodes between, and including, the launching source
+    and the endpoint). *)
+
+val critical_endpoint : t -> Sttc_netlist.Netlist.node_id
+val max_frequency_ghz : t -> float
+
+val slack_ps : t -> clock_ps:float -> float
+(** [clock_ps - critical_delay_ps]; negative when timing is violated. *)
+
+val endpoint_arrivals : t -> (Sttc_netlist.Netlist.node_id * float) list
+(** All endpoints with their arrival times, worst first. *)
+
+val worst_paths : t -> k:int -> (float * Sttc_netlist.Netlist.node_id list) list
+(** The [k] worst endpoints, each with its arrival time and one worst path
+    (launch point first). *)
+
+val report : ?k:int -> t -> string
+(** Human-readable timing report: critical delay, max frequency, and the
+    [k] (default 3) worst paths with per-node arrivals. *)

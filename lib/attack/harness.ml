@@ -1,0 +1,196 @@
+module Lognum = Sttc_util.Lognum
+
+type verdict =
+  | Recovered
+  | Partial of float
+  | Resisted
+
+type entry = {
+  attack : string;
+  verdict : verdict;
+  seconds : float;
+  oracle_queries : int;
+  detail : string;
+}
+
+type campaign = {
+  circuit : string;
+  algorithm : string;
+  lut_count : int;
+  entries : entry list;
+}
+
+let run ?(sat_timeout_s = 30.) ?(tt_budget = 4000) ?(guess_rounds = 8)
+    ?(brute_max_bits = 16) ?(seq_frames = 4) ?(seed = 0xcafe) ~circuit
+    ~algorithm hybrid =
+  let sat_entry =
+    match Sat_attack.run ~timeout_s:sat_timeout_s hybrid with
+    | Sat_attack.Broken b ->
+        {
+          attack = "sat";
+          verdict =
+            (if Sat_attack.verify_break hybrid b.bitstream then
+               Recovered
+             else Partial 0.);
+          seconds = b.seconds;
+          oracle_queries = b.queries;
+          detail = Printf.sprintf "%d iterations" b.iterations;
+        }
+    | Sat_attack.Exhausted e ->
+        {
+          attack = "sat";
+          verdict = Resisted;
+          seconds = e.seconds;
+          oracle_queries = 0;
+          detail = e.reason;
+        }
+  in
+  let tt_entry =
+    let r = Tt_attack.run ~budget_patterns:tt_budget ~seed hybrid in
+    {
+      attack = "truth-table";
+      verdict =
+        (if r.Tt_attack.resolution >= 1.0 then Recovered
+         else Partial r.Tt_attack.resolution);
+      seconds = r.Tt_attack.seconds;
+      oracle_queries = r.Tt_attack.oracle_queries;
+      detail =
+        Printf.sprintf "%d/%d LUTs fully resolved" r.Tt_attack.fully_resolved
+          r.Tt_attack.lut_count;
+    }
+  in
+  let tt_atpg_entry =
+    let r =
+      Tt_attack.run ~budget_patterns:(tt_budget / 4) ~targeted:true ~seed
+        hybrid
+    in
+    {
+      attack = "tt-atpg";
+      verdict =
+        (if r.Tt_attack.functional_resolution >= 1.0 then Recovered
+         else Partial r.Tt_attack.functional_resolution);
+      seconds = r.Tt_attack.seconds;
+      oracle_queries = r.Tt_attack.oracle_queries;
+      detail =
+        Printf.sprintf "%.0f%% functional (%.0f%% raw)"
+          (100. *. r.Tt_attack.functional_resolution)
+          (100. *. r.Tt_attack.resolution);
+    }
+  in
+  let guess_entry =
+    let r = Guess_attack.run ~rounds:guess_rounds ~seed hybrid in
+    {
+      attack = "hill-climb";
+      verdict =
+        (if r.Guess_attack.recovered then Recovered
+         else Partial r.Guess_attack.agreement);
+      seconds = r.Guess_attack.seconds;
+      oracle_queries = r.Guess_attack.oracle_queries;
+      detail =
+        Printf.sprintf "%.1f%% probe agreement"
+          (100. *. r.Guess_attack.agreement);
+    }
+  in
+  let brute_entry =
+    match Brute_force.run ~max_bits:brute_max_bits ~seed hybrid with
+    | Brute_force.Broken b ->
+        {
+          attack = "brute-force";
+          verdict = Recovered;
+          seconds = b.seconds;
+          oracle_queries = 0;
+          detail =
+            Printf.sprintf "%s candidates tested"
+              (Lognum.to_string b.candidates_tested);
+        }
+    | Brute_force.Infeasible i ->
+        {
+          attack = "brute-force";
+          verdict = Resisted;
+          seconds = 0.;
+          oracle_queries = 0;
+          detail =
+            Printf.sprintf "space %s, ~%s years at %.0f cand/s"
+              (Lognum.to_string i.search_space)
+              (Lognum.to_string i.projected_years)
+              i.tested_rate_per_s;
+        }
+  in
+  let seq_entry =
+    match
+      Sat_attack.run_sequential ~frames:seq_frames ~timeout_s:sat_timeout_s
+        hybrid
+    with
+    | Sat_attack.Broken b ->
+        {
+          attack = "sat-seq";
+          verdict = Recovered;
+          seconds = b.seconds;
+          oracle_queries = b.queries;
+          detail =
+            Printf.sprintf "%d iterations, %d-cycle sequences" b.iterations
+              seq_frames;
+        }
+    | Sat_attack.Exhausted e ->
+        {
+          attack = "sat-seq";
+          verdict = Resisted;
+          seconds = e.seconds;
+          oracle_queries = 0;
+          detail = e.reason;
+        }
+  in
+  {
+    circuit;
+    algorithm;
+    lut_count = Sttc_core.Hybrid.lut_count hybrid;
+    entries = [ sat_entry; seq_entry; tt_entry; tt_atpg_entry; guess_entry; brute_entry ];
+  }
+
+let verdict_string = function
+  | Recovered -> "RECOVERED"
+  | Partial f -> Printf.sprintf "partial %.0f%%" (100. *. f)
+  | Resisted -> "resisted"
+
+let pp_campaign fmt c =
+  Format.fprintf fmt "%s / %s (%d LUTs):@\n" c.circuit c.algorithm c.lut_count;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %-12s %-14s %6.2fs %8d queries  %s@\n" e.attack
+        (verdict_string e.verdict) e.seconds e.oracle_queries e.detail)
+    c.entries
+
+let to_table campaigns =
+  let t =
+    Sttc_util.Table.create
+      ~headers:
+        [
+          ("Circuit", Sttc_util.Table.Left);
+          ("Algorithm", Sttc_util.Table.Left);
+          ("LUTs", Sttc_util.Table.Right);
+          ("Attack", Sttc_util.Table.Left);
+          ("Verdict", Sttc_util.Table.Left);
+          ("Time (s)", Sttc_util.Table.Right);
+          ("Queries", Sttc_util.Table.Right);
+          ("Detail", Sttc_util.Table.Left);
+        ]
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun e ->
+          Sttc_util.Table.add_row t
+            [
+              c.circuit;
+              c.algorithm;
+              string_of_int c.lut_count;
+              e.attack;
+              verdict_string e.verdict;
+              Printf.sprintf "%.2f" e.seconds;
+              string_of_int e.oracle_queries;
+              e.detail;
+            ])
+        c.entries;
+      Sttc_util.Table.add_separator t)
+    campaigns;
+  Sttc_util.Table.render t

@@ -1,0 +1,42 @@
+(** One-call attack campaign against a hybrid: run every implemented
+    attack under resource limits and classify the outcome — the empirical
+    counterpart of the paper's analytic Fig. 3. *)
+
+type verdict =
+  | Recovered  (** functionally correct bitstream extracted *)
+  | Partial of float  (** fraction of configuration resolved *)
+  | Resisted  (** attack exhausted its budget with nothing usable *)
+
+type entry = {
+  attack : string;
+  verdict : verdict;
+  seconds : float;
+  oracle_queries : int;
+  detail : string;
+}
+
+type campaign = {
+  circuit : string;
+  algorithm : string;
+  lut_count : int;
+  entries : entry list;
+}
+
+val run :
+  ?sat_timeout_s:float ->
+  ?tt_budget:int ->
+  ?guess_rounds:int ->
+  ?brute_max_bits:int ->
+  ?seq_frames:int ->
+  ?seed:int ->
+  circuit:string ->
+  algorithm:string ->
+  Sttc_core.Hybrid.t ->
+  campaign
+(** Runs six attacks: the combinational (scan-assumed) SAT attack, the
+    sequential scan-disabled SAT attack on [seq_frames]-cycle sequences
+    (default 4), random truth-table extraction, SAT-targeted truth-table
+    extraction (ATPG), hill-climbing and brute force. *)
+
+val pp_campaign : Format.formatter -> campaign -> unit
+val to_table : campaign list -> string

@@ -1,0 +1,311 @@
+module Netlist = Sttc_netlist.Netlist
+module Cnf = Sttc_logic.Cnf
+module Sat = Sttc_logic.Sat
+module Hybrid = Sttc_core.Hybrid
+
+type outcome =
+  | Broken of {
+      bitstream : (Netlist.node_id * Sttc_logic.Truth.t) list;
+      queries : int;
+      iterations : int;
+      seconds : float;
+    }
+  | Exhausted of {
+      iterations : int;
+      seconds : float;
+      reason : string;
+    }
+
+(* One-hot candidate restriction: the keyed LUT must implement one of the
+   listed truth tables. *)
+let restrict_keys cnf keys candidates =
+  List.iter
+    (fun (id, key) ->
+      match List.assoc_opt id candidates with
+      | None -> ()
+      | Some tables ->
+          if tables = [] then invalid_arg "Sat_attack: empty candidate list";
+          let selectors =
+            List.map
+              (fun table ->
+                let s = Cnf.fresh_var cnf in
+                Array.iteri
+                  (fun r l ->
+                    (* s -> key.(r) = table row r *)
+                    Cnf.add_clause cnf
+                      [ -s; (if Sttc_logic.Truth.row table r then l else -l) ])
+                  key;
+                s)
+              tables
+          in
+          Cnf.add_clause cnf selectors)
+    keys
+
+let run ?(max_iterations = 2000) ?(max_conflicts_per_call = 200_000)
+    ?(timeout_s = 60.) ?(candidates = []) hybrid =
+  let t0 = Unix.gettimeofday () in
+  let foundry = Hybrid.foundry_view hybrid in
+  let oracle = Oracle.create hybrid in
+  (* Copy 1 and copy 2 share inputs, have independent keys. *)
+  let c1 = Encode.encode foundry in
+  let c2 =
+    Encode.encode ~cnf:c1.Encode.cnf ~share_inputs:c1.Encode.inputs foundry
+  in
+  let cnf = c1.Encode.cnf in
+  restrict_keys cnf c1.Encode.keys candidates;
+  restrict_keys cnf c2.Encode.keys candidates;
+  (* Miter: some output differs. *)
+  let diffs =
+    List.map2
+      (fun (_, l1) (_, l2) ->
+        let d = Cnf.fresh_var cnf in
+        Cnf.encode_xor cnf d l1 l2;
+        d)
+      c1.Encode.outputs c2.Encode.outputs
+  in
+  Cnf.add_clause cnf diffs;
+  (* Constrain both key copies with an observed I/O pair.  The miter's
+     inputs must stay free, so each observation gets fresh circuit copies
+     sharing only the key variables. *)
+  let constrain_io input_bits output_bits =
+    let fresh1 =
+      Encode.encode ~cnf ~share_keys:c1.Encode.keys foundry
+    in
+    let fresh2 =
+      Encode.encode ~cnf ~share_inputs:fresh1.Encode.inputs
+        ~share_keys:c2.Encode.keys foundry
+    in
+    List.iteri
+      (fun i (_, l) ->
+        Cnf.add_clause cnf [ (if input_bits.(i) then l else -l) ])
+      fresh1.Encode.inputs;
+    List.iteri
+      (fun i (_, l) ->
+        Cnf.add_clause cnf [ (if output_bits.(i) then l else -l) ])
+      fresh1.Encode.outputs;
+    List.iteri
+      (fun i (_, l) ->
+        Cnf.add_clause cnf [ (if output_bits.(i) then l else -l) ])
+      fresh2.Encode.outputs
+  in
+  let input_count = List.length c1.Encode.inputs in
+  let recorded = ref [] in
+  let rec loop iteration =
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if iteration > max_iterations then
+      Exhausted { iterations = iteration - 1; seconds = elapsed; reason = "iteration limit" }
+    else if elapsed > timeout_s then
+      Exhausted { iterations = iteration - 1; seconds = elapsed; reason = "timeout" }
+    else
+      match Sat.solve ~max_conflicts:max_conflicts_per_call cnf with
+      | None ->
+          Exhausted
+            {
+              iterations = iteration - 1;
+              seconds = Unix.gettimeofday () -. t0;
+              reason = "conflict budget";
+            }
+      | Some Sat.Unsat ->
+          (* No distinguishing input: find any key consistent with the
+             recorded I/O pairs. *)
+          let final_cnf = Cnf.create () in
+          let final =
+            Encode.encode ~cnf:final_cnf foundry
+          in
+          restrict_keys final_cnf final.Encode.keys candidates;
+          (* replay recorded I/O constraints *)
+          List.iter
+            (fun (inp, out) ->
+              let copy =
+                Encode.encode ~cnf:final_cnf ~share_keys:final.Encode.keys
+                  foundry
+              in
+              List.iteri
+                (fun i (_, l) ->
+                  Cnf.add_clause final_cnf [ (if inp.(i) then l else -l) ])
+                copy.Encode.inputs;
+              List.iteri
+                (fun i (_, l) ->
+                  Cnf.add_clause final_cnf [ (if out.(i) then l else -l) ])
+                copy.Encode.outputs)
+            !recorded;
+          (match Sat.solve final_cnf with
+          | Some (Sat.Sat model) ->
+              Broken
+                {
+                  bitstream = Encode.key_of_model final model;
+                  queries = Oracle.queries oracle;
+                  iterations = iteration - 1;
+                  seconds = Unix.gettimeofday () -. t0;
+                }
+          | Some Sat.Unsat | None ->
+              Exhausted
+                {
+                  iterations = iteration - 1;
+                  seconds = Unix.gettimeofday () -. t0;
+                  reason = "no consistent key (internal error)";
+                })
+      | Some (Sat.Sat model) ->
+          (* distinguishing input from the model *)
+          let input_bits =
+            Array.make input_count false
+          in
+          List.iteri
+            (fun i (_, l) -> input_bits.(i) <- Sat.model_value model l)
+            c1.Encode.inputs;
+          let output_bits = Oracle.query oracle input_bits in
+          recorded := (input_bits, output_bits) :: !recorded;
+          constrain_io input_bits output_bits;
+          loop (iteration + 1)
+  in
+  loop 1
+
+let verify_break hybrid bitstream =
+  let candidate = Hybrid.program_with hybrid bitstream in
+  match
+    Sttc_sim.Equiv.check_sat (Hybrid.programmed hybrid) candidate
+  with
+  | Sttc_sim.Equiv.Equivalent -> true
+  | _ -> false
+
+let run_sequential ?(frames = 5) ?(max_iterations = 500)
+    ?(max_conflicts_per_call = 200_000) ?(timeout_s = 60.) hybrid =
+  let t0 = Unix.gettimeofday () in
+  let foundry = Hybrid.foundry_view hybrid in
+  let oracle = Oracle.create hybrid in
+  let c1 = Encode.encode_unrolled ~frames foundry in
+  let cnf = c1.Encode.u_cnf in
+  let c2 =
+    Encode.encode_unrolled ~cnf ~share_frame_pis:c1.Encode.frame_pis ~frames
+      foundry
+  in
+  (* miter: some primary output differs in some frame *)
+  let diffs = ref [] in
+  Array.iteri
+    (fun frame pos1 ->
+      List.iter2
+        (fun (_, l1) (_, l2) ->
+          let d = Cnf.fresh_var cnf in
+          Cnf.encode_xor cnf d l1 l2;
+          diffs := d :: !diffs)
+        pos1
+        c2.Encode.frame_pos.(frame))
+    c1.Encode.frame_pos;
+  Cnf.add_clause cnf !diffs;
+  let recorded = ref [] in
+  (* pin an observed sequence into fresh unrolled copies of both keys *)
+  let constrain_io pi_seq po_seq =
+    let fresh1 = Encode.encode_unrolled ~cnf ~share_keys:c1.Encode.u_keys ~frames foundry in
+    let fresh2 =
+      Encode.encode_unrolled ~cnf ~share_keys:c2.Encode.u_keys
+        ~share_frame_pis:fresh1.Encode.frame_pis ~frames foundry
+    in
+    List.iteri
+      (fun frame pis ->
+        List.iteri
+          (fun i (_, l) ->
+            Cnf.add_clause cnf [ (if pis.(i) then l else -l) ])
+          fresh1.Encode.frame_pis.(frame);
+        let pos = List.nth po_seq frame in
+        List.iteri
+          (fun i (_, l) -> Cnf.add_clause cnf [ (if pos.(i) then l else -l) ])
+          fresh1.Encode.frame_pos.(frame);
+        List.iteri
+          (fun i (_, l) -> Cnf.add_clause cnf [ (if pos.(i) then l else -l) ])
+          fresh2.Encode.frame_pos.(frame))
+      pi_seq
+  in
+  let pi_count = List.length c1.Encode.frame_pis.(0) in
+  let rec loop iteration =
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if iteration > max_iterations then
+      Exhausted
+        { iterations = iteration - 1; seconds = elapsed; reason = "iteration limit" }
+    else if elapsed > timeout_s then
+      Exhausted
+        { iterations = iteration - 1; seconds = elapsed; reason = "timeout" }
+    else
+      match Sat.solve ~max_conflicts:max_conflicts_per_call cnf with
+      | None ->
+          Exhausted
+            {
+              iterations = iteration - 1;
+              seconds = Unix.gettimeofday () -. t0;
+              reason = "conflict budget";
+            }
+      | Some Sat.Unsat -> (
+          (* no distinguishing sequence of this length remains; pick any
+             consistent key and verify it *)
+          let final_cnf = Cnf.create () in
+          let final = Encode.encode_unrolled ~cnf:final_cnf ~frames foundry in
+          List.iter
+            (fun (pi_seq, po_seq) ->
+              let copy =
+                Encode.encode_unrolled ~cnf:final_cnf
+                  ~share_keys:final.Encode.u_keys ~frames foundry
+              in
+              List.iteri
+                (fun frame pis ->
+                  List.iteri
+                    (fun i (_, l) ->
+                      Cnf.add_clause final_cnf
+                        [ (if pis.(i) then l else -l) ])
+                    copy.Encode.frame_pis.(frame);
+                  let pos = List.nth po_seq frame in
+                  List.iteri
+                    (fun i (_, l) ->
+                      Cnf.add_clause final_cnf
+                        [ (if pos.(i) then l else -l) ])
+                    copy.Encode.frame_pos.(frame))
+                pi_seq)
+            !recorded;
+          match Sat.solve final_cnf with
+          | Some (Sat.Sat model) ->
+              let fake_keyed =
+                {
+                  Encode.cnf = final_cnf;
+                  inputs = [];
+                  outputs = [];
+                  keys = final.Encode.u_keys;
+                  node_lits = [||];
+                }
+              in
+              let bitstream = Encode.key_of_model fake_keyed model in
+              if verify_break hybrid bitstream then
+                Broken
+                  {
+                    bitstream;
+                    queries = Oracle.queries oracle;
+                    iterations = iteration - 1;
+                    seconds = Unix.gettimeofday () -. t0;
+                  }
+              else
+                Exhausted
+                  {
+                    iterations = iteration - 1;
+                    seconds = Unix.gettimeofday () -. t0;
+                    reason = "sequence-length limit";
+                  }
+          | Some Sat.Unsat | None ->
+              Exhausted
+                {
+                  iterations = iteration - 1;
+                  seconds = Unix.gettimeofday () -. t0;
+                  reason = "no consistent key (internal error)";
+                })
+      | Some (Sat.Sat model) ->
+          (* distinguishing sequence from the model *)
+          let pi_seq =
+            List.init frames (fun frame ->
+                let bits = Array.make pi_count false in
+                List.iteri
+                  (fun i (_, l) -> bits.(i) <- Sat.model_value model l)
+                  c1.Encode.frame_pis.(frame);
+                bits)
+          in
+          let po_seq = Oracle.query_sequence oracle pi_seq in
+          recorded := (pi_seq, po_seq) :: !recorded;
+          constrain_io pi_seq po_seq;
+          loop (iteration + 1)
+  in
+  loop 1

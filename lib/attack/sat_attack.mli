@@ -1,0 +1,66 @@
+(** The oracle-guided SAT attack (Subramanyan et al. style) against hybrid
+    STT-CMOS designs — the strongest of the "machine learning /
+    de-camouflaging" attack family the paper cites as [11].
+
+    Two copies of the foundry netlist share their inputs but carry
+    independent symbolic keys; a satisfying assignment where the copies
+    disagree yields a {e distinguishing input}, whose oracle response
+    prunes all keys inconsistent with it.  When no distinguishing input
+    remains, any surviving key is functionally correct. *)
+
+type outcome =
+  | Broken of {
+      bitstream : (Sttc_netlist.Netlist.node_id * Sttc_logic.Truth.t) list;
+      queries : int;  (** distinguishing patterns applied to the oracle *)
+      iterations : int;
+      seconds : float;
+    }
+      (** A functionally correct configuration was recovered (it may
+          differ syntactically from the secret one). *)
+  | Exhausted of {
+      iterations : int;
+      seconds : float;
+      reason : string;
+    }
+      (** Resource limit hit before convergence. *)
+
+val run :
+  ?max_iterations:int ->
+  ?max_conflicts_per_call:int ->
+  ?timeout_s:float ->
+  ?candidates:(Sttc_netlist.Netlist.node_id * Sttc_logic.Truth.t list) list ->
+  Sttc_core.Hybrid.t ->
+  outcome
+(** Defaults: 2000 iterations, 200k conflicts per solver call, 60 s.
+    The oracle is constructed internally from the hybrid's secret
+    programmed view — the attacker code only ever touches the foundry
+    view and the oracle interface.
+
+    [candidates] restricts the key space of specific LUTs to an explicit
+    candidate list — the attacker model against {e camouflaged} cells,
+    whose possible functions are known and few (the comparison of
+    Section IV-A.3).  LUTs without an entry keep their full key space. *)
+
+val verify_break :
+  Sttc_core.Hybrid.t ->
+  (Sttc_netlist.Netlist.node_id * Sttc_logic.Truth.t) list ->
+  bool
+(** Is the recovered bitstream functionally equivalent to the secret one
+    (SAT equivalence of the two programmed views)? *)
+
+val run_sequential :
+  ?frames:int ->
+  ?max_iterations:int ->
+  ?max_conflicts_per_call:int ->
+  ?timeout_s:float ->
+  Sttc_core.Hybrid.t ->
+  outcome
+(** The scan-disabled variant — the access model the paper assumes for
+    deployed parts.  The attacker can only reset the chip, feed [frames]
+    (default 5) input vectors, and watch the primary outputs; state is
+    neither controllable nor observable.  Distinguishing {e sequences} are
+    found on a time-unrolled double-key miter.  Keys that agree on all
+    length-[frames] sequences may still differ on longer ones, so a
+    recovered bitstream is verified and reported [Exhausted] with reason
+    ["sequence-length limit"] when it is wrong — quantifying how much
+    harder the sequential attack is than the combinational one. *)

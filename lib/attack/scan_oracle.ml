@@ -1,0 +1,106 @@
+module Netlist = Sttc_netlist.Netlist
+module Scan = Sttc_netlist.Scan
+module Simulator = Sttc_sim.Simulator
+
+type t = {
+  chain : Scan.chain;
+  sim : Simulator.t;
+  n_pis : int;  (** original primary inputs *)
+  n_pos : int;  (** original primary outputs *)
+  n_ffs : int;
+  (* position of each original-order flip-flop inside the chain order *)
+  chain_pos_of_orig : int array;
+  scan_en_pos : int;
+  scan_in_pos : int;
+  mutable count : int;
+  mutable cycles : int;
+}
+
+let create hybrid =
+  let programmed = Sttc_core.Hybrid.programmed hybrid in
+  let chain = Scan.insert programmed in
+  let snl = chain.Scan.netlist in
+  let sim = Simulator.create snl in
+  let n_pis = List.length (Netlist.pis programmed) in
+  let n_pos = Array.length (Netlist.outputs programmed) in
+  let orig_dff_names =
+    List.map (Netlist.name programmed) (Netlist.dffs programmed)
+  in
+  let chain_names =
+    List.map (Netlist.name snl) chain.Scan.order
+  in
+  let chain_pos_of_orig =
+    Array.of_list
+      (List.map
+         (fun name ->
+           let rec find i = function
+             | [] -> invalid_arg "Scan_oracle: chain misses a flip-flop"
+             | n :: rest -> if n = name then i else find (i + 1) rest
+           in
+           find 0 chain_names)
+         orig_dff_names)
+  in
+  let pis = Array.of_list (Netlist.pis snl) in
+  let en_pos = ref (-1) and in_pos = ref (-1) in
+  Array.iteri
+    (fun i pi ->
+      if pi = chain.Scan.scan_en then en_pos := i
+      else if pi = chain.Scan.scan_in then in_pos := i)
+    pis;
+  {
+    chain;
+    sim;
+    n_pis;
+    n_pos;
+    n_ffs = List.length orig_dff_names;
+    chain_pos_of_orig;
+    scan_en_pos = !en_pos;
+    scan_in_pos = !in_pos;
+    count = 0;
+    cycles = 0;
+  }
+
+let cycles_per_query t = (2 * t.n_ffs) + 1
+let clock_cycles t = t.cycles
+let queries t = t.count
+
+let step_bools t v =
+  t.cycles <- t.cycles + 1;
+  let lanes = Array.map (fun b -> if b then -1L else 0L) v in
+  Array.map (fun o -> Int64.logand o 1L = 1L) (Simulator.step t.sim lanes)
+
+let query t inputs =
+  if Array.length inputs <> t.n_pis + t.n_ffs then
+    invalid_arg "Scan_oracle.query: input arity";
+  t.count <- t.count + 1;
+  let scanned_pi_count = t.n_pis + 2 in
+  (* 1. shift the requested state in (chain order; tail-first feed) *)
+  let chain_state = Array.make t.n_ffs false in
+  Array.iteri
+    (fun orig_idx pos -> chain_state.(pos) <- inputs.(t.n_pis + orig_idx))
+    t.chain_pos_of_orig;
+  List.iter
+    (fun v -> ignore (step_bools t v))
+    (Scan.shift_sequence t.chain chain_state);
+  (* 2. one functional cycle: primary outputs observed, next state
+        captured into the flip-flops *)
+  let functional = Array.make scanned_pi_count false in
+  Array.blit inputs 0 functional 0 t.n_pis;
+  let pos_out = step_bools t functional in
+  let primary_outputs = Array.sub pos_out 0 t.n_pos in
+  (* 3. shift the captured state out through scan_out (last PO) *)
+  let shift = Array.make scanned_pi_count false in
+  shift.(t.scan_en_pos) <- true;
+  (* scan_out is the extra output appended after the original POs; shift
+     cycle k exposes the value captured at chain position m-1-k (the tail
+     leaves first) *)
+  let read = Array.make t.n_ffs false in
+  for k = 0 to t.n_ffs - 1 do
+    let outs = step_bools t shift in
+    read.(t.n_ffs - 1 - k) <- outs.(t.n_pos)
+  done;
+  let next_state =
+    Array.init t.n_ffs (fun orig_idx ->
+        read.(t.chain_pos_of_orig.(orig_idx)))
+  in
+  Array.append primary_outputs next_state

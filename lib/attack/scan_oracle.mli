@@ -1,0 +1,33 @@
+(** The combinational oracle realized honestly through the pins.
+
+    [Oracle.query] grants the attacker direct state access — the idealized
+    model behind the combinational SAT attack.  This module shows what
+    that access really is on silicon with an {e open} scan chain: every
+    combinational query is a shift-in / capture / shift-out sequence,
+    costing [2*FFs + 1] clock cycles of tester time instead of 1.
+
+    The answers are bit-exact with [Oracle.query]; only the clock
+    accounting differs.  This is the bridge between Fig. 3's "required
+    test clocks" and the attack implementations: multiply an attack's
+    query count by {!cycles_per_query} to get its tester time, and recall
+    that shipped parts lock the chain ([Sttc_netlist.Scan.lock]), removing
+    this interface entirely. *)
+
+type t
+
+val create : Sttc_core.Hybrid.t -> t
+(** Scan-stitches the secret programmed view and wraps it in a
+    pin-accurate tester session. *)
+
+val query : t -> bool array -> bool array
+(** Same contract as [Oracle.query]: PIs then flip-flop state in (original
+    netlist order), POs then next-state out.  Internally performs the full
+    shift-in / functional-capture / shift-out protocol. *)
+
+val cycles_per_query : t -> int
+(** [2 * flip-flops + 1]. *)
+
+val clock_cycles : t -> int
+(** Total tester clock cycles consumed so far. *)
+
+val queries : t -> int

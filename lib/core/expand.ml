@@ -1,0 +1,64 @@
+module Netlist = Sttc_netlist.Netlist
+module Query = Sttc_netlist.Query
+module Transform = Sttc_netlist.Transform
+module Rng = Sttc_util.Rng
+
+let pick_extra_inputs ~rng ~per_lut nl gates =
+  if per_lut < 0 then invalid_arg "Expand.pick_extra_inputs: per_lut";
+  let all = Array.init (Netlist.node_count nl) Fun.id in
+  (* A cycle can close through a chain of several added edges, so the
+     per-gate reachability test is not enough.  Sufficient condition: no
+     candidate is combinationally downstream of ANY selected gate — then
+     every added edge points "backwards or sideways" and no cycle can
+     involve the new edges. *)
+  let downstream = Hashtbl.create 256 in
+  List.iter
+    (fun gate ->
+      List.iter
+        (fun id -> Hashtbl.replace downstream id ())
+        (Query.fanout_cone nl gate))
+    gates;
+  let usable_kind id =
+    match Netlist.kind nl id with
+    | Netlist.Pi | Netlist.Dff | Netlist.Gate _ ->
+        (not (Netlist.is_combinational (Netlist.kind nl id)))
+        || not (Hashtbl.mem downstream id)
+    | Netlist.Const _ | Netlist.Lut _ -> false
+  in
+  List.filter_map
+    (fun gate ->
+      match Netlist.kind nl gate with
+      | Netlist.Gate fn ->
+          let arity = Sttc_logic.Gate_fn.arity fn in
+          let room = Sttc_logic.Truth.max_arity - arity in
+          let want = min per_lut room in
+          if want <= 0 then None
+          else begin
+            let existing = Array.to_list (Netlist.fanins nl gate) in
+            let chosen = ref [] in
+            let attempts = ref 0 in
+            while List.length !chosen < want && !attempts < 40 do
+              incr attempts;
+              let cand = Rng.pick rng all in
+              if
+                cand <> gate
+                && usable_kind cand
+                && (not (List.mem cand existing))
+                && not (List.mem cand !chosen)
+              then chosen := cand :: !chosen
+            done;
+            if !chosen = [] then None else Some (gate, List.rev !chosen)
+          end
+      | _ -> None)
+    gates
+
+let pick_absorptions nl gates =
+  let module Int_set = Set.Make (Int) in
+  let selected = Int_set.of_list gates in
+  List.filter_map
+    (fun gate ->
+      match Transform.absorbable_driver nl gate with
+      | Some driver when not (Int_set.mem driver selected) ->
+          Some (gate, driver)
+      | Some _ | None -> None)
+    gates

@@ -1,0 +1,26 @@
+(** Search-space expansion for missing gates (Section IV-A.3).
+
+    Two measures inflate the attacker's candidate space per LUT:
+    connecting {e unused inputs} to unrelated circuit signals (a k-input
+    LUT that might implement any function of any subset of its inputs),
+    and realizing {e complex multi-gate functions} in one LUT.  This
+    module picks the wirings; [Hybrid.make] applies them. *)
+
+val pick_extra_inputs :
+  rng:Sttc_util.Rng.t ->
+  per_lut:int ->
+  Sttc_netlist.Netlist.t ->
+  Sttc_netlist.Netlist.node_id list ->
+  (Sttc_netlist.Netlist.node_id * Sttc_netlist.Netlist.node_id list) list
+(** For each selected gate, up to [per_lut] extra signals that (a) are not
+    already fanins, (b) do not create combinational cycles, and (c) keep
+    the total arity within [Truth.max_arity].  Gates with no room get no
+    entry. *)
+
+val pick_absorptions :
+  Sttc_netlist.Netlist.t ->
+  Sttc_netlist.Netlist.node_id list ->
+  (Sttc_netlist.Netlist.node_id * Sttc_netlist.Netlist.node_id) list
+(** For each selected gate, a single-fanout driver gate that can be merged
+    into it ([Transform.absorbable_driver]); drivers that are themselves
+    selected are skipped (they will be LUTs of their own). *)

@@ -1,0 +1,81 @@
+module Netlist = Sttc_netlist.Netlist
+module Rng = Sttc_util.Rng
+
+type algorithm =
+  | Independent of { count : int }
+  | Dependent
+  | Parametric of Algorithms.parametric_options
+
+let algorithm_name = function
+  | Independent _ -> "independent"
+  | Dependent -> "dependent"
+  | Parametric _ -> "parametric"
+
+let default_algorithms =
+  [
+    Independent { count = 5 };
+    Dependent;
+    Parametric Algorithms.default_parametric;
+  ]
+
+type result = {
+  algorithm : algorithm;
+  hybrid : Hybrid.t;
+  security : Security.report;
+  overhead : Ppa.overhead;
+  selection_seconds : float;
+}
+
+type hardening = {
+  extra_inputs_per_lut : int;
+  absorb_drivers : bool;
+}
+
+let no_hardening = { extra_inputs_per_lut = 0; absorb_drivers = false }
+
+let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
+    ?(fraction = 0.02) ?(hardening = no_hardening) algorithm netlist =
+  if Netlist.gates netlist = [] then
+    invalid_arg "Flow.protect: netlist has no CMOS gates";
+  let rng = Rng.make (seed lxor Hashtbl.hash (algorithm_name algorithm)) in
+  let (hybrid, _), selection_seconds =
+    Sttc_util.Timing.time (fun () ->
+        let ctx = Select.prepare ~rng ~fraction library netlist in
+        let gates =
+          match algorithm with
+          | Independent { count } -> Algorithms.independent ~rng ~count ctx
+          | Dependent -> Algorithms.dependent ~rng ctx
+          | Parametric options -> Algorithms.parametric ~rng ~options ctx
+        in
+        let gates = if gates = [] then [ List.hd (Netlist.gates netlist) ] else gates in
+        let absorb =
+          if hardening.absorb_drivers then Expand.pick_absorptions netlist gates
+          else []
+        in
+        let extra_inputs =
+          if hardening.extra_inputs_per_lut > 0 then
+            Expand.pick_extra_inputs ~rng
+              ~per_lut:hardening.extra_inputs_per_lut netlist gates
+          else []
+        in
+        (Hybrid.make ~extra_inputs ~absorb netlist gates, ctx))
+  in
+  let security =
+    Security.evaluate (Hybrid.foundry_view hybrid) ~luts:(Hybrid.lut_ids hybrid)
+  in
+  let overhead =
+    Ppa.evaluate library ~base:netlist ~hybrid:(Hybrid.programmed hybrid)
+  in
+  { algorithm; hybrid; security; overhead; selection_seconds }
+
+let sign_off ?method_ result =
+  match Hybrid.verify ?method_ result.hybrid with
+  | Sttc_sim.Equiv.Equivalent -> true
+  | Sttc_sim.Equiv.Different _ | Sttc_sim.Equiv.Inconclusive _ -> false
+
+let pp_result fmt r =
+  Format.fprintf fmt "%s on %s:@\n  %a@\n  %a@\n  selection took %s"
+    (algorithm_name r.algorithm)
+    (Netlist.design_name (Hybrid.original r.hybrid))
+    Security.pp_report r.security Ppa.pp r.overhead
+    (Sttc_util.Timing.format_min_sec r.selection_seconds)

@@ -1,0 +1,56 @@
+(** The security-driven hybrid STT-CMOS design flow of Figure 2.
+
+    Input: a synthesized gate-level netlist, the technology library, and a
+    security requirement (which selection algorithm, with what
+    parameters).  Output: the hybrid design plus the security and PPA
+    reports, ready for physical design — with an optional sign-off
+    equivalence check of the programmed view. *)
+
+type algorithm =
+  | Independent of { count : int }  (** paper: 5 *)
+  | Dependent
+  | Parametric of Algorithms.parametric_options
+
+val algorithm_name : algorithm -> string
+(** "independent" / "dependent" / "parametric". *)
+
+type hardening = {
+  extra_inputs_per_lut : int;
+      (** connect up to this many unused (logically ignored) inputs per
+          LUT to unrelated signals — Section IV-A.3's search-space
+          expansion (default 0) *)
+  absorb_drivers : bool;
+      (** merge a single-fanout driver gate into each selected LUT so the
+          slot realizes a complex multi-gate function (default false) *)
+}
+
+val no_hardening : hardening
+
+val default_algorithms : algorithm list
+(** The three configurations used across the paper's experiments. *)
+
+type result = {
+  algorithm : algorithm;
+  hybrid : Hybrid.t;
+  security : Security.report;
+  overhead : Ppa.overhead;
+  selection_seconds : float;
+      (** wall-clock of selection + replacement only (Table II metric) *)
+}
+
+val protect :
+  ?seed:int ->
+  ?library:Sttc_tech.Library.t ->
+  ?fraction:float ->
+  ?hardening:hardening ->
+  algorithm ->
+  Sttc_netlist.Netlist.t ->
+  result
+(** Runs the full selection-and-replacement stage and the evaluation
+    around it.  Deterministic for a fixed seed.  Raises [Invalid_argument]
+    when the netlist has no replaceable gate. *)
+
+val sign_off : ?method_:[ `Random of int | `Sat | `Bdd ] -> result -> bool
+(** Programmed hybrid equivalent to the original? *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,45 @@
+module Sta = Sttc_analysis.Sta
+module Power = Sttc_analysis.Power
+module Area = Sttc_analysis.Area
+module Netlist = Sttc_netlist.Netlist
+
+type overhead = {
+  performance_pct : float;
+  power_pct : float;
+  area_pct : float;
+  n_stts : int;
+  base_delay_ps : float;
+  hybrid_delay_ps : float;
+  base_power_uw : float;
+  hybrid_power_uw : float;
+  base_area_um2 : float;
+  hybrid_area_um2 : float;
+}
+
+let evaluate lib ~base ~hybrid =
+  let sta_b = Sta.analyze lib base and sta_h = Sta.analyze lib hybrid in
+  let pow_b = Power.estimate lib base and pow_h = Power.estimate lib hybrid in
+  let area_b = Area.estimate lib base and area_h = Area.estimate lib hybrid in
+  let rel = Sttc_util.Stats.relative_overhead in
+  {
+    performance_pct =
+      rel ~base:(Sta.critical_delay_ps sta_b)
+        ~modified:(Sta.critical_delay_ps sta_h);
+    power_pct = rel ~base:pow_b.Power.total_uw ~modified:pow_h.Power.total_uw;
+    area_pct = rel ~base:area_b.Area.total_um2 ~modified:area_h.Area.total_um2;
+    n_stts = List.length (Netlist.luts hybrid);
+    base_delay_ps = Sta.critical_delay_ps sta_b;
+    hybrid_delay_ps = Sta.critical_delay_ps sta_h;
+    base_power_uw = pow_b.Power.total_uw;
+    hybrid_power_uw = pow_h.Power.total_uw;
+    base_area_um2 = area_b.Area.total_um2;
+    hybrid_area_um2 = area_h.Area.total_um2;
+  }
+
+let pp fmt o =
+  Format.fprintf fmt
+    "overhead: perf %.2f%% (%.0f -> %.0f ps), power %.2f%% (%.1f -> %.1f uW), \
+     area %.2f%% (%.0f -> %.0f um2), %d STT LUTs"
+    o.performance_pct o.base_delay_ps o.hybrid_delay_ps o.power_pct
+    o.base_power_uw o.hybrid_power_uw o.area_pct o.base_area_um2
+    o.hybrid_area_um2 o.n_stts

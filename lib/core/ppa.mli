@@ -1,0 +1,27 @@
+(** Performance / power / area overhead of a hybrid versus its original —
+    the three metric groups of Table I. *)
+
+type overhead = {
+  performance_pct : float;
+      (** relative increase of the critical (longest endpoint) delay *)
+  power_pct : float;  (** relative increase of total power *)
+  area_pct : float;  (** relative increase of total cell area *)
+  n_stts : int;  (** number of inserted STT LUTs *)
+  base_delay_ps : float;
+  hybrid_delay_ps : float;
+  base_power_uw : float;
+  hybrid_power_uw : float;
+  base_area_um2 : float;
+  hybrid_area_um2 : float;
+}
+
+val evaluate :
+  Sttc_tech.Library.t ->
+  base:Sttc_netlist.Netlist.t ->
+  hybrid:Sttc_netlist.Netlist.t ->
+  overhead
+(** [hybrid] should be the programmed view so the power model sees real
+    signal activities (the foundry view works too: unknown LUTs default to
+    activity 0.5, and STT LUT power is activity-independent anyway). *)
+
+val pp : Format.formatter -> overhead -> unit

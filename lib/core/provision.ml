@@ -1,0 +1,86 @@
+module Netlist = Sttc_netlist.Netlist
+module Truth = Sttc_logic.Truth
+
+type entry = {
+  lut_name : string;
+  config : Truth.t;
+}
+
+let of_hybrid hybrid =
+  let nl = Hybrid.foundry_view hybrid in
+  List.map
+    (fun (id, config) -> { lut_name = Netlist.name nl id; config })
+    (Hybrid.bitstream hybrid)
+
+let to_string entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# sttc bitstream v1: <lut-name> <rows, row 0 first>\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf e.lut_name;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Truth.to_string e.config);
+      Buffer.add_char buf '\n')
+    entries;
+  Buffer.contents buf
+
+let parse text =
+  let entries = ref [] in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ name; rows ] -> (
+            match Truth.of_string rows with
+            | config -> entries := { lut_name = name; config } :: !entries
+            | exception Invalid_argument m ->
+                failwith (Printf.sprintf "bitstream:%d: %s" (i + 1) m))
+        | _ -> failwith (Printf.sprintf "bitstream:%d: expected 'name rows'" (i + 1)))
+    (String.split_on_char '\n' text);
+  List.rev !entries
+
+let apply nl entries =
+  let configs =
+    List.map
+      (fun e ->
+        match Netlist.find nl e.lut_name with
+        | None -> invalid_arg ("Provision.apply: no node named " ^ e.lut_name)
+        | Some id -> (id, e.config))
+      entries
+  in
+  let programmed = Sttc_netlist.Transform.program_luts nl configs in
+  Netlist.iter
+    (fun _id node ->
+      match node.Netlist.kind with
+      | Netlist.Lut { config = None; _ } ->
+          invalid_arg
+            ("Provision.apply: LUT " ^ node.Netlist.name
+           ^ " left unconfigured")
+      | _ -> ())
+    programmed;
+  programmed
+
+type cost = {
+  mtj_cells : int;
+  write_energy_nj : float;
+  write_time_us : float;
+  verify_cycles : int;
+}
+
+let programming_cost hybrid =
+  let cells = Hybrid.bitstream_bits hybrid in
+  {
+    mtj_cells = cells;
+    write_energy_nj =
+      float_of_int cells *. Sttc_tech.Stt_lib.write_energy_fj /. 1e6;
+    write_time_us =
+      float_of_int cells *. Sttc_tech.Stt_lib.write_time_ns /. 1e3;
+    verify_cycles = cells;
+  }
+
+let pp_cost fmt c =
+  Format.fprintf fmt
+    "programming: %d MTJ cells, %.3f nJ write energy, %.2f us serial write \
+     time, %d verify cycles"
+    c.mtj_cells c.write_energy_nj c.write_time_us c.verify_cycles

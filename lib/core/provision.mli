@@ -1,0 +1,44 @@
+(** Post-fabrication configuration — the step that closes the paper's
+    threat model: the foundry ships unconfigured parts, the design house
+    (or an authorized vendor) programs the STT LUTs and only then does the
+    chip compute anything useful.
+
+    This module handles the bitstream as an artefact: a stable text
+    serialization keyed by LUT instance names (robust against node
+    renumbering across file round-trips), and the programming-cost model
+    derived from the technology constants (MTJ writes are the expensive
+    operation of the technology, but happen once per part). *)
+
+type entry = {
+  lut_name : string;
+  config : Sttc_logic.Truth.t;
+}
+
+val of_hybrid : Hybrid.t -> entry list
+(** Name-keyed form of the secret bitstream, in LUT id order. *)
+
+val to_string : entry list -> string
+(** One line per LUT: [name rows], e.g. ["u42 0110"], preceded by a
+    comment header. *)
+
+val parse : string -> entry list
+(** Inverse of {!to_string}.  Raises [Failure] with a line number on
+    malformed input. *)
+
+val apply :
+  Sttc_netlist.Netlist.t -> entry list -> Sttc_netlist.Netlist.t
+(** Program a foundry-view netlist (matching LUTs by name).  Raises
+    [Invalid_argument] when a named LUT is missing, is not a LUT, has the
+    wrong arity, or when unconfigured LUTs remain afterwards. *)
+
+type cost = {
+  mtj_cells : int;  (** total configuration bits written *)
+  write_energy_nj : float;
+  write_time_us : float;
+      (** serial programming, one cell at a time — worst case *)
+  verify_cycles : int;
+      (** read-back cycles to confirm the configuration *)
+}
+
+val programming_cost : Hybrid.t -> cost
+val pp_cost : Format.formatter -> cost -> unit

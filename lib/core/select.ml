@@ -1,0 +1,47 @@
+module Netlist = Sttc_netlist.Netlist
+module Paths = Sttc_analysis.Paths
+module Sta = Sttc_analysis.Sta
+
+type context = {
+  netlist : Netlist.t;
+  library : Sttc_tech.Library.t;
+  sta : Sta.t;
+  paths : Paths.io_path list;
+}
+
+let prepare ~rng ?(fraction = 0.02) ?(min_ffs = 2) library netlist =
+  let sta = Sta.analyze library netlist in
+  let critical = Sta.critical_path sta in
+  let paths =
+    Paths.sample ~rng ~fraction ~min_ffs ~exclude_critical:critical netlist
+  in
+  { netlist; library; sta; paths }
+
+let replaceable ctx path =
+  List.filter
+    (fun id ->
+      match Netlist.kind ctx.netlist id with
+      | Netlist.Gate _ -> true
+      | _ -> false)
+    path.Paths.nodes
+
+let pool ctx =
+  let seen = Hashtbl.create 64 in
+  List.concat_map (fun p -> replaceable ctx p) ctx.paths
+  |> List.filter (fun id ->
+         if Hashtbl.mem seen id then false
+         else begin
+           Hashtbl.add seen id ();
+           true
+         end)
+
+let timing_ok ctx ~clock_ps gates =
+  match gates with
+  | [] -> Sta.critical_delay_ps ctx.sta <= clock_ps
+  | _ ->
+      let trial =
+        Sttc_netlist.Transform.replace_many ~keep_function:true ctx.netlist
+          gates
+      in
+      let sta = Sta.analyze ctx.library trial in
+      Sta.critical_delay_ps sta <= clock_ps

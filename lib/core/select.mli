@@ -1,0 +1,34 @@
+(** Shared machinery of the three selection algorithms (Section IV-A).
+
+    All three start from the same sampled pool of longest non-critical I/O
+    paths; they differ in which gates they take from it. *)
+
+type context = {
+  netlist : Sttc_netlist.Netlist.t;
+  library : Sttc_tech.Library.t;
+  sta : Sttc_analysis.Sta.t;  (** timing of the unmodified netlist *)
+  paths : Sttc_analysis.Paths.io_path list;  (** deepest first *)
+}
+
+val prepare :
+  rng:Sttc_util.Rng.t ->
+  ?fraction:float ->
+  ?min_ffs:int ->
+  Sttc_tech.Library.t ->
+  Sttc_netlist.Netlist.t ->
+  context
+(** Runs baseline STA, samples I/O paths (paper defaults: 2 % of
+    components, at least two flip-flops), excludes paths containing the
+    critical path, sorts deepest first. *)
+
+val replaceable : context -> Sttc_analysis.Paths.io_path -> Sttc_netlist.Netlist.node_id list
+(** CMOS gates of a path (LUTs and sequential nodes excluded). *)
+
+val pool : context -> Sttc_netlist.Netlist.node_id list
+(** Union of replaceable gates across all sampled paths, deduplicated,
+    in path order. *)
+
+val timing_ok :
+  context -> clock_ps:float -> Sttc_netlist.Netlist.node_id list -> bool
+(** Would replacing the given gates keep the critical delay within
+    [clock_ps]?  Evaluated by STA on a trial replacement. *)

@@ -1,0 +1,362 @@
+module Flow = Sttc_core.Flow
+module Report = Sttc_core.Report
+module Profiles = Sttc_netlist.Iscas_profiles
+
+let master_seed = 20160605 (* DAC'16 *)
+
+let benchmark_rows ?(quick = false) ?(seed = master_seed)
+    ?(progress = fun _ -> ()) () =
+  let infos =
+    if quick then
+      List.filter (fun i -> i.Profiles.n_gates <= 1000) Profiles.all
+    else Profiles.all
+  in
+  List.map
+    (fun info ->
+      let nl = Profiles.build info in
+      let results =
+        List.map
+          (fun alg ->
+            let r = Flow.protect ~seed alg nl in
+            (Flow.algorithm_name alg, r))
+          Flow.default_algorithms
+      in
+      progress
+        (Printf.sprintf "protected %s (%d gates)" info.Profiles.name
+           info.Profiles.n_gates);
+      { Report.circuit = info.Profiles.name; size = info.Profiles.n_gates; results })
+    infos
+
+let fig1 () = Report.fig1 ()
+let table1 rows = Report.table1 rows
+let table2 rows = Report.table2 rows
+let fig3 rows = Report.fig3 rows
+
+let attack_campaign ?(seed = master_seed) ?(sat_timeout_s = 15.) () =
+  let spec =
+    {
+      Sttc_netlist.Generator.design_name = "atk80";
+      n_pi = 10;
+      n_po = 8;
+      n_ff = 6;
+      n_gates = 80;
+      levels = 7;
+    }
+  in
+  let nl = Sttc_netlist.Generator.generate ~seed:11 spec in
+  let campaigns =
+    List.map
+      (fun alg ->
+        let r = Flow.protect ~seed alg nl in
+        Sttc_attack.Harness.run ~sat_timeout_s ~tt_budget:3000 ~guess_rounds:6
+          ~circuit:spec.Sttc_netlist.Generator.design_name
+          ~algorithm:(Flow.algorithm_name alg) r.Flow.hybrid)
+      Flow.default_algorithms
+  in
+  Sttc_attack.Harness.to_table campaigns
+
+let sidechannel ?(seed = master_seed) () =
+  let lib = Sttc_tech.Library.cmos90 in
+  let spec =
+    {
+      Sttc_netlist.Generator.design_name = "dpa120";
+      n_pi = 12;
+      n_po = 10;
+      n_ff = 8;
+      n_gates = 120;
+      levels = 8;
+    }
+  in
+  let nl = Sttc_netlist.Generator.generate ~seed:21 spec in
+  let t =
+    Sttc_util.Table.create
+      ~headers:
+        [
+          ("Algorithm", Sttc_util.Table.Left);
+          ("Target signal", Sttc_util.Table.Left);
+          ("DoM/mean CMOS", Sttc_util.Table.Right);
+          ("DoM/mean hybrid", Sttc_util.Table.Right);
+          ("Leakage reduction", Sttc_util.Table.Right);
+        ]
+  in
+  List.iter
+    (fun alg ->
+      let r = Flow.protect ~seed alg nl in
+      let hybrid = Sttc_core.Hybrid.programmed r.Flow.hybrid in
+      (* target the first replaced gate's signal: the value the defence
+         hides inside an STT LUT *)
+      let target =
+        Sttc_netlist.Netlist.name hybrid
+          (List.hd (Sttc_core.Hybrid.lut_ids r.Flow.hybrid))
+      in
+      let orig = Sttc_attack.Dpa.measure lib nl ~target in
+      let hyb = Sttc_attack.Dpa.measure lib hybrid ~target in
+      let reduction =
+        Sttc_attack.Dpa.leakage_reduction lib ~original:nl ~hybrid ~target
+      in
+      Sttc_util.Table.add_row t
+        [
+          Flow.algorithm_name alg;
+          target;
+          Printf.sprintf "%.4f" orig.Sttc_attack.Dpa.dom_relative;
+          Printf.sprintf "%.4f" hyb.Sttc_attack.Dpa.dom_relative;
+          (if reduction = infinity then "inf"
+           else Printf.sprintf "%.2fx" reduction);
+        ])
+    Flow.default_algorithms;
+  Sttc_util.Table.render t
+
+let ablation_parametric ?(seed = master_seed) () =
+  let nl = Profiles.build_by_name "s1196" in
+  let t =
+    Sttc_util.Table.create
+      ~headers:
+        [
+          ("Clock factor", Sttc_util.Table.Right);
+          ("#STT LUTs", Sttc_util.Table.Right);
+          ("Perf %", Sttc_util.Table.Right);
+          ("Power %", Sttc_util.Table.Right);
+          ("N_dep", Sttc_util.Table.Right);
+        ]
+  in
+  List.iter
+    (fun factor ->
+      let options =
+        {
+          Sttc_core.Algorithms.default_parametric with
+          Sttc_core.Algorithms.clock_factor = factor;
+        }
+      in
+      let r = Flow.protect ~seed (Flow.Parametric options) nl in
+      Sttc_util.Table.add_row t
+        [
+          Printf.sprintf "%.2f" factor;
+          string_of_int r.Flow.overhead.Sttc_core.Ppa.n_stts;
+          Printf.sprintf "%.2f" r.Flow.overhead.Sttc_core.Ppa.performance_pct;
+          Printf.sprintf "%.2f" r.Flow.overhead.Sttc_core.Ppa.power_pct;
+          Sttc_util.Lognum.to_string r.Flow.security.Sttc_core.Security.n_dep;
+        ])
+    [ 1.02; 1.05; 1.08; 1.15; 1.30 ];
+  Sttc_util.Table.render t
+
+let ablation_hardening ?(seed = master_seed) () =
+  let spec =
+    {
+      Sttc_netlist.Generator.design_name = "hard100";
+      n_pi = 10;
+      n_po = 8;
+      n_ff = 6;
+      n_gates = 100;
+      levels = 7;
+    }
+  in
+  let nl = Sttc_netlist.Generator.generate ~seed:31 spec in
+  let t =
+    Sttc_util.Table.create
+      ~headers:
+        [
+          ("Hardening", Sttc_util.Table.Left);
+          ("Config bits", Sttc_util.Table.Right);
+          ("I", Sttc_util.Table.Right);
+          ("N_bf", Sttc_util.Table.Right);
+          ("Hill-climb agreement", Sttc_util.Table.Right);
+          ("Power %", Sttc_util.Table.Right);
+        ]
+  in
+  let variants =
+    [
+      ("plain", Flow.no_hardening);
+      ("+2 dummy inputs", { Flow.extra_inputs_per_lut = 2; absorb_drivers = false });
+      ("+absorb drivers", { Flow.extra_inputs_per_lut = 0; absorb_drivers = true });
+      ("both", { Flow.extra_inputs_per_lut = 2; absorb_drivers = true });
+    ]
+  in
+  List.iter
+    (fun (label, hardening) ->
+      let r =
+        Flow.protect ~seed ~hardening (Flow.Independent { count = 5 }) nl
+      in
+      let g = Sttc_attack.Guess_attack.run ~rounds:5 r.Flow.hybrid in
+      Sttc_util.Table.add_row t
+        [
+          label;
+          string_of_int r.Flow.security.Sttc_core.Security.total_config_bits;
+          string_of_int r.Flow.security.Sttc_core.Security.accessible_inputs;
+          Sttc_util.Lognum.to_string r.Flow.security.Sttc_core.Security.n_bf;
+          Printf.sprintf "%.1f%%" (100. *. g.Sttc_attack.Guess_attack.agreement);
+          Printf.sprintf "%.2f" r.Flow.overhead.Sttc_core.Ppa.power_pct;
+        ])
+    variants;
+  Sttc_util.Table.render t
+
+let baselines ?(seed = master_seed) () =
+  let buf = Buffer.create 2048 in
+  (* ---- camouflaging vs STT LUTs: security ---- *)
+  let spec =
+    {
+      Sttc_netlist.Generator.design_name = "base120";
+      n_pi = 10;
+      n_po = 8;
+      n_ff = 6;
+      n_gates = 120;
+      levels = 8;
+    }
+  in
+  let nl = Sttc_netlist.Generator.generate ~seed:41 spec in
+  let rng = Sttc_util.Rng.make seed in
+  let camo = Sttc_core.Camouflage.random ~rng ~count:5 nl in
+  let m = Sttc_core.Camouflage.cell_count camo in
+  (* STT hybrid with the same gates hidden, but as full LUTs *)
+  let stt_hybrid = Sttc_core.Camouflage.hybrid camo in
+  let t =
+    Sttc_util.Table.create
+      ~headers:
+        [
+          ("Defence", Sttc_util.Table.Left);
+          ("Hidden cells", Sttc_util.Table.Right);
+          ("Search space", Sttc_util.Table.Right);
+          ("SAT attack", Sttc_util.Table.Left);
+          ("Iterations", Sttc_util.Table.Right);
+          ("Time (s)", Sttc_util.Table.Right);
+        ]
+  in
+  let describe label ~candidates hybrid space =
+    match Sttc_attack.Sat_attack.run ~timeout_s:20. ?candidates hybrid with
+    | Sttc_attack.Sat_attack.Broken b ->
+        Sttc_util.Table.add_row t
+          [
+            label;
+            string_of_int m;
+            Sttc_util.Lognum.to_string space;
+            "RECOVERED";
+            string_of_int b.iterations;
+            Printf.sprintf "%.2f" b.seconds;
+          ]
+    | Sttc_attack.Sat_attack.Exhausted e ->
+        Sttc_util.Table.add_row t
+          [
+            label;
+            string_of_int m;
+            Sttc_util.Lognum.to_string space;
+            "resisted (" ^ e.reason ^ ")";
+            string_of_int e.iterations;
+            Printf.sprintf "%.2f" e.seconds;
+          ]
+  in
+  describe "camouflaging [12]"
+    ~candidates:(Some (Sttc_core.Camouflage.sat_candidates camo))
+    stt_hybrid
+    (Sttc_core.Camouflage.search_space camo);
+  describe "STT LUTs (this paper)" ~candidates:None stt_hybrid
+    (Sttc_util.Lognum.pow (Sttc_util.Lognum.of_int 2)
+       (Sttc_core.Hybrid.bitstream_bits stt_hybrid));
+  Buffer.add_string buf "Camouflaging vs reconfigurable STT LUTs (same hidden cells):\n";
+  Buffer.add_string buf (Sttc_util.Table.render t);
+  (* ---- SRAM vs STT LUTs: PPA of the same hybrid ---- *)
+  let hybrid_nl = Sttc_core.Hybrid.programmed stt_hybrid in
+  let t2 =
+    Sttc_util.Table.create
+      ~headers:
+        [
+          ("LUT technology", Sttc_util.Table.Left);
+          ("Perf %", Sttc_util.Table.Right);
+          ("Power %", Sttc_util.Table.Right);
+          ("Area %", Sttc_util.Table.Right);
+          ("Volatile", Sttc_util.Table.Left);
+          ("Bitstream exposed", Sttc_util.Table.Left);
+        ]
+  in
+  List.iter
+    (fun (label, style, volatile, exposed) ->
+      let lib =
+        Sttc_tech.Library.with_lut_style Sttc_tech.Library.cmos90 style
+      in
+      let o = Sttc_core.Ppa.evaluate lib ~base:nl ~hybrid:hybrid_nl in
+      Sttc_util.Table.add_row t2
+        [
+          label;
+          Printf.sprintf "%.2f" o.Sttc_core.Ppa.performance_pct;
+          Printf.sprintf "%.2f" o.Sttc_core.Ppa.power_pct;
+          Printf.sprintf "%.2f" o.Sttc_core.Ppa.area_pct;
+          volatile;
+          exposed;
+        ])
+    [
+      ("STT (non-volatile)", Sttc_tech.Library.Stt, "no", "never leaves the die");
+      ( "SRAM [8]",
+        Sttc_tech.Library.Sram,
+        "yes",
+        "readable from external NVM at every power-up" );
+    ];
+  Buffer.add_string buf
+    "\nSRAM-based LUTs [8] vs STT LUTs (same hybrid netlist):\n";
+  Buffer.add_string buf (Sttc_util.Table.render t2);
+  Buffer.contents buf
+
+let ablation_constants ?(seed = master_seed) () =
+  let t =
+    Sttc_util.Table.create
+      ~headers:
+        [
+          ("Circuit", Sttc_util.Table.Left);
+          ("N_dep (paper constants)", Sttc_util.Table.Right);
+          ("N_dep (computed)", Sttc_util.Table.Right);
+          ("log10 gap", Sttc_util.Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      let nl = Profiles.build_by_name name in
+      let r = Flow.protect ~seed Flow.Dependent nl in
+      let foundry = Sttc_core.Hybrid.foundry_view r.Flow.hybrid in
+      let luts = Sttc_core.Hybrid.lut_ids r.Flow.hybrid in
+      let rp =
+        Sttc_core.Security.evaluate
+          ~constants:Sttc_core.Security.paper_constants foundry ~luts
+      in
+      let rc =
+        Sttc_core.Security.evaluate
+          ~constants:Sttc_core.Security.computed_constants foundry ~luts
+      in
+      let lp = Sttc_util.Lognum.log10 rp.Sttc_core.Security.n_dep in
+      let lc = Sttc_util.Lognum.log10 rc.Sttc_core.Security.n_dep in
+      Sttc_util.Table.add_row t
+        [
+          name;
+          Sttc_util.Lognum.to_string rp.Sttc_core.Security.n_dep;
+          Sttc_util.Lognum.to_string rc.Sttc_core.Security.n_dep;
+          Printf.sprintf "%.1f" (lc -. lp);
+        ])
+    [ "s641"; "s953"; "s1238" ];
+  Sttc_util.Table.render t
+
+let sweep ?(seed = master_seed) nl ~counts =
+  let t =
+    Sttc_util.Table.create
+      ~headers:
+        [
+          ("#STT LUTs", Sttc_util.Table.Right);
+          ("Perf %", Sttc_util.Table.Right);
+          ("Power %", Sttc_util.Table.Right);
+          ("Area %", Sttc_util.Table.Right);
+          ("N_indep", Sttc_util.Table.Right);
+          ("N_dep", Sttc_util.Table.Right);
+          ("N_bf", Sttc_util.Table.Right);
+        ]
+  in
+  List.iter
+    (fun count ->
+      let r = Flow.protect ~seed (Flow.Independent { count }) nl in
+      let o = r.Flow.overhead and s = r.Flow.security in
+      Sttc_util.Table.add_row t
+        [
+          string_of_int o.Sttc_core.Ppa.n_stts;
+          Printf.sprintf "%.2f" o.Sttc_core.Ppa.performance_pct;
+          Printf.sprintf "%.2f" o.Sttc_core.Ppa.power_pct;
+          Printf.sprintf "%.2f" o.Sttc_core.Ppa.area_pct;
+          Sttc_util.Lognum.to_string s.Sttc_core.Security.n_indep;
+          Sttc_util.Lognum.to_string s.Sttc_core.Security.n_dep;
+          Sttc_util.Lognum.to_string s.Sttc_core.Security.n_bf;
+        ])
+    counts;
+  Sttc_util.Table.render t

@@ -1,0 +1,69 @@
+(** Experiment driver shared by the benchmark harness and the CLI.
+
+    One call protects every ISCAS'89 structural twin with the paper's
+    three algorithms under a fixed master seed; the resulting rows feed
+    the Table I / Table II / Fig. 3 renderers.  The attack campaign runs
+    the empirical attacks on a small circuit where they terminate. *)
+
+val master_seed : int
+(** 20160605 — fixed so published output is reproducible. *)
+
+val benchmark_rows :
+  ?quick:bool ->
+  ?seed:int ->
+  ?progress:(string -> unit) ->
+  unit ->
+  Sttc_core.Report.benchmark_row list
+(** [quick] restricts to the sub-1000-gate benchmarks (default false).
+    [progress] receives a line per benchmark as it completes. *)
+
+val fig1 : unit -> string
+val table1 : Sttc_core.Report.benchmark_row list -> string
+val table2 : Sttc_core.Report.benchmark_row list -> string
+val fig3 : Sttc_core.Report.benchmark_row list -> string
+
+val attack_campaign :
+  ?seed:int -> ?sat_timeout_s:float -> unit -> string
+(** Protect an 80-gate circuit three ways and run the SAT / truth-table /
+    hill-climb / brute-force attacks against each. *)
+
+val sweep :
+  ?seed:int ->
+  Sttc_netlist.Netlist.t ->
+  counts:int list ->
+  string
+(** Security-vs-overhead frontier: independent selection at increasing
+    LUT budgets on one circuit (used by the ppa_sweep example). *)
+
+val sidechannel : ?seed:int -> unit -> string
+(** DPA leakage (difference-of-means relative to mean power) of an
+    original circuit versus its three hybrids, targeting each replaced
+    gate's signal — the side-channel robustness claim of Section II made
+    measurable. *)
+
+val ablation_parametric : ?seed:int -> unit -> string
+(** Sweep of the parametric algorithm's timing-constraint factor on
+    s1196: inserted LUTs, measured degradation and attack cost per
+    allowed slack. *)
+
+val ablation_hardening : ?seed:int -> unit -> string
+(** Effect of the Section IV-A.3 hardening measures (dummy extra LUT
+    inputs, complex-function absorption) on the brute-force space and the
+    hill-climbing attack. *)
+
+val baselines : ?seed:int -> unit -> string
+(** The paper's two comparison points made runnable (Section II and
+    IV-A.3):
+    - {e camouflaging} [12]: same number of hidden cells, but the attacker
+      knows each cell is one of only three functions — search spaces and
+      SAT-attack effort side by side;
+    - {e SRAM-based LUTs} [8]: the same hybrid netlist priced with SRAM
+      LUT cells — PPA comparison plus the volatility problem (the
+      bitstream is exposed on every power-up, so its effective search
+      space is 1). *)
+
+val ablation_constants : ?seed:int -> unit -> string
+(** Eq. (2) attack cost under the paper's published alpha/P constants
+    versus the constants computed from the meaningful-gate similarity
+    metric in this repo — the sensitivity of Fig. 3 to that modelling
+    choice. *)

@@ -1,0 +1,62 @@
+let write oc cnf =
+  Printf.fprintf oc "p cnf %d %d\n" (Cnf.nvars cnf) (Cnf.nclauses cnf);
+  Cnf.iter_clauses
+    (fun c ->
+      Array.iter (fun l -> Printf.fprintf oc "%d " l) c;
+      output_string oc "0\n")
+    cnf
+
+let to_string cnf =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" (Cnf.nvars cnf) (Cnf.nclauses cnf));
+  Cnf.iter_clauses
+    (fun c ->
+      Array.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    cnf;
+  Buffer.contents buf
+
+let parse_string s =
+  let cnf = Cnf.create () in
+  let lines = String.split_on_char '\n' s in
+  let lineno = ref 0 in
+  let pending = ref [] in
+  let fail msg = failwith (Printf.sprintf "dimacs:%d: %s" !lineno msg) in
+  List.iter
+    (fun line ->
+      incr lineno;
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; _nc ] -> (
+            match int_of_string_opt nv with
+            | Some n when n >= 0 -> Cnf.reserve cnf n
+            | _ -> fail "bad variable count")
+        | _ -> fail "bad problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> fail ("bad literal " ^ tok)
+               | Some 0 ->
+                   Cnf.add_clause cnf (List.rev !pending);
+                   pending := []
+               | Some l ->
+                   Cnf.reserve cnf (abs l);
+                   pending := l :: !pending))
+    lines;
+  if !pending <> [] then failwith "dimacs: clause not terminated by 0";
+  cnf
+
+let read ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  parse_string (Buffer.contents buf)

@@ -1,0 +1,11 @@
+(** DIMACS CNF reader and writer, for interoperability with external SAT
+    tooling and for golden tests of the built-in solver. *)
+
+val write : out_channel -> Cnf.t -> unit
+
+val to_string : Cnf.t -> string
+
+val parse_string : string -> Cnf.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val read : in_channel -> Cnf.t

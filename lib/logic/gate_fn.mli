@@ -1,0 +1,78 @@
+(** Gate functions of the standard-cell netlists (ISCAS'89 vocabulary) and
+    the security metrics the paper derives from them.
+
+    Section IV-A quantifies attack effort through two per-gate constants:
+
+    - [alpha], the average number of test patterns needed to determine an
+      independent missing gate, derived from the pairwise output
+      "similarity" of candidate gates (paper: 2.45 / 4.2 / 7.4 for
+      2-/3-/4-input gates);
+    - [p], the number of plausible candidate gates per missing gate
+      (paper: 2.5 for 2-input).
+
+    This module provides both the paper's published constants (used to
+    regenerate Fig. 3 faithfully) and the metric computed from first
+    principles on the meaningful-gate sets. *)
+
+type t =
+  | Buf
+  | Not
+  | And of int
+  | Nand of int
+  | Or of int
+  | Nor of int
+  | Xor of int
+  | Xnor of int
+      (** Arity of the multi-input constructors must be >= 2. *)
+
+val arity : t -> int
+
+val validate : t -> unit
+(** Raises [Invalid_argument] for arities outside [2, Truth.max_arity] on
+    multi-input gates. *)
+
+val eval : t -> bool array -> bool
+val truth : t -> Truth.t
+
+val name : t -> string
+(** ISCAS'89 [.bench] keyword, e.g. [And 3 -> "AND"]. *)
+
+val to_string : t -> string
+(** Human-readable with arity, e.g. ["NAND4"]. *)
+
+val of_bench_name : string -> arity:int -> t option
+(** Parse a [.bench] keyword (["AND"], ["NOT"], ["BUFF"], ...); [None] for
+    unknown keywords (e.g. ["DFF"], which is not a combinational gate). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val all_of_arity : int -> t list
+(** The "meaningful" gate set of a given arity, as counted by the paper:
+    for arity 2 the six gates AND, NAND, OR, NOR, XOR, XNOR; for arity 1
+    [Buf; Not]. *)
+
+val similarity : t -> t -> int
+(** Rows of agreement of the two gates' truth tables (paper Section IV-A:
+    AND2/NOR2 -> 2, AND2/NAND2 -> 0).  Raises [Invalid_argument] when
+    arities differ. *)
+
+val average_similarity : int -> float
+(** Mean pairwise similarity over the meaningful set of the arity. *)
+
+val computed_alpha : int -> float
+(** [average_similarity n + 1.]: expected patterns to single a gate out. *)
+
+val paper_alpha : int -> float
+(** The constants published in the paper: 2.45, 4.2, 7.4 for arities
+    2, 3, 4.  Arity 1 falls back to 1.5; arities above 4 extrapolate by the
+    paper's growth ratio.  Used for the Fig. 3 reproduction. *)
+
+val paper_p : int -> float
+(** Candidate-gate count per missing gate: 2.5 for 2-input (paper);
+    we use the meaningful-set sizes scaled by the same ratio for 3-/4-input
+    (6, 12, 13 candidates -> 2.5, 5.0, 5.4). *)
+
+val candidate_count : int -> int
+(** Size of {!all_of_arity}. *)

@@ -1,0 +1,413 @@
+(* CDCL with two-watched literals.  Literal encoding internally:
+   lit l (nonzero int) -> index [2*v] for positive, [2*v+1] for negative,
+   where v = abs l.  Variable indices are 1-based as in Cnf. *)
+
+type result =
+  | Sat of bool array
+  | Unsat
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  learned : int;
+  restarts : int;
+}
+
+let empty_stats =
+  { decisions = 0; propagations = 0; conflicts = 0; learned = 0; restarts = 0 }
+
+let stats_ref = ref empty_stats
+let last_stats () = !stats_ref
+
+type value = Vfree | Vtrue | Vfalse
+
+type solver = {
+  nvars : int;
+  mutable clauses : int array array; (* clause store; learned appended *)
+  mutable nclauses : int;
+  watches : int list array; (* watch lists indexed by literal index *)
+  assign : value array; (* by variable *)
+  level : int array; (* by variable *)
+  reason : int array; (* clause index or -1; by variable *)
+  trail : int array; (* literal indices in assignment order *)
+  mutable trail_len : int;
+  trail_lim : int array; (* trail length at each decision level *)
+  mutable dlevel : int;
+  mutable qhead : int;
+  activity : float array; (* by variable *)
+  mutable var_inc : float;
+  phase : bool array; (* saved phase by variable *)
+  seen : bool array; (* scratch for conflict analysis *)
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable learned_count : int;
+  mutable restarts : int;
+}
+
+let lit_index l = if l > 0 then 2 * l else (2 * -l) + 1
+let index_var i = i / 2
+let index_neg i = i lxor 1
+let index_sign i = i land 1 = 0 (* true when positive literal *)
+
+let lit_of_index i = if index_sign i then index_var i else -index_var i
+
+let value_of s i =
+  (* value of the literal with index i *)
+  match s.assign.(index_var i) with
+  | Vfree -> Vfree
+  | Vtrue -> if index_sign i then Vtrue else Vfalse
+  | Vfalse -> if index_sign i then Vfalse else Vtrue
+
+let create cnf =
+  let nvars = Cnf.nvars cnf in
+  let s =
+    {
+      nvars;
+      clauses = Array.make 16 [||];
+      nclauses = 0;
+      watches = Array.make (2 * (nvars + 1) + 2) [];
+      assign = Array.make (nvars + 1) Vfree;
+      level = Array.make (nvars + 1) 0;
+      reason = Array.make (nvars + 1) (-1);
+      trail = Array.make (nvars + 1) 0;
+      trail_len = 0;
+      trail_lim = Array.make (nvars + 2) 0;
+      dlevel = 0;
+      qhead = 0;
+      activity = Array.make (nvars + 1) 0.;
+      var_inc = 1.;
+      phase = Array.make (nvars + 1) false;
+      seen = Array.make (nvars + 1) false;
+      decisions = 0;
+      propagations = 0;
+      conflicts = 0;
+      learned_count = 0;
+      restarts = 0;
+    }
+  in
+  s
+
+exception Found_unsat
+
+let enqueue s lit_idx reason =
+  let v = index_var lit_idx in
+  s.assign.(v) <- (if index_sign lit_idx then Vtrue else Vfalse);
+  s.level.(v) <- s.dlevel;
+  s.reason.(v) <- reason;
+  s.phase.(v) <- index_sign lit_idx;
+  s.trail.(s.trail_len) <- lit_idx;
+  s.trail_len <- s.trail_len + 1
+
+let add_clause_internal s (c : int array) =
+  (* c holds literal indices.  Returns false if the formula is trivially
+     unsat at level 0. *)
+  match Array.length c with
+  | 0 -> false
+  | 1 ->
+      let l = c.(0) in
+      (match value_of s l with
+      | Vtrue -> true
+      | Vfalse -> false
+      | Vfree ->
+          enqueue s l (-1);
+          true)
+  | _ ->
+      if s.nclauses = Array.length s.clauses then begin
+        let bigger = Array.make (2 * Array.length s.clauses) [||] in
+        Array.blit s.clauses 0 bigger 0 s.nclauses;
+        s.clauses <- bigger
+      end;
+      let ci = s.nclauses in
+      s.clauses.(ci) <- c;
+      s.nclauses <- ci + 1;
+      s.watches.(c.(0)) <- ci :: s.watches.(c.(0));
+      s.watches.(c.(1)) <- ci :: s.watches.(c.(1));
+      true
+
+(* Propagate; return conflicting clause index or -1. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict = -1 && s.qhead < s.trail_len do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let np = index_neg p in
+    (* clauses watching np must find a new watch *)
+    let watching = s.watches.(np) in
+    s.watches.(np) <- [];
+    let rec walk = function
+      | [] -> ()
+      | ci :: rest ->
+          if !conflict <> -1 then
+            (* conflict already found: retain the remaining watchers *)
+            s.watches.(np) <- ci :: (rest @ s.watches.(np))
+          else begin
+            let c = s.clauses.(ci) in
+            (* normalize: put np at position 1 *)
+            if c.(0) = np then begin
+              c.(0) <- c.(1);
+              c.(1) <- np
+            end;
+            if value_of s c.(0) = Vtrue then begin
+              (* clause satisfied; keep watching np *)
+              s.watches.(np) <- ci :: s.watches.(np)
+            end
+            else begin
+              (* look for a new watch *)
+              let n = Array.length c in
+              let found = ref false in
+              let k = ref 2 in
+              while (not !found) && !k < n do
+                if value_of s c.(!k) <> Vfalse then begin
+                  let tmp = c.(1) in
+                  c.(1) <- c.(!k);
+                  c.(!k) <- tmp;
+                  s.watches.(c.(1)) <- ci :: s.watches.(c.(1));
+                  found := true
+                end;
+                incr k
+              done;
+              if not !found then begin
+                (* unit or conflict *)
+                s.watches.(np) <- ci :: s.watches.(np);
+                match value_of s c.(0) with
+                | Vfalse -> conflict := ci
+                | Vfree -> enqueue s c.(0) ci
+                | Vtrue -> ()
+              end
+            end;
+            walk rest
+          end
+    in
+    walk watching
+  done;
+  !conflict
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 1 to s.nvars do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let decay_activity s = s.var_inc <- s.var_inc /. 0.95
+
+(* First-UIP conflict analysis.  Returns (learned clause as lit indices,
+   backtrack level). *)
+let analyze s conflict_ci =
+  let learned = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let ci = ref conflict_ci in
+  let btlevel = ref 0 in
+  let continue = ref true in
+  let trail_pos = ref (s.trail_len - 1) in
+  while !continue do
+    let c = s.clauses.(!ci) in
+    Array.iter
+      (fun q ->
+        if q <> !p then begin
+          let v = index_var q in
+          if (not s.seen.(v)) && s.level.(v) > 0 then begin
+            s.seen.(v) <- true;
+            bump_var s v;
+            if s.level.(v) >= s.dlevel then incr counter
+            else begin
+              learned := q :: !learned;
+              if s.level.(v) > !btlevel then btlevel := s.level.(v)
+            end
+          end
+        end)
+      c;
+    (* pick next literal from trail *)
+    let rec next_seen i =
+      if s.seen.(index_var s.trail.(i)) then i else next_seen (i - 1)
+    in
+    trail_pos := next_seen !trail_pos;
+    let q = s.trail.(!trail_pos) in
+    let v = index_var q in
+    s.seen.(v) <- false;
+    decr counter;
+    if !counter = 0 then begin
+      (* q is the first UIP; learned clause asserts its negation *)
+      learned := index_neg q :: !learned;
+      continue := false
+    end
+    else begin
+      ci := s.reason.(v);
+      p := q;
+      decr trail_pos
+    end
+  done;
+  List.iter (fun q -> s.seen.(index_var q) <- false) !learned;
+  (* the asserting (first-UIP) literal was consed last, so it already sits
+     at position 0 *)
+  let arr = Array.of_list !learned in
+  let n = Array.length arr in
+  (* second watch: a literal from btlevel, put at position 1 *)
+  if n > 1 then begin
+    let best = ref 1 in
+    for k = 2 to n - 1 do
+      if s.level.(index_var arr.(k)) > s.level.(index_var arr.(!best)) then
+        best := k
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!best);
+    arr.(!best) <- tmp
+  end;
+  (arr, !btlevel)
+
+let backtrack s lvl =
+  if s.dlevel > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for i = s.trail_len - 1 downto bound do
+      let v = index_var s.trail.(i) in
+      s.assign.(v) <- Vfree;
+      s.reason.(v) <- -1
+    done;
+    s.trail_len <- bound;
+    s.qhead <- bound;
+    s.dlevel <- lvl
+  end
+
+let pick_branch s =
+  let best = ref 0 and best_act = ref neg_infinity in
+  for v = 1 to s.nvars do
+    if s.assign.(v) = Vfree && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  !best
+
+(* Luby restart sequence, 1-based: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby n =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < n do
+    incr k
+  done;
+  if (1 lsl !k) - 1 = n then 1 lsl (!k - 1)
+  else luby (n - (1 lsl (!k - 1)) + 1)
+
+let solve ?(assumptions = []) ?(max_conflicts = max_int) cnf =
+  let s = create cnf in
+  let ok = ref true in
+  Cnf.iter_clauses
+    (fun c ->
+      if !ok then begin
+        (* drop duplicate literals; detect tautologies *)
+        let lits = Array.to_list c in
+        let module IS = Set.Make (Int) in
+        let set = IS.of_list lits in
+        let taut = IS.exists (fun l -> IS.mem (-l) set) set in
+        if not taut then begin
+          let arr = Array.of_list (List.map lit_index (IS.elements set)) in
+          if not (add_clause_internal s arr) then ok := false
+        end
+      end)
+    cnf;
+  let result =
+    if not !ok then Some Unsat
+    else if propagate s <> -1 then Some Unsat
+    else begin
+      (* assumptions as level-0 units after initial propagation *)
+      let assumption_conflict =
+        List.exists
+          (fun l ->
+            let li = lit_index l in
+            match value_of s li with
+            | Vtrue -> false
+            | Vfalse -> true
+            | Vfree ->
+                enqueue s li (-1);
+                propagate s <> -1)
+          assumptions
+      in
+      if assumption_conflict then Some Unsat
+      else begin
+        let answer = ref None in
+        let restart_count = ref 0 in
+        let conflicts_until_restart = ref (100 * luby 1) in
+        (try
+           while !answer = None do
+             let conflict = propagate s in
+             if conflict <> -1 then begin
+               s.conflicts <- s.conflicts + 1;
+               if s.dlevel = 0 then raise Found_unsat;
+               let learned, btlevel = analyze s conflict in
+               backtrack s btlevel;
+               if Array.length learned = 1 then enqueue s learned.(0) (-1)
+               else begin
+                 let ci = s.nclauses in
+                 if not (add_clause_internal s learned) then raise Found_unsat;
+                 s.learned_count <- s.learned_count + 1;
+                 enqueue s learned.(0) ci
+               end;
+               decay_activity s;
+               if s.conflicts >= max_conflicts then answer := Some None;
+               decr conflicts_until_restart;
+               if !conflicts_until_restart <= 0 && s.dlevel > 0 then begin
+                 incr restart_count;
+                 s.restarts <- s.restarts + 1;
+                 conflicts_until_restart := 100 * luby (!restart_count + 1);
+                 backtrack s 0;
+                 (* re-assert assumptions after restart *)
+                 List.iter
+                   (fun l ->
+                     let li = lit_index l in
+                     if value_of s li = Vfree then enqueue s li (-1))
+                   assumptions
+               end
+             end
+             else begin
+               let v = pick_branch s in
+               if v = 0 then begin
+                 (* full assignment: SAT *)
+                 let model = Array.make (s.nvars + 1) false in
+                 for u = 1 to s.nvars do
+                   model.(u) <- s.assign.(u) = Vtrue
+                 done;
+                 answer := Some (Some (Sat model))
+               end
+               else begin
+                 s.decisions <- s.decisions + 1;
+                 s.trail_lim.(s.dlevel) <- s.trail_len;
+                 s.dlevel <- s.dlevel + 1;
+                 let li = lit_index (if s.phase.(v) then v else -v) in
+                 enqueue s li (-1)
+               end
+             end
+           done
+         with Found_unsat -> answer := Some (Some Unsat));
+        match !answer with Some r -> r | None -> assert false
+      end
+    end
+  in
+  stats_ref :=
+    {
+      decisions = s.decisions;
+      propagations = s.propagations;
+      conflicts = s.conflicts;
+      learned = s.learned_count;
+      restarts = s.restarts;
+    };
+  result
+
+let solve_exn ?assumptions cnf =
+  match solve ?assumptions cnf with
+  | Some r -> r
+  | None -> assert false (* no conflict budget given *)
+
+let is_satisfiable cnf =
+  match solve_exn cnf with Sat _ -> true | Unsat -> false
+
+let model_value model v =
+  if v <= 0 || v >= Array.length model then invalid_arg "Sat.model_value";
+  model.(v)
+
+(* silence unused warnings for helpers kept for debugging *)
+let _ = lit_of_index

@@ -1,0 +1,42 @@
+(** A CDCL SAT solver: two-watched literals, first-UIP clause learning,
+    VSIDS-style activity ordering, phase saving and Luby restarts.
+
+    This is the engine behind the oracle-guided SAT attack of
+    [Sttc_attack.Sat_attack] and the miter-based equivalence check of
+    [Sttc_sim.Equiv].  Scale target: the formulas arising from circuits of
+    a few thousand gates. *)
+
+type result =
+  | Sat of bool array
+      (** [Sat model]: [model.(v)] is the value of variable [v]
+          (index 0 unused). *)
+  | Unsat
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  learned : int;
+  restarts : int;
+}
+
+val solve :
+  ?assumptions:Cnf.lit list ->
+  ?max_conflicts:int ->
+  Cnf.t ->
+  result option
+(** [solve cnf] decides satisfiability.  [assumptions] are literals forced
+    at decision level 0 for this call only.  [None] is returned when
+    [max_conflicts] is exhausted (resource-limited attacks). *)
+
+val solve_exn : ?assumptions:Cnf.lit list -> Cnf.t -> result
+(** Like {!solve} without a conflict budget. *)
+
+val last_stats : unit -> stats
+(** Statistics of the most recent {!solve} call. *)
+
+val is_satisfiable : Cnf.t -> bool
+(** Convenience wrapper. *)
+
+val model_value : bool array -> int -> bool
+(** [model_value model v] reads variable [v] from a {!Sat} model. *)

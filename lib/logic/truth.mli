@@ -1,0 +1,82 @@
+(** Bit-packed truth tables for Boolean functions of up to 6 variables.
+
+    Row [i] of the table is bit [i] of a 64-bit word, where input variable
+    [k] contributes bit [k] of the row index (input 0 is the least
+    significant).  This is the representation stored inside STT-LUT
+    configurations and used by the similarity metric of Section IV-A. *)
+
+type t
+
+val max_arity : int
+(** 6: a 64-bit word holds [2^6] rows. *)
+
+val arity : t -> int
+val rows : t -> int
+(** [2^arity]. *)
+
+val create : arity:int -> (bool array -> bool) -> t
+(** Tabulate a Boolean function.  Raises [Invalid_argument] if the arity is
+    outside [0, max_arity]. *)
+
+val of_bits : arity:int -> int64 -> t
+(** Interpret the low [2^arity] bits as the table; higher bits must be 0. *)
+
+val bits : t -> int64
+
+val const_false : arity:int -> t
+val const_true : arity:int -> t
+val var : arity:int -> int -> t
+(** [var ~arity k] is the projection onto input [k]. *)
+
+val row : t -> int -> bool
+(** [row t i] is the output for input row [i]. *)
+
+val eval : t -> bool array -> bool
+(** [eval t inputs] looks up the row addressed by [inputs]; the array length
+    must equal the arity. *)
+
+val lnot : t -> t
+val land_ : t -> t -> t
+val lor_ : t -> t -> t
+val lxor_ : t -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val agreement : t -> t -> int
+(** [agreement a b] is the number of input rows on which [a] and [b]
+    produce the same output — the paper's "similarity" of two gates
+    (e.g. AND2 vs NOR2 agree on 2 rows; AND2 vs NAND2 on 0).
+    Raises [Invalid_argument] when arities differ. *)
+
+val count_ones : t -> int
+(** Number of rows producing 1 (the on-set size). *)
+
+val cofactor : t -> int -> bool -> t
+(** [cofactor t k v] fixes input [k] to [v]; the result keeps the same
+    arity with input [k] becoming irrelevant. *)
+
+val depends_on : t -> int -> bool
+(** Whether the output actually depends on input [k]. *)
+
+val support_size : t -> int
+(** Number of inputs the function truly depends on. *)
+
+val is_degenerate : t -> bool
+(** True when the function ignores at least one of its declared inputs
+    (including constants).  A "meaningful" LUT content is non-degenerate. *)
+
+val to_string : t -> string
+(** Rows as a 0/1 string, row 0 first, e.g. AND2 = ["0001"]. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}.  Raises [Invalid_argument] on bad input. *)
+
+val pp : Format.formatter -> t -> unit
+
+val enumerate : arity:int -> t Seq.t
+(** All [2^(2^arity)] functions of the given arity (practical for
+    arity <= 4). *)
+
+val random : Sttc_util.Rng.t -> arity:int -> t

@@ -1,0 +1,234 @@
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+type stmt =
+  | Sinput of string
+  | Soutput of string
+  | Sassign of string * string * string option * string list
+      (** name = OP "config"? (args) *)
+
+let lex_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then None
+  else
+    let parse_call s ctor =
+      (* s looks like KEYWORD(name) *)
+      match (String.index_opt s '(', String.rindex_opt s ')') with
+      | Some l, Some r when r > l ->
+          let arg = String.trim (String.sub s (l + 1) (r - l - 1)) in
+          if arg = "" then fail lineno "empty argument list"
+          else Some (ctor arg)
+      | _ -> fail lineno ("malformed line: " ^ s)
+    in
+    let up = String.uppercase_ascii line in
+    if String.length up >= 5 && String.sub up 0 5 = "INPUT" then
+      parse_call line (fun a -> Sinput a)
+    else if String.length up >= 6 && String.sub up 0 6 = "OUTPUT" then
+      parse_call line (fun a -> Soutput a)
+    else
+      match String.index_opt line '=' with
+      | None -> fail lineno ("expected assignment: " ^ line)
+      | Some eq ->
+          let lhs = String.trim (String.sub line 0 eq) in
+          let rhs =
+            String.trim (String.sub line (eq + 1) (String.length line - eq - 1))
+          in
+          (match (String.index_opt rhs '(', String.rindex_opt rhs ')') with
+          | Some l, Some r when r > l ->
+              let head = String.trim (String.sub rhs 0 l) in
+              let args_s = String.sub rhs (l + 1) (r - l - 1) in
+              let args =
+                String.split_on_char ',' args_s
+                |> List.map String.trim
+                |> List.filter (( <> ) "")
+              in
+              (* empty argument lists are legal for VCC()/GND() *)
+              (* optional quoted config on LUTs: LUT "0110" *)
+              let op, config =
+                match String.index_opt head '"' with
+                | None -> (String.trim head, None)
+                | Some q1 -> (
+                    match String.rindex_opt head '"' with
+                    | Some q2 when q2 > q1 ->
+                        ( String.trim (String.sub head 0 q1),
+                          Some (String.sub head (q1 + 1) (q2 - q1 - 1)) )
+                    | _ -> fail lineno "unterminated config string")
+              in
+              Some (Sassign (lhs, String.uppercase_ascii op, config, args))
+          | _ -> fail lineno ("malformed right-hand side: " ^ rhs))
+
+let parse_string ?(design_name = "bench") text =
+  let stmts = ref [] in
+  List.iteri
+    (fun i line ->
+      match lex_line (i + 1) line with
+      | Some s -> stmts := (i + 1, s) :: !stmts
+      | None -> ())
+    (String.split_on_char '\n' text);
+  let stmts = List.rev !stmts in
+  let b = Netlist.Builder.create ~design_name () in
+  (* Two passes: declare all signals (so forward references through DFFs
+     work), then wire.  Signals defined by assignment become their node;
+     INPUT declares a PI. *)
+  let assigns = Hashtbl.create 64 in
+  let input_names = Hashtbl.create 16 in
+  let inputs = ref [] and outs = ref [] in
+  List.iter
+    (fun (ln, s) ->
+      match s with
+      | Sinput a ->
+          if Hashtbl.mem assigns a || Hashtbl.mem input_names a then
+            fail ln ("redefined signal " ^ a);
+          Hashtbl.add input_names a ();
+          inputs := (ln, a) :: !inputs
+      | Soutput a -> outs := (ln, a) :: !outs
+      | Sassign (lhs, op, config, args) ->
+          if Hashtbl.mem assigns lhs || Hashtbl.mem input_names lhs then
+            fail ln ("redefined signal " ^ lhs);
+          Hashtbl.add assigns lhs (ln, op, config, args))
+    stmts;
+  let ids = Hashtbl.create 64 in
+  List.iter
+    (fun (ln, a) ->
+      if Hashtbl.mem ids a then fail ln ("duplicate INPUT " ^ a);
+      Hashtbl.add ids a (Netlist.Builder.add_pi b a))
+    (List.rev !inputs);
+  (* Declare DFFs first (deferred), then build combinational assignments in
+     dependency order via recursion. *)
+  Hashtbl.iter
+    (fun lhs (ln, op, _config, args) ->
+      if op = "DFF" then begin
+        if List.length args <> 1 then fail ln "DFF takes one argument";
+        Hashtbl.add ids lhs (Netlist.Builder.add_dff_deferred b lhs)
+      end)
+    assigns;
+  let building = Hashtbl.create 16 in
+  let rec node_of ln signal =
+    match Hashtbl.find_opt ids signal with
+    | Some id -> id
+    | None -> (
+        if Hashtbl.mem building signal then
+          fail ln ("combinational cycle through " ^ signal);
+        match Hashtbl.find_opt assigns signal with
+        | None -> fail ln ("undefined signal " ^ signal)
+        | Some (ln', op, config, args) ->
+            Hashtbl.add building signal ();
+            let arg_ids = List.map (node_of ln') args in
+            let id = build_assign ln' signal op config arg_ids in
+            Hashtbl.remove building signal;
+            Hashtbl.add ids signal id;
+            id)
+  and build_assign ln lhs op config args =
+    match op with
+    | "DFF" -> assert false (* pre-declared *)
+    | "LUT" ->
+        let arity = List.length args in
+        let config =
+          Option.map
+            (fun s ->
+              match Sttc_logic.Truth.of_string s with
+              | t ->
+                  if Sttc_logic.Truth.arity t <> arity then
+                    fail ln "LUT config arity mismatch"
+                  else t
+              | exception Invalid_argument m -> fail ln m)
+            config
+        in
+        Netlist.Builder.add_lut b lhs ?config args
+    | "VCC" | "ONE" -> Netlist.Builder.add_const b lhs true
+    | "GND" | "ZERO" -> Netlist.Builder.add_const b lhs false
+    | _ -> (
+        match Sttc_logic.Gate_fn.of_bench_name op ~arity:(List.length args) with
+        | Some fn -> Netlist.Builder.add_gate b lhs fn args
+        | None -> fail ln ("unknown gate " ^ op))
+  in
+  (* Build everything assigned. *)
+  Hashtbl.iter
+    (fun lhs (ln, op, _, _) -> if op <> "DFF" then ignore (node_of ln lhs))
+    assigns;
+  (* Wire DFF inputs. *)
+  Hashtbl.iter
+    (fun lhs (ln, op, _, args) ->
+      if op = "DFF" then
+        match args with
+        | [ d ] ->
+            let ff = Hashtbl.find ids lhs in
+            Netlist.Builder.set_dff_input b ff (node_of ln d)
+        | _ -> fail ln "DFF takes one argument")
+    assigns;
+  (* Outputs. *)
+  List.iter
+    (fun (ln, a) -> Netlist.Builder.add_output b a (node_of ln a))
+    (List.rev !outs);
+  try Netlist.Builder.finalize b
+  with Invalid_argument m -> fail 0 m
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  let design_name = Filename.remove_extension (Filename.basename path) in
+  parse_string ~design_name text
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Netlist.design_name t));
+  List.iter
+    (fun id ->
+      Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Netlist.name t id)))
+    (Netlist.pis t);
+  Array.iter
+    (fun (name, _) -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" name))
+    (Netlist.outputs t);
+  (* Emit an alias assignment when an output name differs from its driver
+     node: OUTPUT(z) with driver n -> z = BUFF(n). *)
+  let aliases =
+    Array.to_list (Netlist.outputs t)
+    |> List.filter (fun (name, id) -> name <> Netlist.name t id)
+  in
+  Netlist.iter
+    (fun id n ->
+      let args () =
+        Netlist.fanins t id |> Array.to_list
+        |> List.map (Netlist.name t)
+        |> String.concat ", "
+      in
+      match n.Netlist.kind with
+      | Netlist.Pi -> ()
+      | Netlist.Const v ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s = %s()\n" n.Netlist.name
+               (if v then "VCC" else "GND"))
+      | Netlist.Gate fn ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s = %s(%s)\n" n.Netlist.name
+               (Sttc_logic.Gate_fn.name fn) (args ()))
+      | Netlist.Lut { config = None; _ } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s = LUT(%s)\n" n.Netlist.name (args ()))
+      | Netlist.Lut { config = Some c; _ } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s = LUT \"%s\"(%s)\n" n.Netlist.name
+               (Sttc_logic.Truth.to_string c) (args ()))
+      | Netlist.Dff ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s = DFF(%s)\n" n.Netlist.name (args ())))
+    t;
+  List.iter
+    (fun (name, id) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s = BUFF(%s)\n" name (Netlist.name t id)))
+    aliases;
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

@@ -1,0 +1,36 @@
+(** Synthetic sequential benchmark generator.
+
+    Produces circuits with controlled structural statistics — gate count,
+    flip-flop count, I/O counts, combinational depth, fan-in mix — which is
+    what the paper's experiments actually exercise (the selection
+    algorithms never look at the Boolean functions, only at structure).
+    See DESIGN.md §2 for why this substitutes for the genuine ISCAS'89
+    netlists.
+
+    Construction is levelized: gates are placed on [levels] combinational
+    levels; a gate's first fanin comes from the previous level (pinning its
+    level) and the rest from any earlier level, with primary inputs and
+    flip-flop outputs forming level 0.  Flip-flop D-inputs and primary
+    outputs are wired to late-level signals, preferring gates that would
+    otherwise be dangling. *)
+
+type spec = {
+  design_name : string;
+  n_pi : int;  (** >= 1 *)
+  n_po : int;  (** >= 1 *)
+  n_ff : int;  (** >= 0 *)
+  n_gates : int;  (** combinational gates, >= 1 *)
+  levels : int;  (** target combinational depth, >= 1 *)
+}
+
+val default_spec : spec
+(** A small smoke-test circuit (8 PI, 8 PO, 6 FF, 60 gates, 6 levels). *)
+
+val generate : seed:int -> spec -> Netlist.t
+(** Deterministic in [seed] and [spec].  Raises [Invalid_argument] on
+    nonsensical specs. *)
+
+val random_combinational :
+  seed:int -> n_pi:int -> n_gates:int -> n_po:int -> Netlist.t
+(** Purely combinational variant (no flip-flops), used heavily by unit and
+    property tests. *)

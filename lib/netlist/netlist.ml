@@ -1,0 +1,331 @@
+type node_id = int
+
+type kind =
+  | Pi
+  | Const of bool
+  | Gate of Sttc_logic.Gate_fn.t
+  | Lut of {
+      arity : int;
+      config : Sttc_logic.Truth.t option;
+    }
+  | Dff
+
+type node = {
+  name : string;
+  kind : kind;
+  fanins : node_id array;
+}
+
+type t = {
+  design_name : string;
+  nodes : node array;
+  outs : (string * node_id) array;
+  by_name : (string, node_id) Hashtbl.t;
+  mutable fanout_cache : node_id list array option;
+  mutable topo_cache : node_id array option;
+}
+
+let design_name t = t.design_name
+let node_count t = Array.length t.nodes
+
+let node t id =
+  if id < 0 || id >= Array.length t.nodes then
+    invalid_arg "Netlist.node: bad id";
+  t.nodes.(id)
+
+let kind t id = (node t id).kind
+let name t id = (node t id).name
+let fanins t id = (node t id).fanins
+let find t n = Hashtbl.find_opt t.by_name n
+
+let find_exn t n =
+  match find t n with
+  | Some id -> id
+  | None -> invalid_arg ("Netlist.find_exn: no node named " ^ n)
+
+let outputs t = t.outs
+
+let iter f t = Array.iteri (fun id n -> f id n) t.nodes
+
+let fold f t acc =
+  let acc = ref acc in
+  Array.iteri (fun id n -> acc := f id n !acc) t.nodes;
+  !acc
+
+let filter_ids p t =
+  fold (fun id n acc -> if p n.kind then id :: acc else acc) t []
+  |> List.rev
+
+let pis t = filter_ids (function Pi -> true | _ -> false) t
+let dffs t = filter_ids (function Dff -> true | _ -> false) t
+let gates t = filter_ids (function Gate _ -> true | _ -> false) t
+let luts t = filter_ids (function Lut _ -> true | _ -> false) t
+
+let pos t =
+  let seen = Hashtbl.create 16 in
+  Array.fold_left
+    (fun acc (_, id) ->
+      if Hashtbl.mem seen id then acc
+      else begin
+        Hashtbl.add seen id ();
+        id :: acc
+      end)
+    [] t.outs
+  |> List.rev
+
+let is_combinational = function
+  | Gate _ | Lut _ -> true
+  | Pi | Const _ | Dff -> false
+
+let gate_count t =
+  fold (fun _ n acc -> if is_combinational n.kind then acc + 1 else acc) t 0
+
+let compute_fanouts t =
+  match t.fanout_cache with
+  | Some f -> f
+  | None ->
+      let f = Array.make (Array.length t.nodes) [] in
+      Array.iteri
+        (fun id n -> Array.iter (fun src -> f.(src) <- id :: f.(src)) n.fanins)
+        t.nodes;
+      (* restore ascending order *)
+      Array.iteri (fun i l -> f.(i) <- List.rev l) f;
+      t.fanout_cache <- Some f;
+      f
+
+let fanouts t id =
+  if id < 0 || id >= Array.length t.nodes then
+    invalid_arg "Netlist.fanouts: bad id";
+  (compute_fanouts t).(id)
+
+let fanout_degree t id = List.length (fanouts t id)
+
+exception Cycle of node_id
+
+let compute_topo t =
+  match t.topo_cache with
+  | Some o -> o
+  | None ->
+      let n = Array.length t.nodes in
+      let state = Array.make n 0 in
+      (* 0 unvisited, 1 on stack, 2 done *)
+      let order = Sttc_util.Growable.create () in
+      (* Sources first, in id order. *)
+      Array.iteri
+        (fun id nd ->
+          if not (is_combinational nd.kind) then begin
+            state.(id) <- 2;
+            ignore (Sttc_util.Growable.push order id)
+          end)
+        t.nodes;
+      (* Iterative DFS over combinational fanin edges. *)
+      let visit root =
+        if state.(root) = 0 then begin
+          let stack = Sttc_util.Growable.create () in
+          ignore (Sttc_util.Growable.push stack (root, 0));
+          state.(root) <- 1;
+          while not (Sttc_util.Growable.is_empty stack) do
+            let id, next = Sttc_util.Growable.pop stack in
+            let fi = t.nodes.(id).fanins in
+            if next < Array.length fi then begin
+              ignore (Sttc_util.Growable.push stack (id, next + 1));
+              let src = fi.(next) in
+              match state.(src) with
+              | 0 ->
+                  state.(src) <- 1;
+                  ignore (Sttc_util.Growable.push stack (src, 0))
+              | 1 -> raise (Cycle src)
+              | _ -> ()
+            end
+            else begin
+              state.(id) <- 2;
+              ignore (Sttc_util.Growable.push order id)
+            end
+          done
+        end
+      in
+      Array.iteri
+        (fun id nd -> if is_combinational nd.kind then visit id)
+        t.nodes;
+      let o = Sttc_util.Growable.to_array order in
+      t.topo_cache <- Some o;
+      o
+
+let topo_order t = compute_topo t
+
+let stats t =
+  Printf.sprintf "%s: %d nodes (%d PI, %d PO, %d DFF, %d gates, %d LUTs)"
+    t.design_name (node_count t)
+    (List.length (pis t))
+    (Array.length t.outs)
+    (List.length (dffs t))
+    (List.length (gates t))
+    (List.length (luts t))
+
+module Builder = struct
+  type pending = {
+    p_name : string;
+    mutable p_kind : kind;
+    mutable p_fanins : node_id array;
+  }
+
+  type t = {
+    b_design : string;
+    b_nodes : pending Sttc_util.Growable.t;
+    b_names : (string, node_id) Hashtbl.t;
+    mutable b_outs : (string * node_id) list; (* reversed *)
+    b_out_names : (string, unit) Hashtbl.t;
+  }
+
+  let create ?(design_name = "design") () =
+    {
+      b_design = design_name;
+      b_nodes = Sttc_util.Growable.create ();
+      b_names = Hashtbl.create 64;
+      b_outs = [];
+      b_out_names = Hashtbl.create 16;
+    }
+
+  let node_count b = Sttc_util.Growable.length b.b_nodes
+
+  let add_node b name kind fanins =
+    if name = "" then invalid_arg "Builder: empty node name";
+    if Hashtbl.mem b.b_names name then
+      invalid_arg ("Builder: duplicate node name " ^ name);
+    let id =
+      Sttc_util.Growable.push b.b_nodes
+        { p_name = name; p_kind = kind; p_fanins = fanins }
+    in
+    Hashtbl.add b.b_names name id;
+    id
+
+  let check_ref b id ctx =
+    if id < 0 || id >= node_count b then
+      invalid_arg ("Builder: undefined node reference in " ^ ctx)
+
+  let add_pi b name = add_node b name Pi [||]
+  let add_const b name v = add_node b name (Const v) [||]
+
+  let add_gate b name fn inputs =
+    Sttc_logic.Gate_fn.validate fn;
+    if List.length inputs <> Sttc_logic.Gate_fn.arity fn then
+      invalid_arg ("Builder.add_gate: arity mismatch at " ^ name);
+    List.iter (fun i -> check_ref b i name) inputs;
+    add_node b name (Gate fn) (Array.of_list inputs)
+
+  let add_lut b name ?config inputs =
+    let arity = List.length inputs in
+    if arity < 1 || arity > Sttc_logic.Truth.max_arity then
+      invalid_arg ("Builder.add_lut: arity out of range at " ^ name);
+    (match config with
+    | Some c when Sttc_logic.Truth.arity c <> arity ->
+        invalid_arg ("Builder.add_lut: config arity mismatch at " ^ name)
+    | _ -> ());
+    List.iter (fun i -> check_ref b i name) inputs;
+    add_node b name (Lut { arity; config }) (Array.of_list inputs)
+
+  let add_dff b name d =
+    check_ref b d name;
+    add_node b name Dff [| d |]
+
+  let add_dff_deferred b name = add_node b name Dff [| -1 |]
+
+  let set_dff_input b ff d =
+    check_ref b ff "set_dff_input";
+    check_ref b d "set_dff_input";
+    let p = Sttc_util.Growable.get b.b_nodes ff in
+    (match p.p_kind with
+    | Dff -> ()
+    | _ -> invalid_arg "Builder.set_dff_input: not a DFF");
+    p.p_fanins <- [| d |]
+
+  let add_output b name id =
+    check_ref b id ("output " ^ name);
+    if Hashtbl.mem b.b_out_names name then
+      invalid_arg ("Builder: duplicate output name " ^ name);
+    Hashtbl.add b.b_out_names name ();
+    b.b_outs <- (name, id) :: b.b_outs
+
+  let finalize b =
+    if b.b_outs = [] then invalid_arg "Builder.finalize: no outputs";
+    let nodes =
+      Array.map
+        (fun p ->
+          (match p.p_kind with
+          | Dff when Array.exists (fun i -> i < 0) p.p_fanins ->
+              invalid_arg ("Builder.finalize: unwired DFF " ^ p.p_name)
+          | _ -> ());
+          { name = p.p_name; kind = p.p_kind; fanins = p.p_fanins })
+        (Sttc_util.Growable.to_array b.b_nodes)
+    in
+    let t =
+      {
+        design_name = b.b_design;
+        nodes;
+        outs = Array.of_list (List.rev b.b_outs);
+        by_name = Hashtbl.copy b.b_names;
+        fanout_cache = None;
+        topo_cache = None;
+      }
+    in
+    (* cycle check via topo computation *)
+    (try ignore (compute_topo t)
+     with Cycle id ->
+       invalid_arg
+         ("Builder.finalize: combinational cycle through " ^ t.nodes.(id).name));
+    t
+end
+
+let rename t new_name = { t with design_name = new_name }
+
+let validate_node n ~node_total ~who =
+  let expect k =
+    if Array.length n.fanins <> k then
+      invalid_arg (who ^ ": fanin arity mismatch at " ^ n.name)
+  in
+  Array.iter
+    (fun src ->
+      if src < 0 || src >= node_total then
+        invalid_arg (who ^ ": fanin out of range at " ^ n.name))
+    n.fanins;
+  match n.kind with
+  | Pi | Const _ -> expect 0
+  | Dff -> expect 1
+  | Gate fn ->
+      Sttc_logic.Gate_fn.validate fn;
+      expect (Sttc_logic.Gate_fn.arity fn)
+  | Lut { arity; config } ->
+      if arity < 1 || arity > Sttc_logic.Truth.max_arity then
+        invalid_arg (who ^ ": LUT arity out of range at " ^ n.name);
+      expect arity;
+      (match config with
+      | Some c when Sttc_logic.Truth.arity c <> arity ->
+          invalid_arg (who ^ ": LUT config arity mismatch at " ^ n.name)
+      | _ -> ())
+
+let with_kinds t f =
+  let node_total = Array.length t.nodes in
+  let nodes =
+    Array.mapi
+      (fun id n ->
+        let kind, fanins = f id n.kind n.fanins in
+        let n' = { n with kind; fanins } in
+        validate_node n' ~node_total ~who:"Netlist.with_kinds";
+        n')
+      t.nodes
+  in
+  let t' =
+    {
+      design_name = t.design_name;
+      nodes;
+      outs = t.outs;
+      by_name = t.by_name;
+      fanout_cache = None;
+      topo_cache = None;
+    }
+  in
+  (try ignore (compute_topo t')
+   with Cycle id ->
+     invalid_arg
+       ("Netlist.with_kinds: combinational cycle through " ^ nodes.(id).name));
+  t'

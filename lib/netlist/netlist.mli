@@ -1,0 +1,117 @@
+(** Gate-level sequential netlists.
+
+    A netlist is a frozen array of nodes.  Each node drives exactly one
+    signal, identified by the node id; primary outputs are named references
+    to driver nodes.  Combinational cycles are rejected at build time —
+    every feedback loop must pass through a D flip-flop, matching the
+    ISCAS'89 circuit model the paper evaluates on. *)
+
+type node_id = int
+
+type kind =
+  | Pi  (** primary input *)
+  | Const of bool
+  | Gate of Sttc_logic.Gate_fn.t  (** custom CMOS gate *)
+  | Lut of {
+      arity : int;
+      config : Sttc_logic.Truth.t option;
+          (** [None] is a missing gate as seen by the foundry; [Some _] is a
+              programmed STT LUT. *)
+    }
+  | Dff  (** D flip-flop; single fanin is the D input *)
+
+type node = {
+  name : string;
+  kind : kind;
+  fanins : node_id array;
+}
+
+type t
+
+(** {1 Accessors} *)
+
+val design_name : t -> string
+val node_count : t -> int
+val node : t -> node_id -> node
+val kind : t -> node_id -> kind
+val name : t -> node_id -> string
+val fanins : t -> node_id -> node_id array
+val find : t -> string -> node_id option
+val find_exn : t -> string -> node_id
+
+val outputs : t -> (string * node_id) array
+(** Primary outputs as (name, driver). *)
+
+val iter : (node_id -> node -> unit) -> t -> unit
+val fold : (node_id -> node -> 'a -> 'a) -> t -> 'a -> 'a
+
+val pis : t -> node_id list
+val pos : t -> node_id list
+(** Driver nodes of primary outputs (deduplicated, in output order). *)
+
+val dffs : t -> node_id list
+val gates : t -> node_id list
+(** Combinational gate nodes (excludes LUTs). *)
+
+val luts : t -> node_id list
+
+val is_combinational : kind -> bool
+(** True for [Gate] and [Lut]. *)
+
+val gate_count : t -> int
+(** Number of combinational nodes (gates + LUTs), the paper's circuit
+    "size" (flip-flops excluded). *)
+
+val fanouts : t -> node_id -> node_id list
+(** Nodes reading this node's signal (computed once, cached). *)
+
+val fanout_degree : t -> node_id -> int
+
+val topo_order : t -> node_id array
+(** All nodes in combinational topological order: PIs, constants and DFFs
+    first (in id order), then every combinational node after all of its
+    fanins.  DFF D-inputs do not constrain the order (they are sequential
+    edges). *)
+
+val stats : t -> string
+(** One-line summary for logs. *)
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : ?design_name:string -> unit -> t
+
+  val add_pi : t -> string -> node_id
+  val add_const : t -> string -> bool -> node_id
+  val add_gate : t -> string -> Sttc_logic.Gate_fn.t -> node_id list -> node_id
+  val add_lut :
+    t -> string -> ?config:Sttc_logic.Truth.t -> node_id list -> node_id
+
+  val add_dff : t -> string -> node_id -> node_id
+  val add_dff_deferred : t -> string -> node_id
+  (** A flip-flop whose D input is wired later with {!set_dff_input} —
+      needed to build feedback loops. *)
+
+  val set_dff_input : t -> node_id -> node_id -> unit
+  val add_output : t -> string -> node_id -> unit
+  val node_count : t -> int
+
+  val finalize : t -> netlist
+  (** Validates and freezes.  Raises [Invalid_argument] on: duplicate
+      names, dangling DFF inputs, arity mismatches, references to
+      undefined nodes, combinational cycles, or empty output list. *)
+end
+
+val rename : t -> string -> t
+(** Copy with a new design name. *)
+
+val with_kinds :
+  t -> (node_id -> kind -> node_id array -> kind * node_id array) -> t
+(** [with_kinds t f] copies [t], rewriting each node's kind and fanins with
+    [f] while preserving node ids and names.  The result is re-validated
+    (fanin arities, reference ranges, combinational acyclicity); raises
+    [Invalid_argument] on violation.  This is the primitive beneath
+    [Transform]. *)

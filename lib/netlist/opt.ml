@@ -1,0 +1,163 @@
+module Gate_fn = Sttc_logic.Gate_fn
+module Truth = Sttc_logic.Truth
+
+(* ---------- constant folding ---------- *)
+
+(* Partially evaluate a gate whose inputs may be known constants.  Returns
+   the simplified kind and the fanins it still needs. *)
+let simplify_gate fn fanins const_of =
+  let inputs = Array.to_list fanins in
+  let known, unknown =
+    List.partition (fun src -> const_of src <> None) inputs
+  in
+  let kvalues = List.map (fun src -> Option.get (const_of src)) known in
+  match fn with
+  | Gate_fn.Buf -> (
+      match const_of fanins.(0) with
+      | Some v -> `Const v
+      | None -> `Keep)
+  | Gate_fn.Not -> (
+      match const_of fanins.(0) with
+      | Some v -> `Const (not v)
+      | None -> `Keep)
+  | Gate_fn.And _ | Gate_fn.Nand _ ->
+      let neg = match fn with Gate_fn.Nand _ -> true | _ -> false in
+      if List.exists not kvalues then `Const neg
+      else if unknown = [] then `Const (not neg)
+      else if known = [] then `Keep
+      else (
+        (* remaining ANDs of the unknown inputs *)
+        match unknown with
+        | [ x ] -> if neg then `Gate (Gate_fn.Not, [| x |]) else `Gate (Gate_fn.Buf, [| x |])
+        | xs ->
+            let arr = Array.of_list xs in
+            `Gate
+              ( (if neg then Gate_fn.Nand (Array.length arr)
+                 else Gate_fn.And (Array.length arr)),
+                arr ))
+  | Gate_fn.Or _ | Gate_fn.Nor _ ->
+      let neg = match fn with Gate_fn.Nor _ -> true | _ -> false in
+      if List.exists Fun.id kvalues then `Const (not neg)
+      else if unknown = [] then `Const neg
+      else if known = [] then `Keep
+      else (
+        match unknown with
+        | [ x ] -> if neg then `Gate (Gate_fn.Not, [| x |]) else `Gate (Gate_fn.Buf, [| x |])
+        | xs ->
+            let arr = Array.of_list xs in
+            `Gate
+              ( (if neg then Gate_fn.Nor (Array.length arr)
+                 else Gate_fn.Or (Array.length arr)),
+                arr ))
+  | Gate_fn.Xor _ | Gate_fn.Xnor _ ->
+      let neg = match fn with Gate_fn.Xnor _ -> true | _ -> false in
+      let parity = List.fold_left (fun acc v -> acc <> v) neg kvalues in
+      if unknown = [] then `Const parity
+      else if known = [] then `Keep
+      else (
+        match unknown with
+        | [ x ] ->
+            if parity then `Gate (Gate_fn.Not, [| x |])
+            else `Gate (Gate_fn.Buf, [| x |])
+        | xs ->
+            let arr = Array.of_list xs in
+            `Gate
+              ( (if parity then Gate_fn.Xnor (Array.length arr)
+                 else Gate_fn.Xor (Array.length arr)),
+                arr ))
+
+let const_fold t =
+  (* One topological pass suffices per call because [with_kinds] keeps
+     ids: values computed for earlier nodes feed later ones. *)
+  let n = Netlist.node_count t in
+  let value = Array.make n None in
+  Netlist.iter
+    (fun id node ->
+      match node.Netlist.kind with
+      | Netlist.Const v -> value.(id) <- Some v
+      | _ -> ())
+    t;
+  let changes = Hashtbl.create 32 in
+  Array.iter
+    (fun id ->
+      let node = Netlist.node t id in
+      let const_of src = value.(src) in
+      match node.Netlist.kind with
+      | Netlist.Gate fn -> (
+          match simplify_gate fn node.Netlist.fanins const_of with
+          | `Keep -> ()
+          | `Const v ->
+              value.(id) <- Some v;
+              Hashtbl.replace changes id (Netlist.Const v, [||])
+          | `Gate (fn', fanins') ->
+              Hashtbl.replace changes id (Netlist.Gate fn', fanins'))
+      | Netlist.Lut { config = Some c; arity } ->
+          (* a LUT with all-constant inputs folds to a constant *)
+          let all_known =
+            Array.for_all (fun src -> value.(src) <> None) node.Netlist.fanins
+          in
+          if all_known then begin
+            let inputs =
+              Array.map (fun src -> Option.get value.(src)) node.Netlist.fanins
+            in
+            let v = Truth.eval c inputs in
+            value.(id) <- Some v;
+            Hashtbl.replace changes id (Netlist.Const v, [||])
+          end
+          else ignore arity
+      | _ -> ())
+    (Netlist.topo_order t);
+  if Hashtbl.length changes = 0 then t
+  else
+    Netlist.with_kinds t (fun id kind fanins ->
+        match Hashtbl.find_opt changes id with
+        | Some (kind', fanins') -> (kind', fanins')
+        | None -> (kind, fanins))
+
+(* ---------- buffer / double-inverter collapsing ---------- *)
+
+let collapse_buffers t =
+  let n = Netlist.node_count t in
+  (* resolve: the signal each node's output is equivalent to *)
+  let alias = Array.init n Fun.id in
+  Array.iter
+    (fun id ->
+      let node = Netlist.node t id in
+      match node.Netlist.kind with
+      | Netlist.Gate Gate_fn.Buf -> alias.(id) <- alias.(node.Netlist.fanins.(0))
+      | Netlist.Gate Gate_fn.Not -> (
+          (* NOT (NOT x) -> x *)
+          let src = node.Netlist.fanins.(0) in
+          match Netlist.kind t src with
+          | Netlist.Gate Gate_fn.Not ->
+              alias.(id) <- alias.((Netlist.fanins t src).(0))
+          | _ -> ())
+      | _ -> ())
+    (Netlist.topo_order t);
+  let changed =
+    Netlist.fold
+      (fun _id node acc ->
+        acc
+        || (Netlist.is_combinational node.Netlist.kind || node.Netlist.kind = Netlist.Dff)
+           && Array.exists (fun src -> alias.(src) <> src) node.Netlist.fanins)
+      t false
+  in
+  if not changed then t
+  else
+    Netlist.with_kinds t (fun _id kind fanins ->
+        (kind, Array.map (fun src -> alias.(src)) fanins))
+
+let optimize t =
+  let rec fix t k =
+    if k = 0 then t
+    else
+      let t' = collapse_buffers (const_fold t) in
+      if t' == t then t else fix t' (k - 1)
+  in
+  let t = fix t 8 in
+  fst (Transform.sweep t)
+
+let size_reduction ~before ~after =
+  let b = float_of_int (Netlist.gate_count before) in
+  let a = float_of_int (Netlist.gate_count after) in
+  if b = 0. then 0. else (b -. a) /. b *. 100.

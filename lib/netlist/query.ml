@@ -1,0 +1,180 @@
+let fanin_cone t start =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      acc := id :: !acc;
+      if Netlist.is_combinational (Netlist.kind t id) then
+        Array.iter go (Netlist.fanins t id)
+    end
+  in
+  go start;
+  List.rev !acc
+
+let fanout_cone t start =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      acc := id :: !acc;
+      (* stop expanding past sequential elements *)
+      List.iter
+        (fun out ->
+          match Netlist.kind t out with
+          | Netlist.Dff -> ()
+          | _ -> go out)
+        (Netlist.fanouts t id)
+    end
+  in
+  go start;
+  List.rev !acc
+
+let cone_inputs t nodes =
+  let seen = Hashtbl.create 64 in
+  let inputs = Hashtbl.create 16 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      if Netlist.is_combinational (Netlist.kind t id) then
+        Array.iter go (Netlist.fanins t id)
+      else Hashtbl.replace inputs id ()
+    end
+  in
+  List.iter
+    (fun id ->
+      (* start from the fanins so a source passed directly is not its own
+         input *)
+      if Netlist.is_combinational (Netlist.kind t id) then
+        Array.iter go (Netlist.fanins t id)
+      else Hashtbl.replace inputs id ())
+    nodes;
+  Hashtbl.fold (fun id () acc -> id :: acc) inputs []
+  |> List.sort Int.compare
+
+let levels t =
+  let order = Netlist.topo_order t in
+  let lv = Array.make (Netlist.node_count t) 0 in
+  Array.iter
+    (fun id ->
+      if Netlist.is_combinational (Netlist.kind t id) then begin
+        let m = ref 0 in
+        Array.iter (fun src -> m := max !m lv.(src)) (Netlist.fanins t id);
+        lv.(id) <- !m + 1
+      end)
+    order;
+  lv
+
+let depth t = Array.fold_left max 0 (levels t)
+
+let bfs_reaches t ~cross_dff a b =
+  if a = b then true
+  else begin
+    let seen = Array.make (Netlist.node_count t) false in
+    let queue = Queue.create () in
+    Queue.push a queue;
+    seen.(a) <- true;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let id = Queue.pop queue in
+      List.iter
+        (fun out ->
+          if not seen.(out) then begin
+            let is_dff =
+              match Netlist.kind t out with Netlist.Dff -> true | _ -> false
+            in
+            if out = b then found := true
+            else if cross_dff || not is_dff then begin
+              seen.(out) <- true;
+              Queue.push out queue
+            end
+          end)
+        (Netlist.fanouts t id)
+    done;
+    !found
+  end
+
+let reaches t a b = bfs_reaches t ~cross_dff:true a b
+let reaches_combinationally t a b = bfs_reaches t ~cross_dff:false a b
+
+let sequential_depth_to_po t =
+  (* Reverse BFS in the cost domain: cost of traversing into a DFF is 1,
+     other edges 0.  0/1 BFS with a deque. *)
+  let n = Netlist.node_count t in
+  let dist = Array.make n max_int in
+  let deque = ref [] and back = ref [] in
+  let push_front x = deque := x :: !deque in
+  let push_back x = back := x :: !back in
+  let pop () =
+    match !deque with
+    | x :: rest ->
+        deque := rest;
+        Some x
+    | [] -> (
+        match List.rev !back with
+        | [] -> None
+        | x :: rest ->
+            deque := rest;
+            back := [];
+            Some x)
+  in
+  List.iter
+    (fun id ->
+      if dist.(id) <> 0 then begin
+        dist.(id) <- 0;
+        push_back id
+      end)
+    (Netlist.pos t);
+  let rec drain () =
+    match pop () with
+    | None -> ()
+    | Some id ->
+        let d = dist.(id) in
+        (* relax fanin edges: moving from node [id] to its fanin [src].
+           Crossing INTO a DFF from its fanout side means the fanin path
+           passes through that DFF: the cost is on the DFF node itself. *)
+        let cost =
+          match Netlist.kind t id with Netlist.Dff -> 1 | _ -> 0
+        in
+        Array.iter
+          (fun src ->
+            let nd = d + cost in
+            if nd < dist.(src) then begin
+              dist.(src) <- nd;
+              if cost = 0 then push_front src else push_back src
+            end)
+          (Netlist.fanins t id);
+        drain ()
+  in
+  drain ();
+  dist
+
+let connected_lut_pairs t ids =
+  (* One BFS per source (instead of one per pair): collect every member of
+     [ids] combinationally reachable from each source. *)
+  let module Int_set = Set.Make (Int) in
+  let targets = Int_set.of_list ids in
+  let acc = ref [] in
+  List.iter
+    (fun a ->
+      let seen = Hashtbl.create 64 in
+      let queue = Queue.create () in
+      Queue.push a queue;
+      Hashtbl.add seen a ();
+      while not (Queue.is_empty queue) do
+        let id = Queue.pop queue in
+        List.iter
+          (fun out ->
+            if not (Hashtbl.mem seen out) then
+              match Netlist.kind t out with
+              | Netlist.Dff -> ()
+              | _ ->
+                  Hashtbl.add seen out ();
+                  if Int_set.mem out targets && out <> a then
+                    acc := (a, out) :: !acc;
+                  Queue.push out queue)
+          (Netlist.fanouts t id)
+      done)
+    ids;
+  List.rev !acc

@@ -1,0 +1,48 @@
+(** Structural queries over netlists: cones, levels and reachability.
+
+    The selection algorithms reason in these terms: transitive fan-in of a
+    missing gate bounds the attacker-controllable inputs [I] of Eq. (3);
+    combinational levels feed the timing model; reachability between LUTs
+    establishes the "dependent" property of Section IV-A.2. *)
+
+val fanin_cone : Netlist.t -> Netlist.node_id -> Netlist.node_id list
+(** Transitive fan-in through combinational nodes only, stopping at (and
+    including) PIs, constants, and DFF outputs.  Includes the start node. *)
+
+val fanout_cone : Netlist.t -> Netlist.node_id -> Netlist.node_id list
+(** Transitive fan-out through combinational nodes only, stopping at (and
+    including) DFF inputs and primary-output drivers.  Includes the start
+    node. *)
+
+val cone_inputs : Netlist.t -> Netlist.node_id list -> Netlist.node_id list
+(** Sources (PIs, constants, DFF outputs) feeding the combinational cones
+    of the given nodes — the attacker-accessible inputs [I] of Eq. (3). *)
+
+val levels : Netlist.t -> int array
+(** Combinational level per node: sources are level 0; a combinational
+    node is 1 + max of its fanin levels. *)
+
+val depth : Netlist.t -> int
+(** Maximum combinational level (logic depth of the longest stage). *)
+
+val reaches : Netlist.t -> Netlist.node_id -> Netlist.node_id -> bool
+(** [reaches t a b]: is there a directed path (through any node kind,
+    crossing flip-flops) from [a] to [b]? *)
+
+val reaches_combinationally :
+  Netlist.t -> Netlist.node_id -> Netlist.node_id -> bool
+(** Same but without crossing {e through} flip-flops.  Reaching a flip-flop
+    node as the destination means reaching its D input, which is a purely
+    combinational path and therefore counts. *)
+
+val sequential_depth_to_po : Netlist.t -> int array
+(** For each node, the minimum number of flip-flops on any path from the
+    node to a primary output ([D_i] of Eqs. (1) and (2): how many clock
+    cycles are needed to propagate the node's value to an observation
+    point).  Nodes that reach no output get [max_int]. *)
+
+val connected_lut_pairs :
+  Netlist.t -> Netlist.node_id list -> (Netlist.node_id * Netlist.node_id) list
+(** Pairs [(a, b)] from the given set where [b] is combinationally
+    reachable from [a] — the dependency structure the dependent-selection
+    security argument relies on. *)

@@ -1,0 +1,45 @@
+(** Scan-chain insertion and locking.
+
+    The attack-cost asymmetry the paper builds on (Section IV-A, the
+    [11]/[18]/[6] discussion) is really about {e scan access}: with an
+    open scan chain the attacker loads and reads the flip-flops at will,
+    making every missing gate's neighbourhood combinationally reachable;
+    with the chain disabled or locked, only multi-cycle sequences through
+    the primary inputs remain.
+
+    [insert] performs standard mux-D scan stitching: every flip-flop's D
+    input is replaced by a 2:1 mux between functional data and the
+    previous element of the chain, controlled by a new [scan_en] primary
+    input; the chain head is a new [scan_in] input and the tail drives a
+    new [scan_out] output.  In functional mode ([scan_en] = 0) the circuit
+    is cycle-exact to the original. *)
+
+type chain = {
+  netlist : Netlist.t;
+  scan_en : Netlist.node_id;
+  scan_in : Netlist.node_id;
+  order : Netlist.node_id list;
+      (** flip-flops from chain head (nearest [scan_in]) to tail, as node
+          ids of the {e scanned} netlist *)
+}
+
+val insert : Netlist.t -> chain
+(** Raises [Invalid_argument] when the netlist has no flip-flops, or
+    already uses the reserved names ([scan_en], [scan_in], [scan_out]). *)
+
+val shift_cycles : chain -> int
+(** Flip-flop count: cycles to load or unload the full state. *)
+
+val shift_sequence : chain -> bool array -> bool array list
+(** The primary-input vectors (in the scanned netlist's PI order, one per
+    clock cycle) that shift the given state (in [order]) into the chain:
+    [scan_en] high, [scan_in] carrying the state bits tail-first,
+    functional inputs held low.  Raises [Invalid_argument] on a state
+    length mismatch. *)
+
+val lock : Netlist.t -> Netlist.t
+(** The shipped configuration: force [scan_en] to constant 0 (the fuse is
+    blown / the secure-scan key is absent), turning every scan mux into
+    plain functional mode.  After [Opt.optimize] the chain logic
+    disappears entirely.  Raises [Invalid_argument] when the netlist has
+    no [scan_en] input. *)

@@ -1,0 +1,109 @@
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let cell_models =
+  {|
+module STT_DFF (input wire clk, input wire d, output reg q);
+  always @(posedge clk) q <= d;
+endmodule
+
+module STT_LUT #(parameter WIDTH = 2, parameter [63:0] CONFIG = 64'bx)
+  (input wire [WIDTH-1:0] a, output wire y);
+  assign y = CONFIG[a];
+endmodule
+|}
+
+let to_string t =
+  let buf = Buffer.create 8192 in
+  let n = Netlist.name t in
+  let wire id = sanitize (n id) in
+  let pis = Netlist.pis t in
+  let outs = Netlist.outputs t in
+  Buffer.add_string buf
+    (Printf.sprintf "// generated from %s\n" (Netlist.design_name t));
+  Buffer.add_string buf
+    (Printf.sprintf "module %s (\n  input wire clk,\n"
+       (sanitize (Netlist.design_name t)));
+  List.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "  input wire %s,\n" (wire id)))
+    pis;
+  let out_lines =
+    Array.to_list outs
+    |> List.map (fun (name, _) -> Printf.sprintf "  output wire %s" (sanitize name))
+  in
+  Buffer.add_string buf (String.concat ",\n" out_lines);
+  Buffer.add_string buf "\n);\n\n";
+  (* internal wires *)
+  Netlist.iter
+    (fun id nd ->
+      match nd.Netlist.kind with
+      | Netlist.Pi -> ()
+      | _ -> Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (wire id)))
+    t;
+  Buffer.add_string buf "\n";
+  let fanin_names id =
+    Netlist.fanins t id |> Array.to_list |> List.map wire
+  in
+  Netlist.iter
+    (fun id nd ->
+      match nd.Netlist.kind with
+      | Netlist.Pi -> ()
+      | Netlist.Const v ->
+          Buffer.add_string buf
+            (Printf.sprintf "  assign %s = 1'b%d;\n" (wire id)
+               (if v then 1 else 0))
+      | Netlist.Dff ->
+          Buffer.add_string buf
+            (Printf.sprintf "  STT_DFF dff_%s (.clk(clk), .d(%s), .q(%s));\n"
+               (wire id)
+               (List.hd (fanin_names id))
+               (wire id))
+      | Netlist.Gate fn ->
+          let op =
+            match fn with
+            | Sttc_logic.Gate_fn.Buf -> "buf"
+            | Sttc_logic.Gate_fn.Not -> "not"
+            | Sttc_logic.Gate_fn.And _ -> "and"
+            | Sttc_logic.Gate_fn.Nand _ -> "nand"
+            | Sttc_logic.Gate_fn.Or _ -> "or"
+            | Sttc_logic.Gate_fn.Nor _ -> "nor"
+            | Sttc_logic.Gate_fn.Xor _ -> "xor"
+            | Sttc_logic.Gate_fn.Xnor _ -> "xnor"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  %s g_%s (%s, %s);\n" op (wire id) (wire id)
+               (String.concat ", " (fanin_names id)))
+      | Netlist.Lut { arity; config } ->
+          let cfg =
+            match config with
+            | None -> "64'bx"
+            | Some c ->
+                Printf.sprintf "64'h%Lx" (Sttc_logic.Truth.bits c)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  STT_LUT #(.WIDTH(%d), .CONFIG(%s)) lut_%s (.a({%s}), .y(%s));\n"
+               arity cfg (wire id)
+               (String.concat ", " (List.rev (fanin_names id)))
+               (wire id)))
+    t;
+  Buffer.add_string buf "\n";
+  Array.iter
+    (fun (name, id) ->
+      if sanitize name <> wire id then
+        Buffer.add_string buf
+          (Printf.sprintf "  assign %s = %s;\n" (sanitize name) (wire id)))
+    outs;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.add_string buf cell_models;
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

@@ -1,0 +1,11 @@
+(** Structural Verilog writer for hand-off to physical design, completing
+    the paper's Figure 2 flow after gate selection and replacement.
+
+    Gates map to Verilog primitives; LUT slots are emitted as instances of
+    a behavioural [STT_LUTn] cell whose parameter carries the configuration
+    (or is left at X for missing gates); flip-flops become a simple
+    positive-edge DFF module.  The output is self-contained: the LUT and
+    DFF cell models are included. *)
+
+val to_string : Netlist.t -> string
+val write_file : string -> Netlist.t -> unit

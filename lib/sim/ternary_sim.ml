@@ -1,0 +1,50 @@
+module Netlist = Sttc_netlist.Netlist
+module Ternary = Sttc_logic.Ternary
+
+type values = Ternary.v array
+
+let eval_comb ?state nl pis =
+  let pi_ids = Array.of_list (Netlist.pis nl) in
+  if Array.length pis <> Array.length pi_ids then
+    invalid_arg "Ternary_sim.eval_comb: PI count mismatch";
+  let dff_ids = Array.of_list (Netlist.dffs nl) in
+  let state =
+    match state with
+    | None -> Array.make (Array.length dff_ids) Ternary.X
+    | Some s ->
+        if Array.length s <> Array.length dff_ids then
+          invalid_arg "Ternary_sim.eval_comb: state length mismatch"
+        else s
+  in
+  let values = Array.make (Netlist.node_count nl) Ternary.X in
+  Array.iteri (fun i id -> values.(id) <- pis.(i)) pi_ids;
+  Array.iteri (fun i id -> values.(id) <- state.(i)) dff_ids;
+  Array.iter
+    (fun id ->
+      let node = Netlist.node nl id in
+      match node.Netlist.kind with
+      | Netlist.Pi | Netlist.Dff -> ()
+      | Netlist.Const v -> values.(id) <- Ternary.of_bool v
+      | Netlist.Gate fn ->
+          let inputs = Array.map (fun s -> values.(s)) node.Netlist.fanins in
+          values.(id) <- Ternary.eval_gate fn inputs
+      | Netlist.Lut { config = Some c; _ } ->
+          let inputs = Array.map (fun s -> values.(s)) node.Netlist.fanins in
+          values.(id) <- Ternary.eval_truth c inputs
+      | Netlist.Lut { config = None; _ } -> values.(id) <- Ternary.X)
+    (Netlist.topo_order nl);
+  values
+
+let outputs nl values =
+  Array.map (fun (_, id) -> values.(id)) (Netlist.outputs nl)
+
+let unknown_outputs nl values =
+  Array.fold_left
+    (fun acc v -> if v = Ternary.X then acc + 1 else acc)
+    0 (outputs nl values)
+
+let x_reaches_observation nl values =
+  Array.exists (fun v -> v = Ternary.X) (outputs nl values)
+  || List.exists
+       (fun ff -> values.((Netlist.fanins nl ff).(0)) = Ternary.X)
+       (Netlist.dffs nl)

@@ -1,0 +1,32 @@
+type style =
+  | Cmos
+  | Stt_lut
+  | Sequential
+
+type t = {
+  cell_name : string;
+  style : style;
+  arity : int;
+  delay_ps : float;
+  switch_energy_fj : float;
+  leakage_nw : float;
+  area_um2 : float;
+}
+
+let activity_independent c =
+  match c.style with Stt_lut -> true | Cmos | Sequential -> false
+
+let dynamic_power_uw c ~activity ~clock_ghz =
+  if activity < 0. || activity > 1. then
+    invalid_arg "Cell.dynamic_power_uw: activity out of [0,1]";
+  if clock_ghz <= 0. then invalid_arg "Cell.dynamic_power_uw: clock";
+  (* fJ * GHz = microwatt *)
+  let effective = if activity_independent c then 1. else activity in
+  effective *. c.switch_energy_fj *. clock_ghz
+
+let total_power_uw c ~activity ~clock_ghz =
+  dynamic_power_uw c ~activity ~clock_ghz +. (c.leakage_nw /. 1000.)
+
+let pp fmt c =
+  Format.fprintf fmt "%s(arity %d): %.1f ps, %.2f fJ, %.2f nW, %.2f um2"
+    c.cell_name c.arity c.delay_ps c.switch_energy_fj c.leakage_nw c.area_um2

@@ -1,0 +1,150 @@
+module Gate_fn = Sttc_logic.Gate_fn
+
+type fig1_row = {
+  gate : Gate_fn.t;
+  delay_ratio : float;
+  active_power_ratio_10 : float;
+  active_power_ratio_30 : float;
+  standby_power_ratio : float;
+  energy_per_switching_ratio : float;
+}
+
+(* Published values, Fig. 1 of the paper (normalized to static CMOS). *)
+let fig1_reference =
+  [
+    {
+      gate = Gate_fn.Nand 2;
+      delay_ratio = 6.46;
+      active_power_ratio_10 = 90.35;
+      active_power_ratio_30 = 30.12;
+      standby_power_ratio = 0.48;
+      energy_per_switching_ratio = 58.36;
+    };
+    {
+      gate = Gate_fn.Nand 4;
+      delay_ratio = 4.49;
+      active_power_ratio_10 = 76.73;
+      active_power_ratio_30 = 25.57;
+      standby_power_ratio = 0.96;
+      energy_per_switching_ratio = 34.45;
+    };
+    {
+      gate = Gate_fn.Nor 2;
+      delay_ratio = 4.85;
+      active_power_ratio_10 = 80.2;
+      active_power_ratio_30 = 26.73;
+      standby_power_ratio = 0.51;
+      energy_per_switching_ratio = 38.89;
+    };
+    {
+      gate = Gate_fn.Nor 4;
+      delay_ratio = 3.06;
+      active_power_ratio_10 = 24.25;
+      active_power_ratio_30 = 8.08;
+      standby_power_ratio = 1.06;
+      energy_per_switching_ratio = 7.42;
+    };
+    {
+      gate = Gate_fn.Xor 2;
+      delay_ratio = 4.95;
+      active_power_ratio_10 = 22.45;
+      active_power_ratio_30 = 7.48;
+      standby_power_ratio = 0.13;
+      energy_per_switching_ratio = 11.11;
+    };
+    {
+      gate = Gate_fn.Xor 4;
+      delay_ratio = 4.18;
+      active_power_ratio_10 = 90.06;
+      active_power_ratio_30 = 30.02;
+      standby_power_ratio = 0.04;
+      energy_per_switching_ratio = 37.64;
+    };
+  ]
+
+(* --- Analytical 32 nm-style model behind [fig1_model] ---
+
+   The MTJ LUT read path is a pre-charge sense amplifier discharging
+   through an NMOS select tree of depth n (the fan-in): delay is dominated
+   by a fixed sense time plus one tree level per input, so the ratio to a
+   CMOS gate falls as the CMOS gate itself slows with fan-in.  The
+   pre-charge burns a fixed energy every clock, independent of data, so
+   the active-power ratio to CMOS scales as 1/activity.  Standby power is
+   near zero in the MTJ array; only the sense amplifier periphery leaks. *)
+
+let tau32_ps = 14.
+
+let cmos_delay32 fn =
+  match fn with
+  | Gate_fn.Buf -> 1.6 *. tau32_ps
+  | Gate_fn.Not -> tau32_ps
+  | Gate_fn.Nand n -> tau32_ps *. (1.0 +. (0.33 *. float_of_int (n - 1)))
+  | Gate_fn.Nor n -> tau32_ps *. (1.0 +. (0.62 *. float_of_int (n - 1)))
+  | Gate_fn.And n -> tau32_ps *. (2.0 +. (0.33 *. float_of_int (n - 1)))
+  | Gate_fn.Or n -> tau32_ps *. (2.0 +. (0.62 *. float_of_int (n - 1)))
+  | Gate_fn.Xor n | Gate_fn.Xnor n ->
+      tau32_ps *. (2.2 +. (0.85 *. float_of_int (n - 1)))
+
+let cmos_energy32_fj fn = 1.0 *. float_of_int (Cmos_lib.transistor_count fn) /. 2.
+
+let cmos_leak32_nw fn =
+  let pairs = float_of_int (Cmos_lib.transistor_count fn) /. 2. in
+  let stack =
+    match fn with
+    | Gate_fn.Nand n | Gate_fn.Nor n | Gate_fn.And n | Gate_fn.Or n ->
+        1.0 /. (1.0 +. (0.45 *. float_of_int (n - 1)))
+    | _ -> 1.0
+  in
+  2.0 *. pairs *. stack
+
+let lut_delay32_ps n = 110. +. (8. *. float_of_int n)
+let lut_energy32_fj n = 9. *. (2. ** (float_of_int n /. 2.))
+let lut_leak32_nw n = 0.55 +. (0.10 *. float_of_int (1 lsl n))
+
+let fig1_model fn =
+  Gate_fn.validate fn;
+  let n = Gate_fn.arity fn in
+  if n < 2 || n > 4 then invalid_arg "Stt_lib.fig1_model: arity 2..4";
+  let d_ratio = lut_delay32_ps n /. cmos_delay32 fn in
+  let power_ratio alpha =
+    (* LUT burns its pre-charge energy every cycle; CMOS switches its
+       output with probability alpha per cycle. *)
+    lut_energy32_fj n /. (alpha *. cmos_energy32_fj fn)
+  in
+  {
+    gate = fn;
+    delay_ratio = d_ratio;
+    active_power_ratio_10 = power_ratio 0.1;
+    active_power_ratio_30 = power_ratio 0.3;
+    standby_power_ratio = lut_leak32_nw n /. cmos_leak32_nw fn;
+    energy_per_switching_ratio =
+      (* LUT energy per CMOS output transition at the reference activity
+         15.5 % implied by the published NAND2 row *)
+      lut_energy32_fj n /. (0.155 *. cmos_energy32_fj fn);
+  }
+
+(* --- 90 nm-calibrated LUT cells for the hybrid flow --- *)
+
+let lut n =
+  if n < 1 || n > Sttc_logic.Truth.max_arity then
+    invalid_arg "Stt_lib.lut: arity out of range";
+  let fn = float_of_int n in
+  {
+    Cell.cell_name = Printf.sprintf "STT_LUT%d" n;
+    style = Cell.Stt_lut;
+    arity = n;
+    (* sense time + one select-tree level per input *)
+    delay_ps = 160. +. (25. *. fn);
+    (* pre-charge energy per cycle, data independent; calibrated so a
+       LUT2 burns ~7x an average always-active gate, reproducing the
+       Table I power-overhead scale *)
+    switch_energy_fj = 6.3 *. (1.6 ** (fn -. 2.));
+    (* near-zero MTJ leakage; sense-amp periphery only *)
+    leakage_nw = 1.1 +. (0.15 *. float_of_int (1 lsl n));
+    area_um2 = 3.4 +. (1.05 *. float_of_int (1 lsl n));
+  }
+
+let write_energy_fj = 450.
+let write_time_ns = 10.
+let retention_years = 10.
+let endurance_writes = 1e16

@@ -1,0 +1,66 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let missing = width - n in
+    match align with
+    | Left -> s ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ s
+    | Center ->
+        let l = missing / 2 in
+        String.make l ' ' ^ s ^ String.make (missing - l) ' '
+
+let render t =
+  let headers = List.map fst t.headers in
+  let aligns = List.map snd t.headers in
+  let rows = List.rev t.rows in
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  let account cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  account headers;
+  List.iter (function Cells c -> account c | Rule -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let line aligns cells =
+    List.iteri
+      (fun i c ->
+        let a = List.nth aligns i in
+        Buffer.add_string buf ("| " ^ pad a widths.(i) c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  rule ();
+  line (List.map (fun _ -> Center) headers) headers;
+  rule ();
+  List.iter
+    (function
+      | Cells c -> line aligns c
+      | Rule -> rule ())
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,22 @@
+(** Plain-text table rendering in the style of the paper's Tables I and II.
+
+    Columns are sized to their widest cell; headers may span two lines by
+    embedding ['\n']. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : headers:(string * align) list -> t
+(** [create ~headers] starts a table; each entry is the column header and
+    the alignment applied to its body cells. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header
+    width. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule before the next row. *)
+
+val render : t -> string
+val print : t -> unit

@@ -1,0 +1,617 @@
+(* Tests for Sttc_core: hybrids, the three selection algorithms, the
+   security equations, PPA evaluation, the flow driver and reporting. *)
+
+module Netlist = Sttc_netlist.Netlist
+module Generator = Sttc_netlist.Generator
+module Gate_fn = Sttc_logic.Gate_fn
+module Truth = Sttc_logic.Truth
+module Lognum = Sttc_util.Lognum
+module Rng = Sttc_util.Rng
+module Hybrid = Sttc_core.Hybrid
+module Select = Sttc_core.Select
+module Algorithms = Sttc_core.Algorithms
+module Security = Sttc_core.Security
+module Ppa = Sttc_core.Ppa
+module Flow = Sttc_core.Flow
+module Report = Sttc_core.Report
+
+let lib = Sttc_tech.Library.cmos90
+
+let medium_circuit seed =
+  Generator.generate ~seed
+    {
+      Generator.design_name = "med";
+      n_pi = 10;
+      n_po = 8;
+      n_ff = 8;
+      n_gates = 120;
+      levels = 8;
+    }
+
+(* ---------- Hybrid ---------- *)
+
+let test_hybrid_views () =
+  let nl = medium_circuit 1 in
+  let gates = Netlist.gates nl in
+  let picks = [ List.nth gates 3; List.nth gates 30; List.nth gates 60 ] in
+  let h = Hybrid.make nl picks in
+  Alcotest.(check int) "lut count" 3 (Hybrid.lut_count h);
+  (* foundry view: all LUTs missing *)
+  List.iter
+    (fun id ->
+      match Netlist.kind (Hybrid.foundry_view h) id with
+      | Netlist.Lut { config = None; _ } -> ()
+      | _ -> Alcotest.fail "foundry must not see configs")
+    (Hybrid.lut_ids h);
+  (* programmed view equivalent to the original *)
+  (match Hybrid.verify ~method_:`Sat h with
+  | Sttc_sim.Equiv.Equivalent -> ()
+  | _ -> Alcotest.fail "programmed hybrid must equal original");
+  (* bitstream restores the original when installed by hand *)
+  let installed = Hybrid.program_with h (Hybrid.bitstream h) in
+  match Sttc_sim.Equiv.check_sat nl installed with
+  | Sttc_sim.Equiv.Equivalent -> ()
+  | _ -> Alcotest.fail "bitstream reinstall failed"
+
+let test_hybrid_bitstream_bits () =
+  let nl = medium_circuit 2 in
+  let two_input =
+    List.filter
+      (fun id ->
+        match Netlist.kind nl id with
+        | Netlist.Gate fn -> Gate_fn.arity fn = 2
+        | _ -> false)
+      (Netlist.gates nl)
+  in
+  let picks = [ List.hd two_input; List.nth two_input 1 ] in
+  let h = Hybrid.make nl picks in
+  Alcotest.(check int) "2 luts x 4 rows" 8 (Hybrid.bitstream_bits h)
+
+let test_hybrid_wrong_bitstream_differs () =
+  (* Inverting the configuration of an observable gate should change the
+     function.  Logic masking can hide a single inversion, so probe a few
+     gates and require that at least one inversion is detected. *)
+  let nl = medium_circuit 3 in
+  let seq_depth = Sttc_netlist.Query.sequential_depth_to_po nl in
+  let reaching =
+    List.filter (fun id -> seq_depth.(id) < max_int) (Netlist.gates nl)
+  in
+  let candidates =
+    List.filteri (fun i _ -> i < 5) reaching
+  in
+  let detected =
+    List.exists
+      (fun pick ->
+        let h = Hybrid.make nl [ pick ] in
+        let _, correct = List.hd (Hybrid.bitstream h) in
+        let wrong = Truth.lnot correct in
+        let installed = Hybrid.program_with h [ (pick, wrong) ] in
+        match Sttc_sim.Equiv.check_sat nl installed with
+        | Sttc_sim.Equiv.Different _ -> true
+        | Sttc_sim.Equiv.Equivalent -> false
+        | Sttc_sim.Equiv.Inconclusive m -> Alcotest.fail m)
+      candidates
+  in
+  Alcotest.(check bool) "some inversion detected" true detected
+
+let test_hybrid_rejects_non_gate () =
+  let nl = medium_circuit 4 in
+  let pi = List.hd (Netlist.pis nl) in
+  Alcotest.(check bool) "pi rejected" true
+    (try
+       ignore (Hybrid.make nl [ pi ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.check_raises "empty selection"
+    (Invalid_argument "Hybrid.make: empty selection") (fun () ->
+      ignore (Hybrid.make nl []))
+
+let test_hybrid_extra_inputs () =
+  let nl = medium_circuit 5 in
+  let gates = Netlist.gates nl in
+  (* find a 2-input gate and a signal outside its downstream cone *)
+  let g =
+    List.find
+      (fun id ->
+        match Netlist.kind nl id with
+        | Netlist.Gate fn -> Gate_fn.arity fn = 2
+        | _ -> false)
+      gates
+  in
+  let pi = List.hd (Netlist.pis nl) in
+  let h = Hybrid.make ~extra_inputs:[ (g, [ pi ]) ] nl [ g ] in
+  (match Netlist.kind (Hybrid.foundry_view h) g with
+  | Netlist.Lut { arity = 3; _ } -> ()
+  | _ -> Alcotest.fail "expected widened LUT");
+  match Hybrid.verify ~method_:`Sat h with
+  | Sttc_sim.Equiv.Equivalent -> ()
+  | _ -> Alcotest.fail "extra input must not change function"
+
+(* ---------- selection algorithms ---------- *)
+
+let make_ctx ?(seed = 1) nl = Select.prepare ~rng:(Rng.make seed) lib nl
+
+let test_select_prepare () =
+  let nl = medium_circuit 6 in
+  let ctx = make_ctx nl in
+  Alcotest.(check bool) "paths found" true (ctx.Select.paths <> []);
+  (* pool contains only CMOS gates *)
+  List.iter
+    (fun id ->
+      match Netlist.kind nl id with
+      | Netlist.Gate _ -> ()
+      | _ -> Alcotest.fail "pool must contain gates only")
+    (Select.pool ctx)
+
+let test_independent_count () =
+  let nl = medium_circuit 7 in
+  let ctx = make_ctx nl in
+  let rng = Rng.make 2 in
+  let picks = Algorithms.independent ~rng ~count:5 ctx in
+  Alcotest.(check int) "exactly 5" 5 (List.length picks);
+  (* distinct *)
+  Alcotest.(check int) "distinct" 5
+    (List.length (List.sort_uniq Int.compare picks));
+  Alcotest.check_raises "bad count"
+    (Invalid_argument "Algorithms.independent: count") (fun () ->
+      ignore (Algorithms.independent ~rng ~count:0 ctx))
+
+let test_independent_small_circuit_fallback () =
+  (* a circuit with fewer path gates than requested still yields 5 *)
+  let nl = medium_circuit 8 in
+  let ctx = make_ctx nl in
+  let rng = Rng.make 3 in
+  let picks = Algorithms.independent ~rng ~count:40 ctx in
+  Alcotest.(check int) "widened to gate set" 40 (List.length picks)
+
+let test_dependent_connected () =
+  let nl = medium_circuit 9 in
+  let ctx = make_ctx nl in
+  let rng = Rng.make 4 in
+  let picks = Algorithms.dependent ~rng ctx in
+  Alcotest.(check bool) "non-empty" true (picks <> []);
+  (* the replaced gates come from one I/O path: consecutive gates of the
+     path are pairwise reachable, so at least one dependent pair exists
+     whenever two or more gates were picked *)
+  if List.length picks >= 2 then begin
+    let h = Hybrid.make nl picks in
+    let pairs =
+      Sttc_netlist.Query.connected_lut_pairs (Hybrid.foundry_view h)
+        (Hybrid.lut_ids h)
+    in
+    Alcotest.(check bool) "dependency exists" true (pairs <> [])
+  end
+
+let test_parametric_respects_timing () =
+  let nl = medium_circuit 10 in
+  let ctx = make_ctx nl in
+  let rng = Rng.make 5 in
+  let options =
+    { Algorithms.default_parametric with Algorithms.clock_factor = 1.10 }
+  in
+  let picks = Algorithms.parametric ~rng ~options ctx in
+  Alcotest.(check bool) "non-empty" true (picks <> []);
+  let h = Hybrid.make nl picks in
+  let sta_base = Sttc_analysis.Sta.analyze lib nl in
+  let sta_h = Sttc_analysis.Sta.analyze lib (Hybrid.programmed h) in
+  let degradation =
+    Sttc_analysis.Sta.critical_delay_ps sta_h
+    /. Sttc_analysis.Sta.critical_delay_ps sta_base
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "within constraint (got %.3f)" degradation)
+    true
+    (degradation <= 1.10 +. 1e-9)
+
+let test_parametric_eligibility () =
+  (* parametric only selects fan-in >= 2 gates on the timing paths; the
+     USL closure may add others, but every replaced node is a former CMOS
+     gate *)
+  let nl = medium_circuit 11 in
+  let ctx = make_ctx nl in
+  let rng = Rng.make 6 in
+  let picks = Algorithms.parametric ~rng ctx in
+  List.iter
+    (fun id ->
+      match Netlist.kind nl id with
+      | Netlist.Gate _ -> ()
+      | _ -> Alcotest.fail "parametric picked a non-gate")
+    picks
+
+(* ---------- Security (Eqs. 1-3) ---------- *)
+
+let test_security_formulas_tiny () =
+  (* one 2-input missing gate driving a PO directly: D = 1
+     Eq.1: alpha * D = 2.45; Eq.2: alpha * P * D = 6.125;
+     Eq.3: 2^I * P^M * D with I = 2, M = 1 -> 4 * 2.5 = 10 *)
+  let b = Netlist.Builder.create () in
+  let x = Netlist.Builder.add_pi b "x" in
+  let y = Netlist.Builder.add_pi b "y" in
+  let g = Netlist.Builder.add_gate b "g" (Gate_fn.And 2) [ x; y ] in
+  Netlist.Builder.add_output b "o" g;
+  let nl = Netlist.Builder.finalize b in
+  let h = Hybrid.make nl [ g ] in
+  let r = Security.evaluate (Hybrid.foundry_view h) ~luts:(Hybrid.lut_ids h) in
+  Alcotest.(check int) "M" 1 r.Security.missing_gates;
+  Alcotest.(check int) "I" 2 r.Security.accessible_inputs;
+  Alcotest.(check int) "bits" 4 r.Security.total_config_bits;
+  Alcotest.(check (float 1e-6)) "Eq.1" 2.45 (Lognum.to_float r.Security.n_indep);
+  Alcotest.(check (float 1e-6)) "Eq.2" 6.125 (Lognum.to_float r.Security.n_dep);
+  Alcotest.(check (float 1e-6)) "Eq.3" 10. (Lognum.to_float r.Security.n_bf)
+
+let test_security_monotone_in_m () =
+  let nl = medium_circuit 12 in
+  let gates = Array.of_list (Netlist.gates nl) in
+  let eval k =
+    let picks = Array.to_list (Array.sub gates 0 k) in
+    let h = Hybrid.make nl picks in
+    Security.evaluate (Hybrid.foundry_view h) ~luts:(Hybrid.lut_ids h)
+  in
+  let r5 = eval 5 and r20 = eval 20 in
+  Alcotest.(check bool) "Eq.2 grows with M" true
+    (Lognum.compare r20.Security.n_dep r5.Security.n_dep > 0);
+  Alcotest.(check bool) "Eq.3 grows with M" true
+    (Lognum.compare r20.Security.n_bf r5.Security.n_bf > 0)
+
+let test_security_dependent_gt_independent () =
+  (* for any nontrivial selection, N_dep >>> N_indep *)
+  let nl = medium_circuit 13 in
+  let ctx = make_ctx nl in
+  let picks = Algorithms.dependent ~rng:(Rng.make 1) ctx in
+  let h = Hybrid.make nl picks in
+  let r = Security.evaluate (Hybrid.foundry_view h) ~luts:(Hybrid.lut_ids h) in
+  Alcotest.(check bool) "N_dep > N_indep" true
+    (Lognum.compare r.Security.n_dep r.Security.n_indep > 0)
+
+let test_security_years () =
+  let y = Security.years_to_break (Lognum.of_log10 220.) in
+  (* 1e220 clocks at 1e9/s ~ 3e203 years: far beyond the paper's
+     1000-year bar *)
+  Alcotest.(check bool) "more than 1000 years" true
+    (Lognum.compare y (Lognum.of_float 1000.) > 0)
+
+let test_security_validation () =
+  let nl = medium_circuit 14 in
+  Alcotest.check_raises "no luts"
+    (Invalid_argument "Security.evaluate: no missing gates") (fun () ->
+      ignore (Security.evaluate nl ~luts:[]));
+  Alcotest.check_raises "not a lut"
+    (Invalid_argument "Security.evaluate: node is not a LUT") (fun () ->
+      ignore (Security.evaluate nl ~luts:[ List.hd (Netlist.gates nl) ]))
+
+let test_security_constants () =
+  (* paper vs computed constants differ but stay in the same ballpark *)
+  let nl = medium_circuit 15 in
+  let gates = Array.of_list (Netlist.gates nl) in
+  let picks = Array.to_list (Array.sub gates 0 8) in
+  let h = Hybrid.make nl picks in
+  let foundry = Hybrid.foundry_view h in
+  let luts = Hybrid.lut_ids h in
+  let rp = Security.evaluate ~constants:Security.paper_constants foundry ~luts in
+  let rc =
+    Security.evaluate ~constants:Security.computed_constants foundry ~luts
+  in
+  let gap =
+    Float.abs (Lognum.log10 rp.Security.n_dep -. Lognum.log10 rc.Security.n_dep)
+  in
+  Alcotest.(check bool) "within 4 orders of magnitude" true (gap < 4.)
+
+(* ---------- Ppa ---------- *)
+
+let test_ppa_overheads_positive () =
+  let nl = medium_circuit 16 in
+  let gates = Netlist.gates nl in
+  let picks = [ List.nth gates 10; List.nth gates 50 ] in
+  let h = Hybrid.make nl picks in
+  let o = Ppa.evaluate lib ~base:nl ~hybrid:(Hybrid.programmed h) in
+  Alcotest.(check int) "n_stts" 2 o.Ppa.n_stts;
+  Alcotest.(check bool) "power overhead > 0" true (o.Ppa.power_pct > 0.);
+  Alcotest.(check bool) "area overhead > 0" true (o.Ppa.area_pct > 0.);
+  Alcotest.(check bool) "perf overhead >= 0" true (o.Ppa.performance_pct >= 0.);
+  Alcotest.(check (float 1e-9)) "identity" 0.
+    (Ppa.evaluate lib ~base:nl ~hybrid:nl).Ppa.power_pct
+
+(* ---------- Flow ---------- *)
+
+let test_flow_protect_all_algorithms () =
+  let nl = medium_circuit 17 in
+  List.iter
+    (fun alg ->
+      let r = Flow.protect ~seed:3 alg nl in
+      Alcotest.(check bool)
+        (Flow.algorithm_name alg ^ " produced luts")
+        true
+        (Hybrid.lut_count r.Flow.hybrid > 0);
+      Alcotest.(check bool)
+        (Flow.algorithm_name alg ^ " sign-off")
+        true
+        (Flow.sign_off ~method_:(`Random 2048) r))
+    Flow.default_algorithms
+
+let test_flow_deterministic () =
+  let nl = medium_circuit 18 in
+  let r1 = Flow.protect ~seed:9 Flow.Dependent nl in
+  let r2 = Flow.protect ~seed:9 Flow.Dependent nl in
+  Alcotest.(check (list int)) "same selection"
+    (Hybrid.lut_ids r1.Flow.hybrid)
+    (Hybrid.lut_ids r2.Flow.hybrid)
+
+let test_flow_independent_uses_count () =
+  let nl = medium_circuit 19 in
+  let r = Flow.protect ~seed:4 (Flow.Independent { count = 7 }) nl in
+  Alcotest.(check int) "seven luts" 7 (Hybrid.lut_count r.Flow.hybrid)
+
+let test_flow_rejects_gateless () =
+  let b = Netlist.Builder.create () in
+  let a = Netlist.Builder.add_pi b "a" in
+  Netlist.Builder.add_output b "y" a;
+  let nl = Netlist.Builder.finalize b in
+  Alcotest.check_raises "no gates"
+    (Invalid_argument "Flow.protect: netlist has no CMOS gates") (fun () ->
+      ignore (Flow.protect (Flow.Independent { count = 1 }) nl))
+
+(* ---------- Expand / hardening ---------- *)
+
+let test_expand_extra_inputs () =
+  let nl = medium_circuit 21 in
+  let gates = Netlist.gates nl in
+  let picks = [ List.nth gates 5; List.nth gates 40 ] in
+  let extras =
+    Sttc_core.Expand.pick_extra_inputs ~rng:(Rng.make 1) ~per_lut:2 nl picks
+  in
+  List.iter
+    (fun (gate, added) ->
+      Alcotest.(check bool) "at most 2" true (List.length added <= 2);
+      let existing = Array.to_list (Netlist.fanins nl gate) in
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "not already a fanin" false (List.mem e existing);
+          Alcotest.(check bool) "no combinational cycle" false
+            (Netlist.is_combinational (Netlist.kind nl e)
+            && Sttc_netlist.Query.reaches_combinationally nl gate e))
+        added)
+    extras;
+  (* hybrids built with extras still verify *)
+  let h = Hybrid.make ~extra_inputs:extras nl picks in
+  match Hybrid.verify ~method_:`Sat h with
+  | Sttc_sim.Equiv.Equivalent -> ()
+  | _ -> Alcotest.fail "extras broke equivalence"
+
+let test_expand_absorptions () =
+  let nl = medium_circuit 22 in
+  let gates = Netlist.gates nl in
+  let picks = List.filteri (fun i _ -> i mod 7 = 0) gates in
+  let absorb = Sttc_core.Expand.pick_absorptions nl picks in
+  List.iter
+    (fun (gate, driver) ->
+      Alcotest.(check bool) "gate selected" true (List.mem gate picks);
+      Alcotest.(check bool) "driver not selected" false (List.mem driver picks);
+      match Netlist.fanouts nl driver with
+      | [ single ] -> Alcotest.(check int) "single fanout" gate single
+      | _ -> Alcotest.fail "driver must have single fanout")
+    absorb
+
+let test_flow_hardening () =
+  let nl = medium_circuit 23 in
+  let hardening =
+    { Flow.extra_inputs_per_lut = 2; absorb_drivers = true }
+  in
+  let plain = Flow.protect ~seed:4 (Flow.Independent { count = 5 }) nl in
+  let hard = Flow.protect ~seed:4 ~hardening (Flow.Independent { count = 5 }) nl in
+  (* hardening must preserve functionality *)
+  Alcotest.(check bool) "hardened sign-off" true
+    (Flow.sign_off ~method_:(`Random 2048) hard);
+  (* ... and strictly enlarge the configuration space *)
+  Alcotest.(check bool) "more config bits" true
+    (hard.Flow.security.Security.total_config_bits
+    > plain.Flow.security.Security.total_config_bits);
+  Alcotest.(check bool) "brute-force space grows" true
+    (Lognum.compare hard.Flow.security.Security.n_bf
+       plain.Flow.security.Security.n_bf
+    > 0)
+
+(* ---------- Camouflage baseline ---------- *)
+
+let test_camouflage_basics () =
+  let nl = medium_circuit 27 in
+  let cells = Sttc_core.Camouflage.eligible nl in
+  Alcotest.(check bool) "some eligible" true (cells <> []);
+  List.iter
+    (fun id ->
+      match Netlist.kind nl id with
+      | Netlist.Gate fn ->
+          Alcotest.(check bool) "2-input candidate" true
+            (List.mem fn Sttc_core.Camouflage.candidate_functions)
+      | _ -> Alcotest.fail "eligible must be gates")
+    cells;
+  let camo = Sttc_core.Camouflage.random ~rng:(Rng.make 1) ~count:3 nl in
+  Alcotest.(check int) "3 cells" 3 (Sttc_core.Camouflage.cell_count camo);
+  (* search space = 3^3 = 27, far below the 2^12 of three full 2-LUTs *)
+  Alcotest.(check (float 1e-6)) "3^M" 27.
+    (Lognum.to_float (Sttc_core.Camouflage.search_space camo));
+  (* the camouflaged design still computes the original function *)
+  match Hybrid.verify ~method_:`Sat (Sttc_core.Camouflage.hybrid camo) with
+  | Sttc_sim.Equiv.Equivalent -> ()
+  | _ -> Alcotest.fail "camouflage must preserve function"
+
+let test_camouflage_rejects_ineligible () =
+  let nl = medium_circuit 28 in
+  let not_eligible =
+    List.find
+      (fun id ->
+        match Netlist.kind nl id with
+        | Netlist.Gate fn ->
+            not (List.mem fn Sttc_core.Camouflage.candidate_functions)
+        | _ -> false)
+      (Netlist.gates nl)
+  in
+  Alcotest.check_raises "ineligible"
+    (Invalid_argument "Camouflage.make: gate is not a camouflageable cell")
+    (fun () -> ignore (Sttc_core.Camouflage.make nl [ not_eligible ]))
+
+let test_camouflage_sat_candidates () =
+  let nl = medium_circuit 29 in
+  let camo = Sttc_core.Camouflage.random ~rng:(Rng.make 2) ~count:2 nl in
+  let cands = Sttc_core.Camouflage.sat_candidates camo in
+  Alcotest.(check int) "one entry per cell" 2 (List.length cands);
+  List.iter
+    (fun (_, tables) ->
+      Alcotest.(check int) "three candidates" 3 (List.length tables);
+      (* the true function must be among the candidates *)
+      ())
+    cands
+
+(* ---------- Provision ---------- *)
+
+let test_provision_roundtrip () =
+  let nl = medium_circuit 24 in
+  let r = Flow.protect ~seed:6 (Flow.Independent { count = 4 }) nl in
+  let entries = Sttc_core.Provision.of_hybrid r.Flow.hybrid in
+  Alcotest.(check int) "one entry per lut" 4 (List.length entries);
+  let text = Sttc_core.Provision.to_string entries in
+  let entries2 = Sttc_core.Provision.parse text in
+  Alcotest.(check int) "parse count" 4 (List.length entries2);
+  let programmed =
+    Sttc_core.Provision.apply (Hybrid.foundry_view r.Flow.hybrid) entries2
+  in
+  match Sttc_sim.Equiv.check_sat nl programmed with
+  | Sttc_sim.Equiv.Equivalent -> ()
+  | _ -> Alcotest.fail "provisioned netlist differs"
+
+let test_provision_errors () =
+  let nl = medium_circuit 25 in
+  let r = Flow.protect ~seed:7 (Flow.Independent { count = 2 }) nl in
+  let foundry = Hybrid.foundry_view r.Flow.hybrid in
+  (* malformed text *)
+  Alcotest.(check bool) "garbage rejected" true
+    (try
+       ignore (Sttc_core.Provision.parse "not a bitstream line at all x y z");
+       false
+     with Failure _ -> true);
+  (* unknown LUT name *)
+  Alcotest.(check bool) "unknown name rejected" true
+    (try
+       ignore
+         (Sttc_core.Provision.apply foundry
+            [ { Sttc_core.Provision.lut_name = "ghost";
+                config = Truth.of_string "0110" } ]);
+       false
+     with Invalid_argument _ -> true);
+  (* incomplete bitstream leaves LUTs unconfigured *)
+  let entries = Sttc_core.Provision.of_hybrid r.Flow.hybrid in
+  Alcotest.(check bool) "partial rejected" true
+    (try
+       ignore (Sttc_core.Provision.apply foundry [ List.hd entries ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_provision_cost () =
+  let nl = medium_circuit 26 in
+  let r = Flow.protect ~seed:8 (Flow.Independent { count = 3 }) nl in
+  let cost = Sttc_core.Provision.programming_cost r.Flow.hybrid in
+  Alcotest.(check int) "cells = bitstream bits"
+    (Hybrid.bitstream_bits r.Flow.hybrid)
+    cost.Sttc_core.Provision.mtj_cells;
+  Alcotest.(check bool) "energy positive" true
+    (cost.Sttc_core.Provision.write_energy_nj > 0.);
+  Alcotest.(check bool) "time positive" true
+    (cost.Sttc_core.Provision.write_time_us > 0.)
+
+(* ---------- Report ---------- *)
+
+let test_report_rendering () =
+  let nl = medium_circuit 20 in
+  let results =
+    List.map
+      (fun alg -> (Flow.algorithm_name alg, Flow.protect ~seed:5 alg nl))
+      Flow.default_algorithms
+  in
+  let rows = [ { Report.circuit = "med"; size = 120; results } ] in
+  let t1 = Report.table1 rows in
+  Alcotest.(check bool) "table1 has circuit" true
+    (String.length t1 > 0
+    &&
+    let re = "med" in
+    let rec contains i =
+      i + String.length re <= String.length t1
+      && (String.sub t1 i (String.length re) = re || contains (i + 1))
+    in
+    contains 0);
+  let t2 = Report.table2 rows in
+  Alcotest.(check bool) "table2 nonempty" true (String.length t2 > 0);
+  let f3 = Report.fig3 rows in
+  Alcotest.(check bool) "fig3 nonempty" true (String.length f3 > 0);
+  let f1 = Report.fig1 () in
+  Alcotest.(check bool) "fig1 mentions NAND2" true
+    (let re = "NAND2" in
+     let rec contains i =
+       i + String.length re <= String.length f1
+       && (String.sub f1 i (String.length re) = re || contains (i + 1))
+     in
+     contains 0)
+
+let () =
+  Alcotest.run "sttc_core"
+    [
+      ( "hybrid",
+        [
+          Alcotest.test_case "views" `Quick test_hybrid_views;
+          Alcotest.test_case "bitstream bits" `Quick test_hybrid_bitstream_bits;
+          Alcotest.test_case "wrong bitstream differs" `Quick
+            test_hybrid_wrong_bitstream_differs;
+          Alcotest.test_case "rejects non-gate" `Quick test_hybrid_rejects_non_gate;
+          Alcotest.test_case "extra inputs" `Quick test_hybrid_extra_inputs;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "prepare" `Quick test_select_prepare;
+          Alcotest.test_case "independent count" `Quick test_independent_count;
+          Alcotest.test_case "independent fallback" `Quick
+            test_independent_small_circuit_fallback;
+          Alcotest.test_case "dependent connected" `Quick test_dependent_connected;
+          Alcotest.test_case "parametric timing" `Quick
+            test_parametric_respects_timing;
+          Alcotest.test_case "parametric eligibility" `Quick
+            test_parametric_eligibility;
+        ] );
+      ( "security",
+        [
+          Alcotest.test_case "formulas on tiny circuit" `Quick
+            test_security_formulas_tiny;
+          Alcotest.test_case "monotone in M" `Quick test_security_monotone_in_m;
+          Alcotest.test_case "dependent > independent" `Quick
+            test_security_dependent_gt_independent;
+          Alcotest.test_case "years" `Quick test_security_years;
+          Alcotest.test_case "validation" `Quick test_security_validation;
+          Alcotest.test_case "constants comparison" `Quick test_security_constants;
+        ] );
+      ("ppa", [ Alcotest.test_case "overheads" `Quick test_ppa_overheads_positive ]);
+      ( "expand",
+        [
+          Alcotest.test_case "extra inputs" `Quick test_expand_extra_inputs;
+          Alcotest.test_case "absorptions" `Quick test_expand_absorptions;
+          Alcotest.test_case "flow hardening" `Quick test_flow_hardening;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "all algorithms" `Quick test_flow_protect_all_algorithms;
+          Alcotest.test_case "deterministic" `Quick test_flow_deterministic;
+          Alcotest.test_case "independent count" `Quick
+            test_flow_independent_uses_count;
+          Alcotest.test_case "rejects gateless" `Quick test_flow_rejects_gateless;
+        ] );
+      ( "camouflage",
+        [
+          Alcotest.test_case "basics" `Quick test_camouflage_basics;
+          Alcotest.test_case "rejects ineligible" `Quick
+            test_camouflage_rejects_ineligible;
+          Alcotest.test_case "sat candidates" `Quick test_camouflage_sat_candidates;
+        ] );
+      ( "provision",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_provision_roundtrip;
+          Alcotest.test_case "errors" `Quick test_provision_errors;
+          Alcotest.test_case "cost" `Quick test_provision_cost;
+        ] );
+      ("report", [ Alcotest.test_case "rendering" `Quick test_report_rendering ]);
+    ]

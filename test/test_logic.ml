@@ -1,0 +1,580 @@
+(* Tests for Sttc_logic: truth tables, gate functions (incl. the paper's
+   similarity/alpha metrics), ternary logic, BDDs, CNF encodings, the CDCL
+   SAT solver and DIMACS IO. *)
+
+module Truth = Sttc_logic.Truth
+module Gate_fn = Sttc_logic.Gate_fn
+module Ternary = Sttc_logic.Ternary
+module Bdd = Sttc_logic.Bdd
+module Cnf = Sttc_logic.Cnf
+module Sat = Sttc_logic.Sat
+module Dimacs = Sttc_logic.Dimacs
+module Rng = Sttc_util.Rng
+
+(* ---------- Truth ---------- *)
+
+let test_truth_create_eval () =
+  let and2 = Truth.create ~arity:2 (fun i -> i.(0) && i.(1)) in
+  Alcotest.(check string) "and2 table" "0001" (Truth.to_string and2);
+  Alcotest.(check bool) "eval 11" true (Truth.eval and2 [| true; true |]);
+  Alcotest.(check bool) "eval 10" false (Truth.eval and2 [| true; false |]);
+  Alcotest.(check int) "rows" 4 (Truth.rows and2)
+
+let test_truth_string_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) ("roundtrip " ^ s) s
+        (Truth.to_string (Truth.of_string s)))
+    [ "01"; "0110"; "10010110"; "0001" ];
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Truth.of_string: length must be a power of two <= 64")
+    (fun () -> ignore (Truth.of_string "011"))
+
+let test_truth_ops () =
+  let a = Truth.var ~arity:2 0 and b = Truth.var ~arity:2 1 in
+  Alcotest.(check string) "var0" "0101" (Truth.to_string a);
+  Alcotest.(check string) "var1" "0011" (Truth.to_string b);
+  Alcotest.(check string) "and" "0001" (Truth.to_string (Truth.land_ a b));
+  Alcotest.(check string) "or" "0111" (Truth.to_string (Truth.lor_ a b));
+  Alcotest.(check string) "xor" "0110" (Truth.to_string (Truth.lxor_ a b));
+  Alcotest.(check string) "not" "1010" (Truth.to_string (Truth.lnot a))
+
+let test_truth_agreement () =
+  (* the paper's examples: AND2/NOR2 similarity 2, AND2/NAND2 similarity 0 *)
+  let tt fn = Gate_fn.truth fn in
+  Alcotest.(check int) "and/nor" 2
+    (Truth.agreement (tt (Gate_fn.And 2)) (tt (Gate_fn.Nor 2)));
+  Alcotest.(check int) "and/nand" 0
+    (Truth.agreement (tt (Gate_fn.And 2)) (tt (Gate_fn.Nand 2)));
+  Alcotest.(check int) "self" 4
+    (Truth.agreement (tt (Gate_fn.And 2)) (tt (Gate_fn.And 2)))
+
+let test_truth_cofactor_support () =
+  let and2 = Gate_fn.truth (Gate_fn.And 2) in
+  Alcotest.(check string) "cofactor x0=1" "0011"
+    (Truth.to_string (Truth.cofactor and2 0 true));
+  Alcotest.(check string) "cofactor x0=0" "0000"
+    (Truth.to_string (Truth.cofactor and2 0 false));
+  Alcotest.(check bool) "depends 0" true (Truth.depends_on and2 0);
+  Alcotest.(check int) "support" 2 (Truth.support_size and2);
+  Alcotest.(check bool) "not degenerate" false (Truth.is_degenerate and2);
+  (* a LUT ignoring one input is degenerate *)
+  let deg = Truth.create ~arity:2 (fun i -> i.(0)) in
+  Alcotest.(check bool) "degenerate" true (Truth.is_degenerate deg)
+
+let test_truth_enumerate () =
+  Alcotest.(check int) "arity 2 count" 16
+    (List.length (List.of_seq (Truth.enumerate ~arity:2)));
+  Alcotest.(check int) "arity 0 count" 2
+    (List.length (List.of_seq (Truth.enumerate ~arity:0)))
+
+let test_truth_of_bits_validation () =
+  Alcotest.check_raises "stray bits"
+    (Invalid_argument "Truth.of_bits: bits beyond 2^arity") (fun () ->
+      ignore (Truth.of_bits ~arity:2 0x1FL))
+
+let truth_props =
+  let gen_table =
+    QCheck2.Gen.(
+      map2
+        (fun arity seed -> Truth.random (Rng.make seed) ~arity)
+        (int_range 1 4) int)
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"double negation" ~count:300 gen_table
+         (fun t -> Truth.equal t (Truth.lnot (Truth.lnot t))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"de morgan" ~count:300
+         QCheck2.Gen.(pair gen_table gen_table)
+         (fun (a, b) ->
+           QCheck2.assume (Truth.arity a = Truth.arity b);
+           Truth.equal
+             (Truth.lnot (Truth.land_ a b))
+             (Truth.lor_ (Truth.lnot a) (Truth.lnot b))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"agreement symmetric" ~count:300
+         QCheck2.Gen.(pair gen_table gen_table)
+         (fun (a, b) ->
+           QCheck2.assume (Truth.arity a = Truth.arity b);
+           Truth.agreement a b = Truth.agreement b a));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"agreement complement" ~count:300
+         QCheck2.Gen.(pair gen_table gen_table)
+         (fun (a, b) ->
+           QCheck2.assume (Truth.arity a = Truth.arity b);
+           Truth.agreement a b + Truth.agreement a (Truth.lnot b)
+           = Truth.rows a));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"string roundtrip" ~count:300 gen_table
+         (fun t -> Truth.equal t (Truth.of_string (Truth.to_string t))));
+  ]
+
+(* ---------- Gate_fn ---------- *)
+
+let test_gate_eval () =
+  Alcotest.(check bool) "nand" true
+    (Gate_fn.eval (Gate_fn.Nand 3) [| true; true; false |]);
+  Alcotest.(check bool) "xor odd" true
+    (Gate_fn.eval (Gate_fn.Xor 3) [| true; true; true |]);
+  Alcotest.(check bool) "xnor" false
+    (Gate_fn.eval (Gate_fn.Xnor 2) [| true; false |]);
+  Alcotest.(check bool) "not" false (Gate_fn.eval Gate_fn.Not [| true |]);
+  Alcotest.(check bool) "buf" true (Gate_fn.eval Gate_fn.Buf [| true |])
+
+let test_gate_bench_names () =
+  Alcotest.(check (option string)) "AND" (Some "AND3")
+    (Option.map Gate_fn.to_string (Gate_fn.of_bench_name "AND" ~arity:3));
+  Alcotest.(check (option string)) "BUFF" (Some "BUF")
+    (Option.map Gate_fn.to_string (Gate_fn.of_bench_name "BUFF" ~arity:1));
+  Alcotest.(check (option string)) "unknown" None
+    (Option.map Gate_fn.to_string (Gate_fn.of_bench_name "MAJ" ~arity:3));
+  Alcotest.(check (option string)) "arity 1 AND invalid" None
+    (Option.map Gate_fn.to_string (Gate_fn.of_bench_name "AND" ~arity:1))
+
+let test_gate_similarity_metrics () =
+  (* paper: AND2 vs NOR2 -> 2, AND2 vs NAND2 -> 0 *)
+  Alcotest.(check int) "and/nor sim" 2
+    (Gate_fn.similarity (Gate_fn.And 2) (Gate_fn.Nor 2));
+  Alcotest.(check int) "and/nand sim" 0
+    (Gate_fn.similarity (Gate_fn.And 2) (Gate_fn.Nand 2));
+  (* the computed 2-input average sits near the paper's 1.45 *)
+  let avg = Gate_fn.average_similarity 2 in
+  Alcotest.(check bool) "avg similarity plausible" true (avg > 1.2 && avg < 1.8);
+  let alpha = Gate_fn.computed_alpha 2 in
+  Alcotest.(check bool) "alpha = avg+1" true
+    (Float.abs (alpha -. (avg +. 1.)) < 1e-9)
+
+let test_gate_paper_constants () =
+  Alcotest.(check (float 1e-9)) "alpha2" 2.45 (Gate_fn.paper_alpha 2);
+  Alcotest.(check (float 1e-9)) "alpha3" 4.2 (Gate_fn.paper_alpha 3);
+  Alcotest.(check (float 1e-9)) "alpha4" 7.4 (Gate_fn.paper_alpha 4);
+  Alcotest.(check (float 1e-9)) "p2" 2.5 (Gate_fn.paper_p 2);
+  Alcotest.(check int) "6 meaningful 2-input gates" 6
+    (Gate_fn.candidate_count 2)
+
+let test_gate_validation () =
+  Alcotest.check_raises "arity 1 and"
+    (Invalid_argument "Gate_fn.validate: arity out of [2, 6]") (fun () ->
+      Gate_fn.validate (Gate_fn.And 1));
+  Alcotest.check_raises "arity 7"
+    (Invalid_argument "Gate_fn.validate: arity out of [2, 6]") (fun () ->
+      Gate_fn.validate (Gate_fn.Xor 7))
+
+(* ---------- Ternary ---------- *)
+
+let test_ternary_ops () =
+  Alcotest.(check bool) "0 and X = 0" true
+    (Ternary.equal (Ternary.land_ Ternary.Zero Ternary.X) Ternary.Zero);
+  Alcotest.(check bool) "1 and X = X" true
+    (Ternary.equal (Ternary.land_ Ternary.One Ternary.X) Ternary.X);
+  Alcotest.(check bool) "1 or X = 1" true
+    (Ternary.equal (Ternary.lor_ Ternary.One Ternary.X) Ternary.One);
+  Alcotest.(check bool) "X xor 1 = X" true
+    (Ternary.equal (Ternary.lxor_ Ternary.X Ternary.One) Ternary.X);
+  Alcotest.(check bool) "not X = X" true
+    (Ternary.equal (Ternary.lnot Ternary.X) Ternary.X)
+
+let test_ternary_gate_eval () =
+  (* controlling values decide outputs despite X *)
+  Alcotest.(check bool) "nand with 0 input" true
+    (Ternary.equal
+       (Ternary.eval_gate (Gate_fn.Nand 2) [| Ternary.Zero; Ternary.X |])
+       Ternary.One);
+  Alcotest.(check bool) "nor with 1 input" true
+    (Ternary.equal
+       (Ternary.eval_gate (Gate_fn.Nor 2) [| Ternary.One; Ternary.X |])
+       Ternary.Zero);
+  Alcotest.(check bool) "and all 1" true
+    (Ternary.equal
+       (Ternary.eval_gate (Gate_fn.And 2) [| Ternary.One; Ternary.One |])
+       Ternary.One)
+
+let test_ternary_truth_eval () =
+  let and2 = Gate_fn.truth (Gate_fn.And 2) in
+  (* known inputs *)
+  Alcotest.(check bool) "known" true
+    (Ternary.equal
+       (Ternary.eval_truth and2 [| Ternary.One; Ternary.One |])
+       Ternary.One);
+  (* 0 on an AND forces the output even with X *)
+  Alcotest.(check bool) "forced" true
+    (Ternary.equal
+       (Ternary.eval_truth and2 [| Ternary.Zero; Ternary.X |])
+       Ternary.Zero);
+  (* X that matters stays X *)
+  Alcotest.(check bool) "unknown" true
+    (Ternary.equal
+       (Ternary.eval_truth and2 [| Ternary.One; Ternary.X |])
+       Ternary.X)
+
+let ternary_props =
+  let gen_v = QCheck2.Gen.oneofl [ Ternary.Zero; Ternary.One; Ternary.X ] in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"ternary gate agrees with boolean" ~count:500
+         QCheck2.Gen.(pair (int_range 0 7) (int_range 0 3))
+         (fun (bits, fn_idx) ->
+           let fn =
+             List.nth
+               [ Gate_fn.And 3; Gate_fn.Nand 3; Gate_fn.Or 3; Gate_fn.Xor 3 ]
+               fn_idx
+           in
+           let bools = Array.init 3 (fun k -> (bits lsr k) land 1 = 1) in
+           let tern = Array.map Ternary.of_bool bools in
+           Ternary.equal
+             (Ternary.eval_gate fn tern)
+             (Ternary.of_bool (Gate_fn.eval fn bools))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"ternary monotone wrt X" ~count:500
+         QCheck2.Gen.(array_size (return 2) gen_v)
+         (fun inputs ->
+           (* replacing an input by X can only keep or lose knowledge *)
+           let out = Ternary.eval_gate (Gate_fn.And 2) inputs in
+           let blurred = [| inputs.(0); Ternary.X |] in
+           let out' = Ternary.eval_gate (Gate_fn.And 2) blurred in
+           match (out, out') with
+           | _, Ternary.X -> true
+           | a, b -> Ternary.equal a b));
+  ]
+
+(* ---------- Bdd ---------- *)
+
+let test_bdd_basics () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.land_ m x y in
+  Alcotest.(check bool) "eval 11" true (Bdd.eval f (fun _ -> true));
+  Alcotest.(check bool) "eval 01" false
+    (Bdd.eval f (fun v -> v = 1));
+  Alcotest.(check bool) "tautology" true
+    (Bdd.is_one m (Bdd.lor_ m x (Bdd.lnot m x)));
+  Alcotest.(check bool) "contradiction" true
+    (Bdd.is_zero m (Bdd.land_ m x (Bdd.lnot m x)))
+
+let test_bdd_hash_consing () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f1 = Bdd.lor_ m (Bdd.land_ m x y) (Bdd.land_ m x y) in
+  let f2 = Bdd.land_ m x y in
+  Alcotest.(check bool) "structural sharing" true (Bdd.equal f1 f2)
+
+let test_bdd_sat_count () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  Alcotest.(check (float 1e-9)) "and" 1. (Bdd.sat_count (Bdd.land_ m x y) ~nvars:2);
+  Alcotest.(check (float 1e-9)) "or" 3. (Bdd.sat_count (Bdd.lor_ m x y) ~nvars:2);
+  Alcotest.(check (float 1e-9)) "xor over 3 vars" 4.
+    (Bdd.sat_count (Bdd.lxor_ m x y) ~nvars:3)
+
+let test_bdd_any_sat () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.land_ m x (Bdd.lnot m y) in
+  (match Bdd.any_sat f with
+  | Some assignment ->
+      let value v = try List.assoc v assignment with Not_found -> false in
+      Alcotest.(check bool) "witness satisfies" true (Bdd.eval f value)
+  | None -> Alcotest.fail "expected SAT");
+  Alcotest.(check bool) "unsat" true (Bdd.any_sat (Bdd.zero m) = None)
+
+let test_bdd_restrict_support () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.lxor_ m x y in
+  Alcotest.(check (list int)) "support" [ 0; 1 ] (Bdd.support f);
+  let g = Bdd.restrict m f 0 true in
+  Alcotest.(check (list int)) "restricted support" [ 1 ] (Bdd.support g);
+  Alcotest.(check bool) "restrict = not y" true (Bdd.equal g (Bdd.lnot m y))
+
+let test_bdd_manager_mixing () =
+  let m1 = Bdd.manager () and m2 = Bdd.manager () in
+  let x1 = Bdd.var m1 0 and x2 = Bdd.var m2 0 in
+  Alcotest.check_raises "mixing" (Invalid_argument "Bdd: mixing managers")
+    (fun () -> ignore (Bdd.land_ m1 x1 x2))
+
+let bdd_props =
+  let gen_table =
+    QCheck2.Gen.(
+      map2
+        (fun arity seed -> Truth.random (Rng.make seed) ~arity)
+        (int_range 1 4) int)
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"bdd of_truth/to_truth roundtrip" ~count:200
+         gen_table
+         (fun t ->
+           let m = Bdd.manager () in
+           let vars = Array.init (Truth.arity t) Fun.id in
+           let f = Bdd.of_truth m t ~vars in
+           Truth.equal t (Bdd.to_truth f ~vars)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"bdd ops match truth ops" ~count:200
+         QCheck2.Gen.(pair gen_table gen_table)
+         (fun (a, b) ->
+           QCheck2.assume (Truth.arity a = Truth.arity b);
+           let m = Bdd.manager () in
+           let vars = Array.init (Truth.arity a) Fun.id in
+           let fa = Bdd.of_truth m a ~vars and fb = Bdd.of_truth m b ~vars in
+           Bdd.equal
+             (Bdd.lxor_ m fa fb)
+             (Bdd.of_truth m (Truth.lxor_ a b) ~vars)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"sat_count matches popcount" ~count:200
+         gen_table
+         (fun t ->
+           let m = Bdd.manager () in
+           let vars = Array.init (Truth.arity t) Fun.id in
+           let f = Bdd.of_truth m t ~vars in
+           int_of_float (Bdd.sat_count f ~nvars:(Truth.arity t))
+           = Truth.count_ones t));
+  ]
+
+(* ---------- Cnf / Sat ---------- *)
+
+let solve_value cnf =
+  match Sat.solve_exn cnf with
+  | Sat.Sat model -> Some model
+  | Sat.Unsat -> None
+
+let test_sat_trivial () =
+  let cnf = Cnf.create () in
+  let a = Cnf.fresh_var cnf in
+  Cnf.add_clause cnf [ a ];
+  (match solve_value cnf with
+  | Some model -> Alcotest.(check bool) "a true" true (Sat.model_value model a)
+  | None -> Alcotest.fail "expected sat");
+  Cnf.add_clause cnf [ -a ];
+  Alcotest.(check bool) "now unsat" false (Sat.is_satisfiable cnf)
+
+let test_sat_pigeonhole () =
+  (* 3 pigeons, 2 holes: classic small UNSAT instance *)
+  let cnf = Cnf.create () in
+  let v = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Cnf.fresh_var cnf)) in
+  for p = 0 to 2 do
+    Cnf.add_clause cnf [ v.(p).(0); v.(p).(1) ]
+  done;
+  for h = 0 to 1 do
+    for p1 = 0 to 2 do
+      for p2 = p1 + 1 to 2 do
+        Cnf.add_clause cnf [ -v.(p1).(h); -v.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php(3,2) unsat" false (Sat.is_satisfiable cnf)
+
+let test_sat_assumptions () =
+  let cnf = Cnf.create () in
+  let a = Cnf.fresh_var cnf and b = Cnf.fresh_var cnf in
+  Cnf.add_clause cnf [ a; b ];
+  Alcotest.(check bool) "sat under a" true
+    (match Sat.solve_exn ~assumptions:[ a ] cnf with
+    | Sat.Sat _ -> true
+    | Sat.Unsat -> false);
+  Cnf.add_clause cnf [ -a ];
+  Alcotest.(check bool) "unsat under a" true
+    (match Sat.solve_exn ~assumptions:[ a ] cnf with
+    | Sat.Sat _ -> false
+    | Sat.Unsat -> true);
+  Alcotest.(check bool) "still sat without assumption" true
+    (Sat.is_satisfiable cnf)
+
+let test_sat_gate_encodings () =
+  (* every gate encoding agrees with Gate_fn.eval on all input rows *)
+  List.iter
+    (fun fn ->
+      let arity = Gate_fn.arity fn in
+      for row = 0 to (1 lsl arity) - 1 do
+        let cnf = Cnf.create () in
+        let inputs = List.init arity (fun _ -> Cnf.fresh_var cnf) in
+        let out = Cnf.fresh_var cnf in
+        Cnf.encode_gate cnf out fn inputs;
+        List.iteri
+          (fun k v ->
+            Cnf.add_clause cnf [ (if (row lsr k) land 1 = 1 then v else -v) ])
+          inputs;
+        let expected =
+          Gate_fn.eval fn (Array.init arity (fun k -> (row lsr k) land 1 = 1))
+        in
+        match solve_value cnf with
+        | None -> Alcotest.fail "gate encoding unsat"
+        | Some model ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s row %d" (Gate_fn.to_string fn) row)
+              expected (Sat.model_value model out)
+      done)
+    [
+      Gate_fn.Buf; Gate_fn.Not; Gate_fn.And 2; Gate_fn.Nand 3; Gate_fn.Or 2;
+      Gate_fn.Nor 4; Gate_fn.Xor 3; Gate_fn.Xnor 2;
+    ]
+
+let test_sat_symbolic_lut () =
+  (* a 2-input LUT with symbolic key must be forced to XOR by its I/O *)
+  let cnf = Cnf.create () in
+  let i0 = Cnf.fresh_var cnf and i1 = Cnf.fresh_var cnf in
+  let out = Cnf.fresh_var cnf in
+  let key = Array.init 4 (fun _ -> Cnf.fresh_var cnf) in
+  Cnf.encode_truth_lut cnf out ~key ~inputs:[| i0; i1 |];
+  (* pin row 01 -> out must equal key.(1) *)
+  Cnf.add_clause cnf [ i0 ];
+  Cnf.add_clause cnf [ -i1 ];
+  Cnf.add_clause cnf [ out ];
+  (match solve_value cnf with
+  | None -> Alcotest.fail "lut encoding unsat"
+  | Some model ->
+      Alcotest.(check bool) "key row 1 forced true" true
+        (Sat.model_value model key.(1)))
+
+let sat_props =
+  (* random 3-CNF solved by our CDCL vs brute force *)
+  let gen_cnf =
+    QCheck2.Gen.(
+      let* nvars = int_range 3 8 in
+      let* nclauses = int_range 3 24 in
+      let* seeds = list_size (return (nclauses * 3)) (int_range 0 1_000_000) in
+      return (nvars, nclauses, seeds))
+  in
+  let build (nvars, nclauses, seeds) =
+    let cnf = Cnf.create () in
+    Cnf.reserve cnf nvars;
+    let seeds = Array.of_list seeds in
+    for c = 0 to nclauses - 1 do
+      let lit k =
+        let s = seeds.((3 * c) + k) in
+        let v = (s mod nvars) + 1 in
+        if s / nvars mod 2 = 0 then v else -v
+      in
+      Cnf.add_clause cnf [ lit 0; lit 1; lit 2 ]
+    done;
+    cnf
+  in
+  let brute_sat cnf =
+    let n = Cnf.nvars cnf in
+    let clauses = Cnf.clauses cnf in
+    let rec try_assign a =
+      if a >= 1 lsl n then false
+      else
+        let value v = (a lsr (v - 1)) land 1 = 1 in
+        let ok =
+          List.for_all
+            (fun clause ->
+              Array.exists
+                (fun l -> if l > 0 then value l else not (value (-l)))
+                clause)
+            clauses
+        in
+        ok || try_assign (a + 1)
+    in
+    try_assign 0
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"cdcl agrees with brute force" ~count:150
+         gen_cnf
+         (fun params ->
+           let cnf = build params in
+           Sat.is_satisfiable cnf = brute_sat cnf));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"models really satisfy" ~count:150 gen_cnf
+         (fun params ->
+           let cnf = build params in
+           match Sat.solve_exn cnf with
+           | Sat.Unsat -> true
+           | Sat.Sat model ->
+               List.for_all
+                 (fun clause ->
+                   Array.exists
+                     (fun l ->
+                       if l > 0 then Sat.model_value model l
+                       else not (Sat.model_value model (-l)))
+                     clause)
+                 (Cnf.clauses cnf)));
+  ]
+
+(* ---------- Dimacs ---------- *)
+
+let test_dimacs_roundtrip () =
+  let cnf = Cnf.create () in
+  let a = Cnf.fresh_var cnf and b = Cnf.fresh_var cnf in
+  Cnf.add_clause cnf [ a; -b ];
+  Cnf.add_clause cnf [ -a ];
+  let text = Dimacs.to_string cnf in
+  let cnf2 = Dimacs.parse_string text in
+  Alcotest.(check int) "nvars" (Cnf.nvars cnf) (Cnf.nvars cnf2);
+  Alcotest.(check int) "nclauses" (Cnf.nclauses cnf) (Cnf.nclauses cnf2);
+  Alcotest.(check bool) "same satisfiability" (Sat.is_satisfiable cnf)
+    (Sat.is_satisfiable cnf2)
+
+let test_dimacs_comments () =
+  let cnf = Dimacs.parse_string "c a comment\np cnf 2 1\n1 -2 0\n" in
+  Alcotest.(check int) "vars" 2 (Cnf.nvars cnf);
+  Alcotest.(check int) "clauses" 1 (Cnf.nclauses cnf)
+
+let test_dimacs_errors () =
+  Alcotest.(check bool) "bad literal raises" true
+    (try
+       ignore (Dimacs.parse_string "p cnf 1 1\nfoo 0\n");
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "unterminated clause raises" true
+    (try
+       ignore (Dimacs.parse_string "p cnf 1 1\n1\n");
+       false
+     with Failure _ -> true)
+
+let () =
+  Alcotest.run "sttc_logic"
+    [
+      ( "truth",
+        [
+          Alcotest.test_case "create/eval" `Quick test_truth_create_eval;
+          Alcotest.test_case "string roundtrip" `Quick test_truth_string_roundtrip;
+          Alcotest.test_case "boolean ops" `Quick test_truth_ops;
+          Alcotest.test_case "agreement (paper examples)" `Quick test_truth_agreement;
+          Alcotest.test_case "cofactor/support" `Quick test_truth_cofactor_support;
+          Alcotest.test_case "enumerate" `Quick test_truth_enumerate;
+          Alcotest.test_case "of_bits validation" `Quick test_truth_of_bits_validation;
+        ]
+        @ truth_props );
+      ( "gate_fn",
+        [
+          Alcotest.test_case "eval" `Quick test_gate_eval;
+          Alcotest.test_case "bench names" `Quick test_gate_bench_names;
+          Alcotest.test_case "similarity metrics" `Quick test_gate_similarity_metrics;
+          Alcotest.test_case "paper constants" `Quick test_gate_paper_constants;
+          Alcotest.test_case "validation" `Quick test_gate_validation;
+        ] );
+      ( "ternary",
+        [
+          Alcotest.test_case "ops" `Quick test_ternary_ops;
+          Alcotest.test_case "gate eval" `Quick test_ternary_gate_eval;
+          Alcotest.test_case "truth eval" `Quick test_ternary_truth_eval;
+        ]
+        @ ternary_props );
+      ( "bdd",
+        [
+          Alcotest.test_case "basics" `Quick test_bdd_basics;
+          Alcotest.test_case "hash consing" `Quick test_bdd_hash_consing;
+          Alcotest.test_case "sat count" `Quick test_bdd_sat_count;
+          Alcotest.test_case "any_sat" `Quick test_bdd_any_sat;
+          Alcotest.test_case "restrict/support" `Quick test_bdd_restrict_support;
+          Alcotest.test_case "manager mixing" `Quick test_bdd_manager_mixing;
+        ]
+        @ bdd_props );
+      ( "sat",
+        [
+          Alcotest.test_case "trivial" `Quick test_sat_trivial;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_sat_pigeonhole;
+          Alcotest.test_case "assumptions" `Quick test_sat_assumptions;
+          Alcotest.test_case "gate encodings" `Quick test_sat_gate_encodings;
+          Alcotest.test_case "symbolic LUT" `Quick test_sat_symbolic_lut;
+        ]
+        @ sat_props );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "comments" `Quick test_dimacs_comments;
+          Alcotest.test_case "errors" `Quick test_dimacs_errors;
+        ] );
+    ]

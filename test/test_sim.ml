@@ -1,0 +1,318 @@
+(* Tests for Sttc_sim: bit-parallel simulation, ternary simulation of
+   hybrids, and the three equivalence-checking engines. *)
+
+module Netlist = Sttc_netlist.Netlist
+module Generator = Sttc_netlist.Generator
+module Transform = Sttc_netlist.Transform
+module Gate_fn = Sttc_logic.Gate_fn
+module Truth = Sttc_logic.Truth
+module Ternary = Sttc_logic.Ternary
+module Simulator = Sttc_sim.Simulator
+module Ternary_sim = Sttc_sim.Ternary_sim
+module Equiv = Sttc_sim.Equiv
+
+let full = -1L
+
+(* adder-ish: s = a XOR b, c = a AND b *)
+let half_adder () =
+  let b = Netlist.Builder.create ~design_name:"ha" () in
+  let x = Netlist.Builder.add_pi b "x" in
+  let y = Netlist.Builder.add_pi b "y" in
+  let s = Netlist.Builder.add_gate b "s" (Gate_fn.Xor 2) [ x; y ] in
+  let c = Netlist.Builder.add_gate b "c" (Gate_fn.And 2) [ x; y ] in
+  Netlist.Builder.add_output b "s" s;
+  Netlist.Builder.add_output b "c" c;
+  Netlist.Builder.finalize b
+
+(* 2-bit counter: ff0 toggles, ff1 toggles when ff0 is 1 *)
+let counter () =
+  let b = Netlist.Builder.create ~design_name:"cnt" () in
+  let en = Netlist.Builder.add_pi b "en" in
+  let ff0 = Netlist.Builder.add_dff_deferred b "ff0" in
+  let ff1 = Netlist.Builder.add_dff_deferred b "ff1" in
+  let t0 = Netlist.Builder.add_gate b "t0" (Gate_fn.Xor 2) [ ff0; en ] in
+  let carry = Netlist.Builder.add_gate b "carry" (Gate_fn.And 2) [ ff0; en ] in
+  let t1 = Netlist.Builder.add_gate b "t1" (Gate_fn.Xor 2) [ ff1; carry ] in
+  Netlist.Builder.set_dff_input b ff0 t0;
+  Netlist.Builder.set_dff_input b ff1 t1;
+  Netlist.Builder.add_output b "q0" ff0;
+  Netlist.Builder.add_output b "q1" ff1;
+  Netlist.Builder.finalize b
+
+(* ---------- Simulator ---------- *)
+
+let test_sim_half_adder () =
+  let nl = half_adder () in
+  let sim = Simulator.create nl in
+  (* lanes: x = 0101..., y = 0011... encode all four combinations *)
+  let x = 0b0101L and y = 0b0011L in
+  let outs = Simulator.eval_comb sim [| x; y |] in
+  Alcotest.(check int64) "sum = xor" 0b0110L (Int64.logand outs.(0) 0xFL);
+  Alcotest.(check int64) "carry = and" 0b0001L (Int64.logand outs.(1) 0xFL)
+
+let test_sim_counter_sequence () =
+  let nl = counter () in
+  let sim = Simulator.create nl in
+  Simulator.reset sim;
+  (* enable always on (all lanes); watch lane 0 count 00 01 10 11 00 *)
+  let expect = [ (0, 0); (1, 0); (0, 1); (1, 1); (0, 0) ] in
+  List.iter
+    (fun (q0, q1) ->
+      let outs = Simulator.step sim [| full |] in
+      Alcotest.(check int) "q0" q0 (Int64.to_int (Int64.logand outs.(0) 1L));
+      Alcotest.(check int) "q1" q1 (Int64.to_int (Int64.logand outs.(1) 1L)))
+    expect
+
+let test_sim_reset_and_state () =
+  let nl = counter () in
+  let sim = Simulator.create nl in
+  Simulator.reset sim;
+  ignore (Simulator.step sim [| full |]);
+  Alcotest.(check bool) "state changed" true (Simulator.state sim <> [| 0L; 0L |]);
+  Simulator.reset sim;
+  Alcotest.(check bool) "reset clears" true (Simulator.state sim = [| 0L; 0L |]);
+  Simulator.set_state sim [| full; 0L |];
+  let st = Simulator.state sim in
+  Alcotest.(check int64) "set state" full st.(0)
+
+let test_sim_lut_config () =
+  let nl = half_adder () in
+  let s = Netlist.find_exn nl "s" in
+  let foundry = Transform.replace_many ~keep_function:false nl [ s ] in
+  (* unprogrammed LUT refuses to simulate *)
+  Alcotest.(check bool) "unprogrammed rejected" true
+    (try
+       ignore (Simulator.create foundry);
+       false
+     with Invalid_argument _ -> true);
+  (* override configs work without rewriting the netlist *)
+  let sim =
+    Simulator.create ~configs:[ (s, Truth.of_string "0110") ] foundry
+  in
+  let outs = Simulator.eval_comb sim [| 0b0101L; 0b0011L |] in
+  Alcotest.(check int64) "xor restored" 0b0110L (Int64.logand outs.(0) 0xFL)
+
+let test_sim_eval_truth_lanes () =
+  let xor2 = Truth.of_string "0110" in
+  Alcotest.(check int64) "lanes" 0b0110L
+    (Int64.logand (Simulator.eval_truth_lanes xor2 [| 0b0101L; 0b0011L |]) 0xFL);
+  let const1 = Truth.const_true ~arity:1 in
+  Alcotest.(check int64) "const" (-1L)
+    (Simulator.eval_truth_lanes const1 [| 0b01L |])
+
+let test_sim_run_sequence () =
+  let nl = counter () in
+  let sim = Simulator.create nl in
+  let outs = Simulator.run_sequence sim [ [| full |]; [| full |]; [| 0L |] ] in
+  Alcotest.(check int) "three cycles" 3 (List.length outs)
+
+let test_sim_matches_gate_semantics () =
+  (* random circuits: bit-parallel sim vs naive per-gate evaluation *)
+  for seed = 0 to 4 do
+    let nl = Generator.random_combinational ~seed ~n_pi:5 ~n_gates:30 ~n_po:4 in
+    let sim = Simulator.create nl in
+    let pis = Array.of_list (Netlist.pis nl) in
+    let rng = Sttc_util.Rng.make seed in
+    let lanes = Array.map (fun _ -> Sttc_util.Rng.int64 rng) pis in
+    let outs = Simulator.eval_comb sim lanes in
+    (* naive single-bit reference on lane 17 *)
+    let lane = 17 in
+    let bit v = Int64.logand (Int64.shift_right_logical v lane) 1L = 1L in
+    let values = Hashtbl.create 64 in
+    Array.iteri (fun i pi -> Hashtbl.add values pi (bit lanes.(i))) pis;
+    Array.iter
+      (fun id ->
+        let node = Netlist.node nl id in
+        match node.Netlist.kind with
+        | Netlist.Gate fn ->
+            let ins =
+              Array.map (fun s -> Hashtbl.find values s) node.Netlist.fanins
+            in
+            Hashtbl.add values id (Gate_fn.eval fn ins)
+        | Netlist.Const v -> Hashtbl.add values id v
+        | _ -> ())
+      (Netlist.topo_order nl);
+    Array.iteri
+      (fun i (name, driver) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d output %s" seed name)
+          (Hashtbl.find values driver) (bit outs.(i)))
+      (Netlist.outputs nl)
+  done
+
+(* ---------- Ternary_sim ---------- *)
+
+let test_ternary_sim_known_inputs () =
+  let nl = half_adder () in
+  let values = Ternary_sim.eval_comb nl [| Ternary.One; Ternary.One |] in
+  let outs = Ternary_sim.outputs nl values in
+  Alcotest.(check bool) "sum 0" true (Ternary.equal outs.(0) Ternary.Zero);
+  Alcotest.(check bool) "carry 1" true (Ternary.equal outs.(1) Ternary.One)
+
+let test_ternary_sim_missing_lut_propagates_x () =
+  let nl = half_adder () in
+  let s = Netlist.find_exn nl "s" in
+  let foundry = Transform.replace_many ~keep_function:false nl [ s ] in
+  let values = Ternary_sim.eval_comb foundry [| Ternary.One; Ternary.One |] in
+  let outs = Ternary_sim.outputs foundry values in
+  Alcotest.(check bool) "sum unknown" true (Ternary.equal outs.(0) Ternary.X);
+  Alcotest.(check bool) "carry still known" true
+    (Ternary.equal outs.(1) Ternary.One);
+  Alcotest.(check int) "one unknown output" 1
+    (Ternary_sim.unknown_outputs foundry values);
+  Alcotest.(check bool) "x reaches observation" true
+    (Ternary_sim.x_reaches_observation foundry values)
+
+let test_ternary_sim_default_state_is_x () =
+  let nl = counter () in
+  let values = Ternary_sim.eval_comb nl [| Ternary.One |] in
+  let outs = Ternary_sim.outputs nl values in
+  Alcotest.(check bool) "outputs unknown without state" true
+    (Ternary.equal outs.(0) Ternary.X);
+  let values =
+    Ternary_sim.eval_comb ~state:[| Ternary.Zero; Ternary.Zero |] nl
+      [| Ternary.One |]
+  in
+  let outs = Ternary_sim.outputs nl values in
+  Alcotest.(check bool) "known with state" true
+    (Ternary.equal outs.(0) Ternary.Zero)
+
+(* ---------- Equiv ---------- *)
+
+let test_equiv_identical () =
+  let nl = counter () in
+  (match Equiv.check_random ~vectors:1024 ~seed:1 nl nl with
+  | Equiv.Equivalent -> ()
+  | _ -> Alcotest.fail "random: identical must be equivalent");
+  (match Equiv.check_sat nl nl with
+  | Equiv.Equivalent -> ()
+  | _ -> Alcotest.fail "sat: identical must be equivalent");
+  match Equiv.check_bdd nl nl with
+  | Equiv.Equivalent -> ()
+  | _ -> Alcotest.fail "bdd: identical must be equivalent"
+
+let mutated_counter () =
+  (* swap the carry AND for OR: functionally different *)
+  let nl = counter () in
+  Netlist.with_kinds nl (fun id kind fanins ->
+      if Netlist.name nl id = "carry" then (Netlist.Gate (Gate_fn.Or 2), fanins)
+      else (kind, fanins))
+
+let test_equiv_detects_difference () =
+  let a = counter () and b = mutated_counter () in
+  (match Equiv.check_sat a b with
+  | Equiv.Different f ->
+      Alcotest.(check bool) "signal named" true (String.length f.Equiv.signal > 0)
+  | _ -> Alcotest.fail "sat must find the difference");
+  (match Equiv.check_bdd a b with
+  | Equiv.Different _ -> ()
+  | _ -> Alcotest.fail "bdd must find the difference");
+  match Equiv.check_random ~vectors:2048 ~seed:3 a b with
+  | Equiv.Different _ -> ()
+  | _ -> Alcotest.fail "random must find the difference"
+
+let test_equiv_witness_is_real () =
+  let a = counter () and b = mutated_counter () in
+  match Equiv.check_sat a b with
+  | Equiv.Different f ->
+      (* replay the witness on both circuits: outputs must differ *)
+      let run nl =
+        let sim = Simulator.create nl in
+        let pis = Array.of_list (Netlist.pis nl) in
+        let dffs = Array.of_list (Netlist.dffs nl) in
+        let value name = List.assoc name f.Equiv.witness in
+        let lanes names =
+          Array.map
+            (fun id -> if value (Netlist.name nl id) then full else 0L)
+            names
+        in
+        Simulator.set_state sim (lanes dffs);
+        let outs = Simulator.eval_comb sim (lanes pis) in
+        let values = Simulator.node_values sim in
+        let next =
+          Array.of_list
+            (List.map
+               (fun ff -> values.((Netlist.fanins nl ff).(0)))
+               (Netlist.dffs nl))
+        in
+        Array.append outs next
+      in
+      let oa = run a and ob = run b in
+      Alcotest.(check bool) "witness distinguishes" true (oa <> ob)
+  | _ -> Alcotest.fail "expected difference"
+
+let test_equiv_interface_mismatch () =
+  let a = counter () and b = half_adder () in
+  match Equiv.check_sat a b with
+  | Equiv.Inconclusive _ -> ()
+  | _ -> Alcotest.fail "expected inconclusive on interface mismatch"
+
+let test_equiv_unprogrammed_lut () =
+  let nl = half_adder () in
+  let s = Netlist.find_exn nl "s" in
+  let foundry = Transform.replace_many ~keep_function:false nl [ s ] in
+  match Equiv.check_sat nl foundry with
+  | Equiv.Inconclusive _ -> ()
+  | _ -> Alcotest.fail "unprogrammed LUT must be inconclusive"
+
+let test_equiv_three_engines_agree () =
+  for seed = 0 to 4 do
+    let nl =
+      Generator.generate ~seed
+        {
+          Generator.design_name = "eq";
+          n_pi = 5;
+          n_po = 4;
+          n_ff = 3;
+          n_gates = 40;
+          levels = 5;
+        }
+    in
+    (* replace two gates keeping function: all engines must say equal *)
+    let gates = Netlist.gates nl in
+    let picks = [ List.nth gates 0; List.nth gates (List.length gates / 2) ] in
+    let nl2 = Transform.replace_many ~keep_function:true nl picks in
+    let to_bool = function
+      | Equiv.Equivalent -> true
+      | Equiv.Different _ -> false
+      | Equiv.Inconclusive m -> Alcotest.fail m
+    in
+    Alcotest.(check bool) "sat" true (to_bool (Equiv.check_sat nl nl2));
+    Alcotest.(check bool) "bdd" true (to_bool (Equiv.check_bdd nl nl2));
+    Alcotest.(check bool) "random" true
+      (to_bool (Equiv.check_random ~vectors:512 ~seed nl nl2))
+  done
+
+let () =
+  Alcotest.run "sttc_sim"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "half adder" `Quick test_sim_half_adder;
+          Alcotest.test_case "counter sequence" `Quick test_sim_counter_sequence;
+          Alcotest.test_case "reset/state" `Quick test_sim_reset_and_state;
+          Alcotest.test_case "lut config" `Quick test_sim_lut_config;
+          Alcotest.test_case "eval_truth_lanes" `Quick test_sim_eval_truth_lanes;
+          Alcotest.test_case "run_sequence" `Quick test_sim_run_sequence;
+          Alcotest.test_case "matches gate semantics" `Quick
+            test_sim_matches_gate_semantics;
+        ] );
+      ( "ternary_sim",
+        [
+          Alcotest.test_case "known inputs" `Quick test_ternary_sim_known_inputs;
+          Alcotest.test_case "missing lut X" `Quick
+            test_ternary_sim_missing_lut_propagates_x;
+          Alcotest.test_case "default state X" `Quick
+            test_ternary_sim_default_state_is_x;
+        ] );
+      ( "equiv",
+        [
+          Alcotest.test_case "identical" `Quick test_equiv_identical;
+          Alcotest.test_case "detects difference" `Quick test_equiv_detects_difference;
+          Alcotest.test_case "witness is real" `Quick test_equiv_witness_is_real;
+          Alcotest.test_case "interface mismatch" `Quick test_equiv_interface_mismatch;
+          Alcotest.test_case "unprogrammed lut" `Quick test_equiv_unprogrammed_lut;
+          Alcotest.test_case "three engines agree" `Quick
+            test_equiv_three_engines_agree;
+        ] );
+    ]

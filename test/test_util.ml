@@ -1,0 +1,335 @@
+(* Unit and property tests for Sttc_util: Lognum, Rng, Stats, Growable,
+   Timing, Table. *)
+
+module Lognum = Sttc_util.Lognum
+module Rng = Sttc_util.Rng
+module Stats = Sttc_util.Stats
+module Growable = Sttc_util.Growable
+module Timing = Sttc_util.Timing
+module Table = Sttc_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close msg expected got =
+  Alcotest.(check (float (Float.abs expected *. 1e-9 +. 1e-12))) msg expected got
+
+(* ---------- Lognum ---------- *)
+
+let test_lognum_basics () =
+  check_close "one" 1. (Lognum.to_float Lognum.one);
+  check_close "of_float" 42. (Lognum.to_float (Lognum.of_float 42.));
+  Alcotest.(check bool) "zero is zero" true (Lognum.is_zero Lognum.zero);
+  check_float "zero to_float" 0. (Lognum.to_float Lognum.zero)
+
+let test_lognum_mul () =
+  let a = Lognum.of_float 6. and b = Lognum.of_float 7. in
+  check_close "6*7" 42. (Lognum.to_float (Lognum.mul a b));
+  Alcotest.(check bool) "x*0 = 0" true
+    (Lognum.is_zero (Lognum.mul a Lognum.zero))
+
+let test_lognum_add () =
+  let a = Lognum.of_float 1.5 and b = Lognum.of_float 2.5 in
+  check_close "1.5+2.5" 4. (Lognum.to_float (Lognum.add a b));
+  check_close "x+0" 1.5 (Lognum.to_float (Lognum.add a Lognum.zero));
+  check_close "0+x" 2.5 (Lognum.to_float (Lognum.add Lognum.zero b))
+
+let test_lognum_pow () =
+  check_close "2^10" 1024. (Lognum.to_float (Lognum.pow (Lognum.of_int 2) 10));
+  check_close "x^0" 1. (Lognum.to_float (Lognum.pow (Lognum.of_float 9.) 0));
+  Alcotest.(check bool) "0^5 = 0" true (Lognum.is_zero (Lognum.pow Lognum.zero 5));
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Lognum.pow: negative exponent") (fun () ->
+      ignore (Lognum.pow Lognum.one (-1)))
+
+let test_lognum_div () =
+  check_close "42/6" 7.
+    (Lognum.to_float (Lognum.div (Lognum.of_float 42.) (Lognum.of_float 6.)));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Lognum.div Lognum.one Lognum.zero))
+
+let test_lognum_huge () =
+  (* the s38584 figure from the paper: 6.07e219 must survive a product *)
+  let n = Lognum.prod (List.init 166 (fun _ -> Lognum.of_float 21.2)) in
+  let e = Lognum.log10 n in
+  Alcotest.(check bool) "exponent around 220" true (e > 200. && e < 240.);
+  (* beyond float range *)
+  let big = Lognum.pow (Lognum.of_int 10) 1000 in
+  check_float "log10 of 10^1000" 1000. (Lognum.log10 big);
+  Alcotest.(check bool) "to_float saturates" true
+    (Lognum.to_float big = infinity)
+
+let test_lognum_to_string () =
+  Alcotest.(check string) "zero" "0" (Lognum.to_string Lognum.zero);
+  Alcotest.(check string) "small int" "42" (Lognum.to_string (Lognum.of_int 42));
+  Alcotest.(check string) "sci" "6.07E+219"
+    (Lognum.to_string (Lognum.of_log10 (Stdlib.log10 6.07 +. 219.)));
+  (* mantissa rounding to 10.0 must carry into the exponent *)
+  Alcotest.(check string) "carry" "1.00E+10"
+    (Lognum.to_string (Lognum.of_log10 (Stdlib.log10 9.9999 +. 9.)))
+
+let test_lognum_compare () =
+  let a = Lognum.of_float 3. and b = Lognum.of_float 4. in
+  Alcotest.(check bool) "3 < 4" true (Lognum.compare a b < 0);
+  Alcotest.(check bool) "max" true (Lognum.equal (Lognum.max a b) b);
+  Alcotest.(check bool) "min" true (Lognum.equal (Lognum.min a b) a);
+  Alcotest.(check bool) "zero smallest" true
+    (Lognum.compare Lognum.zero a < 0)
+
+let test_lognum_years () =
+  (* 1e9 clocks at 1e9/s = 1 second = 3.17e-8 years *)
+  let y = Lognum.clocks_to_years ~rate_hz:1e9 (Lognum.of_float 1e9) in
+  check_close "one second in years" (1. /. (365.25 *. 24. *. 3600.))
+    (Lognum.to_float y)
+
+let lognum_props =
+  let pos_float = QCheck2.Gen.map (fun x -> Float.abs x +. 1e-6) QCheck2.Gen.float in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"lognum mul matches float" ~count:500
+         QCheck2.Gen.(pair pos_float pos_float)
+         (fun (a, b) ->
+           QCheck2.assume (a < 1e100 && b < 1e100 && a > 1e-100 && b > 1e-100);
+           let got = Lognum.to_float Lognum.(of_float a * of_float b) in
+           let expected = a *. b in
+           Float.abs (got -. expected) <= 1e-9 *. Float.abs expected));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"lognum add matches float" ~count:500
+         QCheck2.Gen.(pair pos_float pos_float)
+         (fun (a, b) ->
+           QCheck2.assume (a < 1e100 && b < 1e100 && a > 1e-100 && b > 1e-100);
+           let got = Lognum.to_float Lognum.(of_float a + of_float b) in
+           let expected = a +. b in
+           Float.abs (got -. expected) <= 1e-9 *. Float.abs expected));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"lognum add commutative" ~count:500
+         QCheck2.Gen.(pair pos_float pos_float)
+         (fun (a, b) ->
+           let x = Lognum.of_float a and y = Lognum.of_float b in
+           Float.abs (Lognum.log10 Lognum.(x + y) -. Lognum.log10 Lognum.(y + x))
+           <= 1e-12));
+  ]
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.make 1 and b = Rng.make 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.make 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_split_independent () =
+  let a = Rng.make 5 in
+  let b = Rng.split a in
+  (* drawing from b must not replay a's stream *)
+  let va = List.init 10 (fun _ -> Rng.int a 1_000_000) in
+  let vb = List.init 10 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" true (va <> vb)
+
+let test_rng_float_bounds () =
+  let rng = Rng.make 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "float in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.make 11 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_sample_distinct () =
+  let rng = Rng.make 13 in
+  let arr = Array.init 30 Fun.id in
+  let s = Rng.sample rng 10 arr in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let module Int_set = Set.Make (Int) in
+  Alcotest.(check int) "distinct" 10
+    (Int_set.cardinal (Int_set.of_list (Array.to_list s)));
+  (* oversampling clamps *)
+  Alcotest.(check int) "clamped" 30 (Array.length (Rng.sample rng 100 arr))
+
+let test_rng_uniformity () =
+  (* coarse chi-square-free check: each bucket within 20 % of expectation *)
+  let rng = Rng.make 99 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 8 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near uniform" i)
+        true
+        (abs (c - expected) < expected / 5))
+    buckets
+
+(* ---------- Stats ---------- *)
+
+let test_stats_mean () =
+  check_float "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  check_float "empty mean" 0. (Stats.mean [])
+
+let test_stats_stdev () =
+  check_float "constant stdev" 0. (Stats.stdev [ 5.; 5.; 5. ]);
+  check_close "known stdev" 1. (Stats.stdev [ 1.; 3.; 1.; 3. ]);
+  check_float "singleton" 0. (Stats.stdev [ 7. ])
+
+let test_stats_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. ] in
+  check_float "median" 5. (Stats.median xs);
+  check_float "p100" 10. (Stats.percentile 100. xs);
+  check_float "p10" 1. (Stats.percentile 10. xs);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.percentile 50. []))
+
+let test_stats_overhead () =
+  check_float "overhead" 50. (Stats.relative_overhead ~base:2. ~modified:3.);
+  check_float "zero base" 0. (Stats.relative_overhead ~base:0. ~modified:3.);
+  check_float "improvement" (-25.)
+    (Stats.relative_overhead ~base:4. ~modified:3.)
+
+(* ---------- Growable ---------- *)
+
+let test_growable_push_get () =
+  let g = Growable.create () in
+  for i = 0 to 99 do
+    Alcotest.(check int) "index" i (Growable.push g (i * 2))
+  done;
+  Alcotest.(check int) "length" 100 (Growable.length g);
+  Alcotest.(check int) "get" 84 (Growable.get g 42);
+  Growable.set g 42 0;
+  Alcotest.(check int) "set" 0 (Growable.get g 42)
+
+let test_growable_pop () =
+  let g = Growable.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "pop" 3 (Growable.pop g);
+  Alcotest.(check int) "last" 2 (Growable.last g);
+  Alcotest.(check int) "len" 2 (Growable.length g);
+  Growable.clear g;
+  Alcotest.(check bool) "empty" true (Growable.is_empty g);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Growable.pop: empty")
+    (fun () -> ignore (Growable.pop g))
+
+let test_growable_bounds () =
+  let g = Growable.of_list [ 1 ] in
+  Alcotest.check_raises "oob get" (Invalid_argument "Growable.get: index")
+    (fun () -> ignore (Growable.get g 1));
+  Alcotest.check_raises "oob set" (Invalid_argument "Growable.set: index")
+    (fun () -> Growable.set g (-1) 0)
+
+let test_growable_iter_fold () =
+  let g = Growable.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold sum" 10 (Growable.fold ( + ) 0 g);
+  let acc = ref [] in
+  Growable.iteri (fun i x -> acc := (i, x) :: !acc) g;
+  Alcotest.(check int) "iteri count" 4 (List.length !acc);
+  Alcotest.(check bool) "exists" true (Growable.exists (fun x -> x = 3) g);
+  Alcotest.(check bool) "not exists" false (Growable.exists (fun x -> x = 9) g);
+  Growable.truncate g 2;
+  Alcotest.(check (list int)) "truncate" [ 1; 2 ] (Growable.to_list g)
+
+(* ---------- Timing ---------- *)
+
+let test_timing_format () =
+  Alcotest.(check string) "zero" "00:00.0" (Timing.format_min_sec 0.);
+  Alcotest.(check string) "75.5s" "01:15.5" (Timing.format_min_sec 75.5);
+  Alcotest.(check string) "44s" "00:44.0" (Timing.format_min_sec 44.0);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Timing.format_min_sec: negative") (fun () ->
+      ignore (Timing.format_min_sec (-1.)))
+
+let test_timing_time () =
+  let x, dt = Timing.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "non-negative" true (dt >= 0.)
+
+(* ---------- Table ---------- *)
+
+let test_table_render () =
+  let t = Table.create ~headers:[ ("A", Table.Left); ("B", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0
+    && Option.is_some (String.index_opt s 'A'));
+  (* row arity is checked *)
+  Alcotest.check_raises "bad arity" (Invalid_argument "Table.add_row: wrong arity")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_table_alignment () =
+  let t = Table.create ~headers:[ ("N", Table.Right) ] in
+  Table.add_row t [ "7" ];
+  Table.add_row t [ "123" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  (* the "7" must be right-aligned: padded on the left *)
+  let row7 = List.find (fun l -> String.length l > 0 && String.contains l '7' && not (String.contains l '1')) lines in
+  Alcotest.(check bool) "right aligned" true
+    (Option.is_some (String.index_opt row7 ' '))
+
+let () =
+  Alcotest.run "sttc_util"
+    [
+      ( "lognum",
+        [
+          Alcotest.test_case "basics" `Quick test_lognum_basics;
+          Alcotest.test_case "mul" `Quick test_lognum_mul;
+          Alcotest.test_case "add" `Quick test_lognum_add;
+          Alcotest.test_case "pow" `Quick test_lognum_pow;
+          Alcotest.test_case "div" `Quick test_lognum_div;
+          Alcotest.test_case "huge values" `Quick test_lognum_huge;
+          Alcotest.test_case "to_string" `Quick test_lognum_to_string;
+          Alcotest.test_case "compare" `Quick test_lognum_compare;
+          Alcotest.test_case "years conversion" `Quick test_lognum_years;
+        ]
+        @ lognum_props );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+          Alcotest.test_case "coarse uniformity" `Quick test_rng_uniformity;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stdev" `Quick test_stats_stdev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "relative overhead" `Quick test_stats_overhead;
+        ] );
+      ( "growable",
+        [
+          Alcotest.test_case "push/get/set" `Quick test_growable_push_get;
+          Alcotest.test_case "pop/last/clear" `Quick test_growable_pop;
+          Alcotest.test_case "bounds" `Quick test_growable_bounds;
+          Alcotest.test_case "iter/fold/truncate" `Quick test_growable_iter_fold;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "format_min_sec" `Quick test_timing_format;
+          Alcotest.test_case "time" `Quick test_timing_time;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+        ] );
+    ]

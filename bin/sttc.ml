@@ -267,6 +267,169 @@ let program_cmd =
        ~doc:"Install a configuration bitstream into a foundry-view netlist.")
     Term.(const run $ netlist_arg $ bitstream $ output)
 
+(* ---------- lint ---------- *)
+
+let lint_cmd =
+  let algorithms =
+    let doc =
+      "Also protect the netlist and run the security rule pack on the \
+       hybrid: $(b,none) (structural rules only), $(b,independent), \
+       $(b,dependent), $(b,parametric), or $(b,all)."
+    in
+    let parse = function
+      | "none" -> Ok []
+      | "independent" -> Ok [ Sttc_core.Flow.Independent { count = 5 } ]
+      | "dependent" -> Ok [ Sttc_core.Flow.Dependent ]
+      | "parametric" ->
+          Ok [ Sttc_core.Flow.Parametric Sttc_core.Algorithms.default_parametric ]
+      | "all" -> Ok Sttc_core.Flow.default_algorithms
+      | s -> Error (`Msg ("unknown algorithm " ^ s))
+    in
+    let print fmt algs =
+      Format.pp_print_string fmt
+        (match algs with
+        | [] -> "none"
+        | [ a ] -> Sttc_core.Flow.algorithm_name a
+        | _ -> "all")
+    in
+    Arg.(value & opt (conv (parse, print)) [] & info [ "a"; "algorithm" ] ~doc)
+  in
+  let rules =
+    let doc = "Comma-separated rule IDs or aliases to run (default: all)." in
+    Arg.(value & opt (list string) [] & info [ "rules" ] ~doc)
+  in
+  let suppress =
+    let doc = "Comma-separated rule IDs or aliases to silence." in
+    Arg.(value & opt (list string) [] & info [ "suppress" ] ~doc)
+  in
+  let format =
+    let doc = "Output format: $(b,text) or $(b,json)." in
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~doc)
+  in
+  let baseline =
+    let doc =
+      "Baseline file of accepted diagnostics; only new findings are \
+       reported and gated on."
+    in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~doc)
+  in
+  let update_baseline =
+    let doc = "Write the current diagnostics to the $(b,--baseline) file \
+               and exit 0." in
+    Arg.(value & flag & info [ "update-baseline" ] ~doc)
+  in
+  let list_rules =
+    Arg.(value & flag
+         & info [ "list-rules" ] ~doc:"Print the rule catalog and exit.")
+  in
+  let input =
+    let doc = "Input gate-level netlist in ISCAS'89 .bench format." in
+    Arg.(value & opt (some file) None & info [ "i"; "input" ] ~doc)
+  in
+  let run input algorithms seed rules suppress format baseline update_baseline
+      list_rules =
+    if list_rules then begin
+      print_string (Sttc_lint.Lint.catalog_text ());
+      0
+    end
+    else
+      (* a typo'd rule name must not silently disable the gate *)
+      match
+        List.find_opt
+          (fun r -> Sttc_lint.Lint.find_rule r = None)
+          (rules @ suppress)
+      with
+      | Some unknown ->
+          prerr_endline
+            ("sttc: unknown rule " ^ unknown ^ " (see --list-rules)");
+          124
+      | None -> (
+      match input with
+      | None ->
+          prerr_endline "sttc: lint needs --input (or --list-rules)";
+          124
+      | Some input -> (
+          match read_netlist input with
+          | Error m ->
+              prerr_endline ("sttc: " ^ m);
+              1
+          | Ok nl -> (
+              try
+                let structural = Sttc_lint.Lint.structural nl in
+                let hybrids =
+                  List.concat_map
+                    (fun alg ->
+                      let r = Sttc_core.Flow.protect ~seed alg nl in
+                      List.map
+                        (fun d ->
+                          {
+                            d with
+                            Sttc_lint.Diagnostic.detail =
+                              Printf.sprintf "[%s] %s"
+                                (Sttc_core.Flow.algorithm_name alg)
+                                d.Sttc_lint.Diagnostic.detail;
+                          })
+                        (* structural findings of the hybrid mirror the
+                           base netlist's (replacement is slot-for-slot),
+                           so only the security pack is reported per
+                           algorithm *)
+                        (Sttc_core.Flow.lint_security r))
+                    algorithms
+                in
+                let base =
+                  match baseline with
+                  | Some path when Sys.file_exists path ->
+                      let ic = open_in path in
+                      let text =
+                        really_input_string ic (in_channel_length ic)
+                      in
+                      close_in ic;
+                      Sttc_lint.Diagnostic.baseline_of_string text
+                  | _ -> Sttc_lint.Diagnostic.empty_baseline
+                in
+                let ds =
+                  Sttc_lint.Lint.apply ~only:rules ~suppress
+                    (structural @ hybrids)
+                in
+                match (update_baseline, baseline) with
+                | true, Some path ->
+                    let oc = open_out path in
+                    output_string oc
+                      (Sttc_lint.Diagnostic.baseline_to_string
+                         (Sttc_lint.Diagnostic.baseline_of_diagnostics ds));
+                    close_out oc;
+                    Printf.printf "wrote baseline (%d entries) to %s\n"
+                      (List.length ds) path;
+                    0
+                | true, None ->
+                    prerr_endline "sttc: --update-baseline needs --baseline";
+                    124
+                | false, _ ->
+                    let ds = Sttc_lint.Diagnostic.apply_baseline base ds in
+                    let design = Sttc_netlist.Netlist.design_name nl in
+                    (match format with
+                    | `Text ->
+                        print_string
+                          (Sttc_lint.Diagnostic.render_text ~design ds)
+                    | `Json ->
+                        print_string
+                          (Sttc_lint.Diagnostic.render_json ~design ds));
+                    Sttc_lint.Lint.exit_code ds
+              with Invalid_argument m ->
+                prerr_endline ("sttc: " ^ m);
+                1)))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a netlist (and optionally its hybrid designs) \
+          against the structural and security rule packs; exits nonzero on \
+          error-severity findings.")
+    Term.(
+      const run $ input $ algorithms $ seed_arg $ rules $ suppress $ format
+      $ baseline $ update_baseline $ list_rules)
+
 (* ---------- attack ---------- *)
 
 let attack_cmd =
@@ -370,6 +533,7 @@ let () =
             optimize_cmd;
             program_cmd;
             protect_cmd;
+            lint_cmd;
             attack_cmd;
             fig1_cmd;
             table1_cmd;

@@ -78,6 +78,25 @@ let () =
       Printf.printf "\nsign-off FAILED at %s\n" f.Sttc_sim.Equiv.signal
   | Sttc_sim.Equiv.Inconclusive m -> Printf.printf "\nsign-off inconclusive: %s\n" m);
 
-  (* 5. the numbers the paper reports *)
+  (* 5. lint: the hybrid passes both rule packs... *)
+  let module D = Sttc_lint.Diagnostic in
+  let ds = Flow.lint_security result in
+  Printf.printf "\nlint (security pack): %d error(s), clean\n" (D.errors ds);
+  assert (D.errors ds = 0);
+
+  (* ...and a corrupted one is caught before anyone attacks (or ships) it.
+     Here the "foundry" view accidentally keeps the programmed configs —
+     the exact leak SEC006 exists for. *)
+  let leaky =
+    Sttc_lint.Security_rules.view
+      ~foundry:(Hybrid.programmed hybrid)
+      ~luts:(Hybrid.lut_ids hybrid) ()
+  in
+  let caught = Sttc_lint.Security_rules.run leaky in
+  Printf.printf "corrupted hybrid (configs left in the foundry view):\n%s"
+    (D.render_text ~design:"quickstart-leaky" caught);
+  assert (D.errors caught > 0);
+
+  (* 6. the numbers the paper reports *)
   Format.printf "\n%a@." Sttc_core.Security.pp_report result.Flow.security;
   Format.printf "%a@." Sttc_core.Ppa.pp result.Flow.overhead

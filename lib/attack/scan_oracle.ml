@@ -11,7 +11,6 @@ type t = {
   (* position of each original-order flip-flop inside the chain order *)
   chain_pos_of_orig : int array;
   scan_en_pos : int;
-  scan_in_pos : int;
   mutable count : int;
   mutable cycles : int;
 }
@@ -41,12 +40,8 @@ let create hybrid =
          orig_dff_names)
   in
   let pis = Array.of_list (Netlist.pis snl) in
-  let en_pos = ref (-1) and in_pos = ref (-1) in
-  Array.iteri
-    (fun i pi ->
-      if pi = chain.Scan.scan_en then en_pos := i
-      else if pi = chain.Scan.scan_in then in_pos := i)
-    pis;
+  let en_pos = ref (-1) in
+  Array.iteri (fun i pi -> if pi = chain.Scan.scan_en then en_pos := i) pis;
   {
     chain;
     sim;
@@ -55,7 +50,6 @@ let create hybrid =
     n_ffs = List.length orig_dff_names;
     chain_pos_of_orig;
     scan_en_pos = !en_pos;
-    scan_in_pos = !in_pos;
     count = 0;
     cycles = 0;
   }

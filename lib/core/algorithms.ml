@@ -43,7 +43,12 @@ type parametric_options = {
 let default_parametric =
   { clock_factor = 1.08; n_paths = None; select_fraction = 0.35; max_retries = 6 }
 
-let parametric ~rng ?(options = default_parametric) ctx =
+type parametric_meta = {
+  usl : Netlist.node_id list;
+  closure_neighbours : Netlist.node_id list;
+}
+
+let parametric_with_meta ~rng ?(options = default_parametric) ctx =
   let nl = ctx.Select.netlist in
   let clock_ps =
     options.clock_factor *. Sta.critical_delay_ps ctx.Select.sta
@@ -119,6 +124,7 @@ let parametric ~rng ?(options = default_parametric) ctx =
   (* USL closure: replace immediate neighbours (drivers and driven gates)
      of every unselected gate, provided they are CMOS gates off the chosen
      I/O paths. *)
+  let closure = ref Int_set.empty in
   Int_set.iter
     (fun g ->
       let neighbours =
@@ -128,7 +134,9 @@ let parametric ~rng ?(options = default_parametric) ctx =
         (fun nb ->
           if not (Int_set.mem nb on_chosen_io_paths) then
             match Netlist.kind nl nb with
-            | Netlist.Gate _ -> replaced := Int_set.add nb !replaced
+            | Netlist.Gate _ ->
+                replaced := Int_set.add nb !replaced;
+                closure := Int_set.add nb !closure
             | _ -> ())
         neighbours)
     !usl;
@@ -162,4 +170,16 @@ let parametric ~rng ?(options = default_parametric) ctx =
     if Array.length gates > 0 then
       replaced := Int_set.singleton (Rng.pick rng gates)
   end;
-  Int_set.elements !replaced
+  (* The timing-repair loop may have dropped closure gates again; the
+     metadata only records the neighbours that survived into the final
+     replacement set, so downstream checks re-verify exactly what the
+     hybrid is supposed to contain. *)
+  let meta =
+    {
+      usl = Int_set.elements !usl;
+      closure_neighbours = Int_set.elements (Int_set.inter !closure !replaced);
+    }
+  in
+  (Int_set.elements !replaced, meta)
+
+let parametric ~rng ?options ctx = fst (parametric_with_meta ~rng ?options ctx)

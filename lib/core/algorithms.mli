@@ -33,6 +33,24 @@ type parametric_options = {
 
 val default_parametric : parametric_options
 
+type parametric_meta = {
+  usl : Sttc_netlist.Netlist.node_id list;
+      (** unselected gates of the chosen timing paths (Algorithm 2's
+          USL) *)
+  closure_neighbours : Sttc_netlist.Netlist.node_id list;
+      (** off-path neighbourhood gates the USL closure replaced, after
+          timing repair — the set the [missing-neighbour] lint rule
+          re-verifies against the hybrid *)
+}
+
+val parametric_with_meta :
+  rng:Sttc_util.Rng.t ->
+  ?options:parametric_options ->
+  Select.context ->
+  Sttc_netlist.Netlist.node_id list * parametric_meta
+(** Like {!parametric} but also returns the selection metadata consumed
+    by the {!Sttc_lint.Security_rules} pack. *)
+
 val parametric :
   rng:Sttc_util.Rng.t ->
   ?options:parametric_options ->

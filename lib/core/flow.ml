@@ -24,6 +24,8 @@ type result = {
   security : Security.report;
   overhead : Ppa.overhead;
   selection_seconds : float;
+  lint : Sttc_lint.Diagnostic.t list;
+  parametric_meta : Algorithms.parametric_meta option;
 }
 
 type hardening = {
@@ -38,16 +40,44 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
   if Netlist.gates netlist = [] then
     invalid_arg "Flow.protect: netlist has no CMOS gates";
   let rng = Rng.make (seed lxor Hashtbl.hash (algorithm_name algorithm)) in
-  let (hybrid, _), selection_seconds =
+  let (hybrid, meta), selection_seconds =
     Sttc_util.Timing.time (fun () ->
         let ctx = Select.prepare ~rng ~fraction library netlist in
-        let gates =
+        let gates, meta =
           match algorithm with
-          | Independent { count } -> Algorithms.independent ~rng ~count ctx
-          | Dependent -> Algorithms.dependent ~rng ctx
-          | Parametric options -> Algorithms.parametric ~rng ~options ctx
+          | Independent { count } ->
+              (Algorithms.independent ~rng ~count ctx, None)
+          | Dependent -> (Algorithms.dependent ~rng ctx, None)
+          | Parametric options ->
+              let gates, meta =
+                Algorithms.parametric_with_meta ~rng ~options ctx
+              in
+              (gates, Some meta)
         in
-        let gates = if gates = [] then [ List.hd (Netlist.gates netlist) ] else gates in
+        (* Replacing a gate that reaches no primary output buys zero
+           corruptibility (D_i of Eqs. 1-2 is infinite): drop such picks,
+           which only arise from dead logic in the input netlist.  The
+           [unobservable-lut] lint rule enforces the same invariant. *)
+        let depth_to_po = Sttc_netlist.Query.sequential_depth_to_po netlist in
+        let observable id = depth_to_po.(id) < max_int in
+        let gates = List.filter observable gates in
+        let meta =
+          Option.map
+            (fun m ->
+              {
+                m with
+                Algorithms.closure_neighbours =
+                  List.filter observable m.Algorithms.closure_neighbours;
+              })
+            meta
+        in
+        let gates =
+          if gates <> [] then gates
+          else
+            match List.filter observable (Netlist.gates netlist) with
+            | g :: _ -> [ g ]
+            | [] -> [ List.hd (Netlist.gates netlist) ]
+        in
         let absorb =
           if hardening.absorb_drivers then Expand.pick_absorptions netlist gates
           else []
@@ -58,15 +88,67 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
               ~per_lut:hardening.extra_inputs_per_lut netlist gates
           else []
         in
-        (Hybrid.make ~extra_inputs ~absorb netlist gates, ctx))
+        (Hybrid.make ~extra_inputs ~absorb netlist gates, meta))
   in
+  (* Every protect run is statically checked: a malformed hybrid would
+     silently produce wrong security numbers downstream. *)
+  let lint =
+    Sttc_lint.Structural.check ~library (Hybrid.programmed hybrid)
+  in
+  (match
+     List.filter
+       (fun d -> d.Sttc_lint.Diagnostic.severity = Sttc_lint.Diagnostic.Error)
+       lint
+   with
+  | [] -> ()
+  | d :: _ ->
+      invalid_arg
+        ("Flow.protect: hybrid fails structural lint: "
+        ^ Sttc_lint.Diagnostic.to_text d));
   let security =
     Security.evaluate (Hybrid.foundry_view hybrid) ~luts:(Hybrid.lut_ids hybrid)
   in
   let overhead =
     Ppa.evaluate library ~base:netlist ~hybrid:(Hybrid.programmed hybrid)
   in
-  { algorithm; hybrid; security; overhead; selection_seconds }
+  {
+    algorithm;
+    hybrid;
+    security;
+    overhead;
+    selection_seconds;
+    lint;
+    parametric_meta = meta;
+  }
+
+let lint_view ?(library = Sttc_tech.Library.cmos90) r =
+  let algorithm =
+    match r.algorithm with
+    | Independent _ -> Sttc_lint.Security_rules.Independent
+    | Dependent -> Sttc_lint.Security_rules.Dependent
+    | Parametric _ -> Sttc_lint.Security_rules.Parametric
+  in
+  let clock_factor =
+    match r.algorithm with
+    | Parametric options -> options.Algorithms.clock_factor
+    | Independent _ | Dependent -> 1.08
+  in
+  let meta =
+    Option.map
+      (fun m ->
+        {
+          Sttc_lint.Security_rules.usl = m.Algorithms.usl;
+          neighbours = m.Algorithms.closure_neighbours;
+        })
+      r.parametric_meta
+  in
+  Sttc_lint.Security_rules.view ~algorithm ?meta
+    ~original:(Hybrid.original r.hybrid) ~library ~clock_factor
+    ~foundry:(Hybrid.foundry_view r.hybrid)
+    ~luts:(Hybrid.lut_ids r.hybrid) ()
+
+let lint_security ?library ?only r =
+  Sttc_lint.Security_rules.run ?only (lint_view ?library r)
 
 let sign_off ?method_ result =
   match Hybrid.verify ?method_ result.hybrid with

@@ -36,6 +36,11 @@ type result = {
   overhead : Ppa.overhead;
   selection_seconds : float;
       (** wall-clock of selection + replacement only (Table II metric) *)
+  lint : Sttc_lint.Diagnostic.t list;
+      (** structural diagnostics of the programmed hybrid (warnings and
+          infos; error-severity findings make {!protect} raise) *)
+  parametric_meta : Algorithms.parametric_meta option;
+      (** selection metadata when the algorithm was parametric-aware *)
 }
 
 val protect :
@@ -49,6 +54,19 @@ val protect :
 (** Runs the full selection-and-replacement stage and the evaluation
     around it.  Deterministic for a fixed seed.  Raises [Invalid_argument]
     when the netlist has no replaceable gate. *)
+
+val lint_view :
+  ?library:Sttc_tech.Library.t -> result -> Sttc_lint.Security_rules.view
+(** The security-lint view of a protect result: foundry netlist, LUT
+    ids, algorithm tag, parametric metadata, original netlist and clock
+    budget (the parametric [clock_factor], 1.08 otherwise). *)
+
+val lint_security :
+  ?library:Sttc_tech.Library.t ->
+  ?only:string list ->
+  result ->
+  Sttc_lint.Diagnostic.t list
+(** Run the {!Sttc_lint.Security_rules} pack on {!lint_view}. *)
 
 val sign_off : ?method_:[ `Random of int | `Sat | `Bdd ] -> result -> bool
 (** Programmed hybrid equivalent to the original? *)

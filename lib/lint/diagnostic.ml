@@ -1,0 +1,142 @@
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type t = {
+  rule : string;
+  alias : string;
+  severity : severity;
+  node : string option;
+  detail : string;
+}
+
+let make ~rule ~alias ~severity ?node detail =
+  { rule; alias; severity; node; detail }
+
+let key d =
+  Printf.sprintf "%s@%s" d.rule (Option.value d.node ~default:"-")
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      String.compare
+        (Option.value a.node ~default:"")
+        (Option.value b.node ~default:"")
+
+let errors ds =
+  List.fold_left (fun n d -> if d.severity = Error then n + 1 else n) 0 ds
+
+let matches_rule r d =
+  let r = String.lowercase_ascii r in
+  String.lowercase_ascii d.rule = r || String.lowercase_ascii d.alias = r
+
+let filter_rules ~only ds =
+  if only = [] then ds
+  else List.filter (fun d -> List.exists (fun r -> matches_rule r d) only) ds
+
+let suppress ~rules ds =
+  List.filter (fun d -> not (List.exists (fun r -> matches_rule r d) rules)) ds
+
+(* ---------- baselines ---------- *)
+
+type baseline = (string, unit) Hashtbl.t
+
+let empty_baseline : baseline = Hashtbl.create 1
+
+let baseline_of_diagnostics ds =
+  let b = Hashtbl.create 16 in
+  List.iter (fun d -> Hashtbl.replace b (key d) ()) ds;
+  b
+
+let baseline_to_string b =
+  let keys = Hashtbl.fold (fun k () acc -> k :: acc) b [] in
+  let keys = List.sort String.compare keys in
+  "# sttc lint baseline: one accepted diagnostic key per line\n"
+  ^ String.concat "\n" keys
+  ^ if keys = [] then "" else "\n"
+
+let baseline_of_string text =
+  let b = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then Hashtbl.replace b line ())
+    (String.split_on_char '\n' text);
+  b
+
+let apply_baseline b ds = List.filter (fun d -> not (Hashtbl.mem b (key d))) ds
+
+(* ---------- rendering ---------- *)
+
+let pp fmt d =
+  Format.fprintf fmt "%s %s(%s)%s: %s" (severity_name d.severity) d.rule
+    d.alias
+    (match d.node with Some n -> " at " ^ n | None -> "")
+    d.detail
+
+let to_text d = Format.asprintf "%a" pp d
+
+let count sev ds =
+  List.fold_left (fun n d -> if d.severity = sev then n + 1 else n) 0 ds
+
+let render_text ~design ds =
+  let ds = List.sort compare ds in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "lint %s:\n" design);
+  if ds = [] then Buffer.add_string buf "  clean (no diagnostics)\n"
+  else
+    List.iter
+      (fun d -> Buffer.add_string buf (Printf.sprintf "  %s\n" (to_text d)))
+      ds;
+  Buffer.add_string buf
+    (Printf.sprintf "summary: %d error(s), %d warning(s), %d info\n"
+       (count Error ds) (count Warning ds) (count Info ds));
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json ~design ds =
+  let ds = List.sort compare ds in
+  let entry d =
+    Printf.sprintf
+      "    { \"rule\": \"%s\", \"alias\": \"%s\", \"severity\": \"%s\", \
+       \"node\": %s, \"detail\": \"%s\" }"
+      (json_escape d.rule) (json_escape d.alias)
+      (severity_name d.severity)
+      (match d.node with
+      | Some n -> Printf.sprintf "\"%s\"" (json_escape n)
+      | None -> "null")
+      (json_escape d.detail)
+  in
+  let body =
+    if ds = [] then "[]"
+    else
+      Printf.sprintf "[\n%s\n  ]" (String.concat ",\n" (List.map entry ds))
+  in
+  Printf.sprintf
+    "{\n  \"design\": \"%s\",\n  \"diagnostics\": %s,\n  \"errors\": %d,\n  \
+     \"warnings\": %d,\n  \"infos\": %d\n}\n"
+    (json_escape design) body (count Error ds) (count Warning ds)
+    (count Info ds)

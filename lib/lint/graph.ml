@@ -1,0 +1,56 @@
+module Netlist = Sttc_netlist.Netlist
+
+type kind =
+  | Pi
+  | Const of bool
+  | Gate of Sttc_logic.Gate_fn.t
+  | Lut of { arity : int; configured : bool }
+  | Dff
+
+type node = {
+  name : string;
+  kind : kind;
+  fanins : int array;
+}
+
+type t = {
+  design : string;
+  nodes : node array;
+  outputs : (string * int) array;
+}
+
+let of_netlist nl =
+  let kind_of = function
+    | Netlist.Pi -> Pi
+    | Netlist.Const v -> Const v
+    | Netlist.Gate fn -> Gate fn
+    | Netlist.Lut { arity; config } ->
+        Lut { arity; configured = config <> None }
+    | Netlist.Dff -> Dff
+  in
+  let nodes =
+    Array.init (Netlist.node_count nl) (fun id ->
+        let n = Netlist.node nl id in
+        {
+          name = n.Netlist.name;
+          kind = kind_of n.Netlist.kind;
+          fanins = Array.copy n.Netlist.fanins;
+        })
+  in
+  { design = Netlist.design_name nl; nodes; outputs = Netlist.outputs nl }
+
+let is_combinational = function
+  | Gate _ | Lut _ -> true
+  | Pi | Const _ | Dff -> false
+
+let valid_ref t id = id >= 0 && id < Array.length t.nodes
+
+let fanouts t =
+  let f = Array.make (Array.length t.nodes) [] in
+  Array.iteri
+    (fun id n ->
+      Array.iter
+        (fun src -> if valid_ref t src then f.(src) <- id :: f.(src))
+        n.fanins)
+    t.nodes;
+  Array.map List.rev f

@@ -1,0 +1,41 @@
+let catalog = Structural.rules @ Security_rules.rules
+
+let find_rule name =
+  let name = String.lowercase_ascii name in
+  List.find_opt
+    (fun (r : Structural.rule) ->
+      String.lowercase_ascii r.Structural.id = name
+      || String.lowercase_ascii r.Structural.alias = name)
+    catalog
+
+let catalog_text () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "rule catalog:\n";
+  List.iter
+    (fun (r : Structural.rule) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s  %-18s %-8s %s\n" r.Structural.id
+           r.Structural.alias
+           (Diagnostic.severity_name r.Structural.severity)
+           r.Structural.doc))
+    catalog;
+  Buffer.contents buf
+
+let structural ?only ?library nl = Structural.check ?only ?library nl
+
+let hybrid ?only view =
+  Structural.check ?only ~library:view.Security_rules.library
+    view.Security_rules.foundry
+  @ Security_rules.run ?only view
+
+let apply ?(only = []) ?(suppress = []) ?baseline ds =
+  let ds = Diagnostic.filter_rules ~only ds in
+  let ds = Diagnostic.suppress ~rules:suppress ds in
+  let ds =
+    match baseline with
+    | None -> ds
+    | Some b -> Diagnostic.apply_baseline b ds
+  in
+  List.sort Diagnostic.compare ds
+
+let exit_code ds = if Diagnostic.errors ds > 0 then 1 else 0

@@ -1,0 +1,43 @@
+(** Facade over the lint subsystem: rule catalog, combined runs, and the
+    CI gate.
+
+    Typical use:
+    {[
+      let ds = Lint.structural netlist in
+      print_string (Diagnostic.render_text ~design ds);
+      exit (Lint.exit_code ds)
+    ]} *)
+
+val catalog : Structural.rule list
+(** Every rule of both packs, structural first, in ID order. *)
+
+val find_rule : string -> Structural.rule option
+(** Look up by ID or alias, case-insensitively. *)
+
+val catalog_text : unit -> string
+(** Human-readable rule listing for [--list-rules]. *)
+
+val structural :
+  ?only:string list ->
+  ?library:Sttc_tech.Library.t ->
+  Sttc_netlist.Netlist.t ->
+  Diagnostic.t list
+(** The structural pack on a netlist ({!Structural.check}). *)
+
+val hybrid :
+  ?only:string list -> Security_rules.view -> Diagnostic.t list
+(** Both packs on a hybrid: structural rules on the foundry view plus
+    the security pack on the view. *)
+
+val apply :
+  ?only:string list ->
+  ?suppress:string list ->
+  ?baseline:Diagnostic.baseline ->
+  Diagnostic.t list ->
+  Diagnostic.t list
+(** Post-process a diagnostic list: keep [only], drop [suppress], drop
+    baselined entries, sort worst-first. *)
+
+val exit_code : Diagnostic.t list -> int
+(** 0 when no error-severity diagnostic remains, 1 otherwise — the CI
+    contract of [sttc lint]. *)

@@ -78,6 +78,7 @@ let parse_string ?(design_name = "bench") text =
      INPUT declares a PI. *)
   let assigns = Hashtbl.create 64 in
   let input_names = Hashtbl.create 16 in
+  let output_names = Hashtbl.create 16 in
   let inputs = ref [] and outs = ref [] in
   List.iter
     (fun (ln, s) ->
@@ -87,7 +88,10 @@ let parse_string ?(design_name = "bench") text =
             fail ln ("redefined signal " ^ a);
           Hashtbl.add input_names a ();
           inputs := (ln, a) :: !inputs
-      | Soutput a -> outs := (ln, a) :: !outs
+      | Soutput a ->
+          if Hashtbl.mem output_names a then fail ln ("duplicate OUTPUT " ^ a);
+          Hashtbl.add output_names a ();
+          outs := (ln, a) :: !outs
       | Sassign (lhs, op, config, args) ->
           if Hashtbl.mem assigns lhs || Hashtbl.mem input_names lhs then
             fail ln ("redefined signal " ^ lhs);
@@ -125,28 +129,47 @@ let parse_string ?(design_name = "bench") text =
             Hashtbl.add ids signal id;
             id)
   and build_assign ln lhs op config args =
-    match op with
-    | "DFF" -> assert false (* pre-declared *)
-    | "LUT" ->
-        let arity = List.length args in
-        let config =
-          Option.map
-            (fun s ->
-              match Sttc_logic.Truth.of_string s with
-              | t ->
-                  if Sttc_logic.Truth.arity t <> arity then
-                    fail ln "LUT config arity mismatch"
-                  else t
-              | exception Invalid_argument m -> fail ln m)
-            config
-        in
-        Netlist.Builder.add_lut b lhs ?config args
-    | "VCC" | "ONE" -> Netlist.Builder.add_const b lhs true
-    | "GND" | "ZERO" -> Netlist.Builder.add_const b lhs false
-    | _ -> (
-        match Sttc_logic.Gate_fn.of_bench_name op ~arity:(List.length args) with
-        | Some fn -> Netlist.Builder.add_gate b lhs fn args
-        | None -> fail ln ("unknown gate " ^ op))
+    (* The builder re-validates everything structurally; anything it
+       rejects (LUT arity out of range, ...) must surface as a
+       Parse_error carrying the offending line, not a bare
+       Invalid_argument. *)
+    try
+      match op with
+      | "DFF" -> assert false (* pre-declared *)
+      | "LUT" ->
+          let arity = List.length args in
+          let config =
+            Option.map
+              (fun s ->
+                match Sttc_logic.Truth.of_string s with
+                | t ->
+                    if Sttc_logic.Truth.arity t <> arity then
+                      fail ln "LUT config arity mismatch"
+                    else t
+                | exception Invalid_argument m -> fail ln m)
+              config
+          in
+          Netlist.Builder.add_lut b lhs ?config args
+      | "VCC" | "ONE" | "GND" | "ZERO" ->
+          if args <> [] then fail ln (op ^ " takes no arguments");
+          Netlist.Builder.add_const b lhs (op = "VCC" || op = "ONE")
+      | _ -> (
+          let arity = List.length args in
+          match Sttc_logic.Gate_fn.of_bench_name op ~arity with
+          | Some fn -> Netlist.Builder.add_gate b lhs fn args
+          | None ->
+              let known_with_other_arity =
+                List.exists
+                  (fun k ->
+                    k <> arity
+                    && Sttc_logic.Gate_fn.of_bench_name op ~arity:k <> None)
+                  [ 1; 2; 3; 4; 5; 6 ]
+              in
+              if known_with_other_arity then
+                fail ln
+                  (Printf.sprintf "gate %s cannot take %d input(s)" op arity)
+              else fail ln ("unknown gate " ^ op))
+    with Invalid_argument m -> fail ln m
   in
   (* Build everything assigned. *)
   Hashtbl.iter

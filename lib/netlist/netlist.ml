@@ -165,7 +165,7 @@ let stats t =
 module Builder = struct
   type pending = {
     p_name : string;
-    mutable p_kind : kind;
+    p_kind : kind;
     mutable p_fanins : node_id array;
   }
 

@@ -1,0 +1,402 @@
+(* Tests for Sttc_lint: the diagnostics core, both rule packs (each rule
+   fires on a minimal violating design), and the clean-on-valid-input
+   properties the subsystem guarantees. *)
+
+module D = Sttc_lint.Diagnostic
+module Graph = Sttc_lint.Graph
+module Structural = Sttc_lint.Structural
+module Sec = Sttc_lint.Security_rules
+module Lint = Sttc_lint.Lint
+module Netlist = Sttc_netlist.Netlist
+module Transform = Sttc_netlist.Transform
+module Generator = Sttc_netlist.Generator
+module Gate_fn = Sttc_logic.Gate_fn
+module Flow = Sttc_core.Flow
+
+let fires rule ds = List.exists (D.matches_rule rule) ds
+
+let check_fires name rule ds =
+  Alcotest.(check bool) (name ^ ": " ^ rule ^ " fires") true (fires rule ds)
+
+let check_silent name rule ds =
+  Alcotest.(check bool) (name ^ ": " ^ rule ^ " silent") false (fires rule ds)
+
+(* ---------- diagnostics core ---------- *)
+
+let d1 = D.make ~rule:"STR001" ~alias:"comb-loop" ~severity:D.Error ~node:"g1" "x"
+let d2 = D.make ~rule:"SEC001" ~alias:"trivial-lut" ~severity:D.Warning "y"
+
+let test_diag_basics () =
+  Alcotest.(check string) "key" "STR001@g1" (D.key d1);
+  Alcotest.(check string) "key no node" "SEC001@-" (D.key d2);
+  Alcotest.(check int) "errors" 1 (D.errors [ d1; d2 ]);
+  Alcotest.(check bool) "match id" true (D.matches_rule "str001" d1);
+  Alcotest.(check bool) "match alias" true (D.matches_rule "comb-loop" d1);
+  Alcotest.(check bool) "no match" false (D.matches_rule "STR002" d1);
+  Alcotest.(check int) "sort worst first" (-1)
+    (compare (D.compare d1 d2) 0);
+  Alcotest.(check int) "filter" 1
+    (List.length (D.filter_rules ~only:[ "SEC001" ] [ d1; d2 ]));
+  Alcotest.(check int) "suppress" 1
+    (List.length (D.suppress ~rules:[ "trivial-lut" ] [ d1; d2 ]))
+
+let test_diag_baseline () =
+  let b = D.baseline_of_diagnostics [ d1 ] in
+  Alcotest.(check int) "baselined dropped" 1
+    (List.length (D.apply_baseline b [ d1; d2 ]));
+  let b2 = D.baseline_of_string (D.baseline_to_string b ^ "\n# comment\n") in
+  Alcotest.(check int) "roundtrip" 1
+    (List.length (D.apply_baseline b2 [ d1; d2 ]));
+  Alcotest.(check int) "empty keeps all" 2
+    (List.length (D.apply_baseline D.empty_baseline [ d1; d2 ]))
+
+let test_diag_render () =
+  let txt = D.render_text ~design:"t" [ d1; d2 ] in
+  Alcotest.(check bool) "text has summary" true
+    (String.length txt > 0
+    && List.exists
+         (fun line ->
+           String.length line >= 8 && String.sub line 0 8 = "summary:")
+         (String.split_on_char '\n' txt));
+  let json = D.render_json ~design:"t" [ d1; d2 ] in
+  Alcotest.(check bool) "json mentions rule" true
+    (let n = String.length json in
+     let needle = "\"STR001\"" in
+     let k = String.length needle in
+     let rec go i = i + k <= n && (String.sub json i k = needle || go (i + 1)) in
+     go 0);
+  (* empty list renders an empty diagnostics array *)
+  let empty = D.render_json ~design:"t" [] in
+  Alcotest.(check bool) "empty json" true
+    (let n = String.length empty in
+     let needle = "\"diagnostics\": []" in
+     let k = String.length needle in
+     let rec go i = i + k <= n && (String.sub empty i k = needle || go (i + 1)) in
+     go 0)
+
+let test_catalog () =
+  Alcotest.(check int) "14 rules" 14 (List.length Lint.catalog);
+  (match Lint.find_rule "comb-loop" with
+  | Some r -> Alcotest.(check string) "alias lookup" "STR001" r.Structural.id
+  | None -> Alcotest.fail "comb-loop not found");
+  (match Lint.find_rule "SEC004" with
+  | Some r -> Alcotest.(check string) "id lookup" "unobservable-lut" r.Structural.alias
+  | None -> Alcotest.fail "SEC004 not found");
+  Alcotest.(check bool) "unknown" true (Lint.find_rule "XYZ999" = None);
+  Alcotest.(check bool) "catalog text" true
+    (String.length (Lint.catalog_text ()) > 100)
+
+(* ---------- structural rules on minimal violating graphs ---------- *)
+
+let graph ?(design = "g") ?(outputs = [||]) nodes =
+  { Graph.design; nodes = Array.of_list nodes; outputs }
+
+let n name kind fanins = { Graph.name; kind; fanins = Array.of_list fanins }
+
+let test_str_comb_loop () =
+  (* g1 = AND(a, g2); g2 = BUF(g1): a two-gate combinational cycle *)
+  let g =
+    graph
+      ~outputs:[| ("y", 1) |]
+      [
+        n "a" Graph.Pi [];
+        n "g1" (Graph.Gate (Gate_fn.And 2)) [ 0; 2 ];
+        n "g2" (Graph.Gate Gate_fn.Buf) [ 1 ];
+      ]
+  in
+  check_fires "loop" "comb-loop" (Structural.run g);
+  (* the same shape through a flip-flop is legal *)
+  let ok =
+    graph
+      ~outputs:[| ("y", 1) |]
+      [
+        n "a" Graph.Pi [];
+        n "g1" (Graph.Gate (Gate_fn.And 2)) [ 0; 2 ];
+        n "ff" Graph.Dff [ 1 ];
+      ]
+  in
+  check_silent "dff breaks loop" "comb-loop" (Structural.run ok)
+
+let test_str_undriven () =
+  let g =
+    graph ~outputs:[| ("y", 0) |]
+      [ n "g" (Graph.Gate Gate_fn.Buf) [ -1 ] ]
+  in
+  check_fires "bad fanin" "undriven-net" (Structural.run g);
+  (* an output naming a nonexistent driver too *)
+  let g2 =
+    graph ~outputs:[| ("y", 7) |] [ n "a" Graph.Pi [] ]
+  in
+  check_fires "bad po" "undriven-net" (Structural.run g2)
+
+let test_str_multi_driver () =
+  let g =
+    graph ~outputs:[| ("y", 1) |]
+      [
+        n "a" Graph.Pi [];
+        n "s" (Graph.Gate Gate_fn.Buf) [ 0 ];
+        n "s" (Graph.Gate Gate_fn.Not) [ 0 ];
+      ]
+  in
+  check_fires "two drivers of s" "multi-driver" (Structural.run g)
+
+let test_str_dangling () =
+  let g =
+    graph ~outputs:[| ("y", 1) |]
+      [
+        n "a" Graph.Pi [];
+        n "live" (Graph.Gate Gate_fn.Buf) [ 0 ];
+        n "dead" (Graph.Gate Gate_fn.Not) [ 0 ];
+      ]
+  in
+  let ds = Structural.run g in
+  check_fires "dead gate" "dangling-gate" ds;
+  (* it is a warning, not an error *)
+  Alcotest.(check int) "no errors" 0 (D.errors ds);
+  (* a gate feeding only a flip-flop is not dangling *)
+  let ok =
+    graph ~outputs:[| ("y", 1) |]
+      [
+        n "a" Graph.Pi [];
+        n "live" (Graph.Gate Gate_fn.Buf) [ 0 ];
+        n "pre" (Graph.Gate Gate_fn.Not) [ 0 ];
+        n "ff" Graph.Dff [ 2 ];
+      ]
+  in
+  check_silent "ff fanin live" "dangling-gate" (Structural.run ok)
+
+let test_str_arity () =
+  let g =
+    graph ~outputs:[| ("y", 1) |]
+      [ n "a" Graph.Pi []; n "g" (Graph.Gate (Gate_fn.And 2)) [ 0 ] ]
+  in
+  check_fires "AND2 with one fanin" "arity-mismatch" (Structural.run g);
+  let wide =
+    graph ~outputs:[| ("y", 1) |]
+      [
+        n "a" Graph.Pi [];
+        n "l" (Graph.Lut { arity = 7; configured = false })
+          [ 0; 0; 0; 0; 0; 0; 0 ];
+      ]
+  in
+  check_fires "7-LUT beyond tech max" "arity-mismatch" (Structural.run wide);
+  let dff =
+    graph ~outputs:[| ("y", 1) |]
+      [ n "a" Graph.Pi []; n "ff" Graph.Dff [] ]
+  in
+  check_fires "unwired dff" "arity-mismatch" (Structural.run dff)
+
+let test_str_duplicate_output () =
+  let g =
+    graph
+      ~outputs:[| ("y", 1); ("y", 0) |]
+      [ n "a" Graph.Pi []; n "g" (Graph.Gate Gate_fn.Buf) [ 0 ] ]
+  in
+  check_fires "duplicate PO name" "duplicate-name" (Structural.run g)
+
+let test_str_no_output () =
+  let g = graph [ n "a" Graph.Pi [] ] in
+  check_fires "no outputs" "no-output" (Structural.run g)
+
+(* ---------- security rules on corrupted hybrids ---------- *)
+
+(* PI a,b; g = AND(a,b); PO y = g. *)
+let tiny_comb () =
+  let b = Netlist.Builder.create ~design_name:"tiny" () in
+  let a = Netlist.Builder.add_pi b "a" in
+  let bb = Netlist.Builder.add_pi b "b" in
+  let g = Netlist.Builder.add_gate b "g" (Gate_fn.And 2) [ a; bb ] in
+  Netlist.Builder.add_output b "y" g;
+  (Netlist.Builder.finalize b, g)
+
+let test_sec_trivial () =
+  let nl, g = tiny_comb () in
+  let foundry = Transform.replace_many ~keep_function:false nl [ g ] in
+  let v = Sec.view ~foundry ~luts:[ g ] () in
+  check_fires "PI-fed PO-driving LUT" "trivial-lut" (Sec.run v)
+
+let test_sec_broken_chain () =
+  (* two replaced gates on disjoint paths: neither reaches the other *)
+  let b = Netlist.Builder.create ~design_name:"split" () in
+  let a = Netlist.Builder.add_pi b "a" in
+  let c = Netlist.Builder.add_pi b "c" in
+  let g1 = Netlist.Builder.add_gate b "g1" Gate_fn.Not [ a ] in
+  let g2 = Netlist.Builder.add_gate b "g2" Gate_fn.Not [ c ] in
+  Netlist.Builder.add_output b "y1" g1;
+  Netlist.Builder.add_output b "y2" g2;
+  let nl = Netlist.Builder.finalize b in
+  let foundry = Transform.replace_many ~keep_function:false nl [ g1; g2 ] in
+  let broken =
+    Sec.view ~algorithm:Sec.Dependent ~foundry ~luts:[ g1; g2 ] ()
+  in
+  check_fires "disjoint LUTs" "broken-chain" (Sec.run broken);
+  (* the rule is gated on dependent selection *)
+  let ungated = Sec.view ~algorithm:Sec.Independent ~foundry ~luts:[ g1; g2 ] () in
+  check_silent "independent not gated" "broken-chain" (Sec.run ungated);
+  (* a genuine chain g1 -> g2 is clean *)
+  let b = Netlist.Builder.create ~design_name:"chain" () in
+  let a = Netlist.Builder.add_pi b "a" in
+  let g1 = Netlist.Builder.add_gate b "g1" Gate_fn.Not [ a ] in
+  let g2 = Netlist.Builder.add_gate b "g2" Gate_fn.Buf [ g1 ] in
+  Netlist.Builder.add_output b "y" g2;
+  let nl = Netlist.Builder.finalize b in
+  let foundry = Transform.replace_many ~keep_function:false nl [ g1; g2 ] in
+  let ok = Sec.view ~algorithm:Sec.Dependent ~foundry ~luts:[ g1; g2 ] () in
+  check_silent "chained LUTs" "broken-chain" (Sec.run ok)
+
+let test_sec_missing_neighbour () =
+  let nl, g = tiny_comb () in
+  let foundry = Transform.replace_many ~keep_function:false nl [ g ] in
+  let a = Netlist.find_exn foundry "a" in
+  (* the meta claims PI [a] was a replaced neighbourhood gate: it is not
+     a LUT slot, so the record is inconsistent with the foundry view *)
+  let v =
+    Sec.view ~algorithm:Sec.Parametric
+      ~meta:{ Sec.usl = []; neighbours = [ a ] }
+      ~foundry ~luts:[ g ] ()
+  in
+  check_fires "neighbour kept as CMOS" "missing-neighbour" (Sec.run v);
+  let ok =
+    Sec.view ~algorithm:Sec.Parametric
+      ~meta:{ Sec.usl = []; neighbours = [ g ] }
+      ~foundry ~luts:[ g ] ()
+  in
+  check_silent "neighbour replaced" "missing-neighbour" (Sec.run ok)
+
+let test_sec_unobservable () =
+  (* dead = NOT(a) reaches no PO; replacing it buys nothing *)
+  let b = Netlist.Builder.create ~design_name:"dead" () in
+  let a = Netlist.Builder.add_pi b "a" in
+  let live = Netlist.Builder.add_gate b "live" Gate_fn.Buf [ a ] in
+  let dead = Netlist.Builder.add_gate b "dead" Gate_fn.Not [ a ] in
+  Netlist.Builder.add_output b "y" live;
+  let nl = Netlist.Builder.finalize b in
+  let foundry = Transform.replace_many ~keep_function:false nl [ dead ] in
+  let v = Sec.view ~foundry ~luts:[ dead ] () in
+  check_fires "LUT in dead logic" "unobservable-lut" (Sec.run v);
+  let live_foundry = Transform.replace_many ~keep_function:false nl [ live ] in
+  let ok = Sec.view ~foundry:live_foundry ~luts:[ live ] () in
+  check_silent "LUT on live path" "unobservable-lut" (Sec.run ok)
+
+let test_sec_timing () =
+  (* an impossible budget (half the original delay) must always violate;
+     with a parametric claim and the LUT on the critical path this is an
+     error, otherwise a warning *)
+  let b = Netlist.Builder.create ~design_name:"slow" () in
+  let a = Netlist.Builder.add_pi b "a" in
+  let g1 = Netlist.Builder.add_gate b "g1" Gate_fn.Not [ a ] in
+  let g2 = Netlist.Builder.add_gate b "g2" Gate_fn.Not [ g1 ] in
+  Netlist.Builder.add_output b "y" g2;
+  let nl = Netlist.Builder.finalize b in
+  let foundry = Transform.replace_many ~keep_function:false nl [ g2 ] in
+  let v =
+    Sec.view ~algorithm:Sec.Parametric ~original:nl ~clock_factor:0.5 ~foundry
+      ~luts:[ g2 ] ()
+  in
+  let ds = Sec.run v in
+  check_fires "budget blown" "timing-violation" ds;
+  Alcotest.(check bool) "error for parametric LUT on path" true
+    (List.exists
+       (fun d -> D.matches_rule "SEC005" d && d.D.severity = D.Error)
+       ds);
+  let warn =
+    Sec.view ~algorithm:Sec.Independent ~original:nl ~clock_factor:0.5 ~foundry
+      ~luts:[ g2 ] ()
+  in
+  Alcotest.(check bool) "warning when not parametric" true
+    (List.exists
+       (fun d -> D.matches_rule "SEC005" d && d.D.severity = D.Warning)
+       (Sec.run warn));
+  (* a generous budget passes *)
+  let ok =
+    Sec.view ~algorithm:Sec.Parametric ~original:nl ~clock_factor:100.0 ~foundry
+      ~luts:[ g2 ] ()
+  in
+  check_silent "generous budget" "timing-violation" (Sec.run ok)
+
+let test_sec_config_leak () =
+  let nl, g = tiny_comb () in
+  (* keep_function:true leaves the secret truth table in the "foundry" view *)
+  let leaky = Transform.replace_many ~keep_function:true nl [ g ] in
+  let v = Sec.view ~foundry:leaky ~luts:[ g ] () in
+  check_fires "configured LUT shipped" "config-leak" (Sec.run v);
+  let stripped = Transform.strip_configs leaky in
+  let ok = Sec.view ~foundry:stripped ~luts:[ g ] () in
+  check_silent "stripped" "config-leak" (Sec.run ok)
+
+let test_sec_not_a_lut () =
+  let nl, g = tiny_comb () in
+  let foundry = Transform.replace_many ~keep_function:false nl [ g ] in
+  let a = Netlist.find_exn foundry "a" in
+  let v = Sec.view ~foundry ~luts:[ g; a ] () in
+  check_fires "PI listed as missing gate" "not-a-lut" (Sec.run v);
+  let oob = Sec.view ~foundry ~luts:[ 999 ] () in
+  check_fires "out of range id" "not-a-lut" (Sec.run oob)
+
+(* ---------- clean-on-valid-input properties ---------- *)
+
+let gen_spec =
+  {
+    Generator.design_name = "lintprop";
+    n_pi = 6;
+    n_po = 5;
+    n_ff = 4;
+    n_gates = 60;
+    levels = 6;
+  }
+
+let lint_props =
+  let gen_seed = QCheck2.Gen.int_range 0 10_000 in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"generator output has no structural errors"
+         ~count:30 gen_seed
+         (fun seed ->
+           let nl = Generator.generate ~seed gen_spec in
+           D.errors (Lint.structural nl) = 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"protect output lints clean for every algorithm" ~count:8
+         gen_seed
+         (fun seed ->
+           let nl = Generator.generate ~seed gen_spec in
+           List.for_all
+             (fun algorithm ->
+               let r = Flow.protect ~seed ~fraction:0.1 algorithm nl in
+               D.errors (Flow.lint_security r) = 0
+               && D.errors r.Flow.lint = 0)
+             Flow.default_algorithms));
+  ]
+
+let () =
+  Alcotest.run "sttc_lint"
+    [
+      ( "diagnostic",
+        [
+          Alcotest.test_case "basics" `Quick test_diag_basics;
+          Alcotest.test_case "baseline" `Quick test_diag_baseline;
+          Alcotest.test_case "render" `Quick test_diag_render;
+          Alcotest.test_case "catalog" `Quick test_catalog;
+        ] );
+      ( "structural",
+        [
+          Alcotest.test_case "comb-loop" `Quick test_str_comb_loop;
+          Alcotest.test_case "undriven-net" `Quick test_str_undriven;
+          Alcotest.test_case "multi-driver" `Quick test_str_multi_driver;
+          Alcotest.test_case "dangling-gate" `Quick test_str_dangling;
+          Alcotest.test_case "arity-mismatch" `Quick test_str_arity;
+          Alcotest.test_case "duplicate-name" `Quick test_str_duplicate_output;
+          Alcotest.test_case "no-output" `Quick test_str_no_output;
+        ] );
+      ( "security",
+        [
+          Alcotest.test_case "trivial-lut" `Quick test_sec_trivial;
+          Alcotest.test_case "broken-chain" `Quick test_sec_broken_chain;
+          Alcotest.test_case "missing-neighbour" `Quick test_sec_missing_neighbour;
+          Alcotest.test_case "unobservable-lut" `Quick test_sec_unobservable;
+          Alcotest.test_case "timing-violation" `Quick test_sec_timing;
+          Alcotest.test_case "config-leak" `Quick test_sec_config_leak;
+          Alcotest.test_case "not-a-lut" `Quick test_sec_not_a_lut;
+        ] );
+      ("properties", lint_props);
+    ]

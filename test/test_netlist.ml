@@ -219,6 +219,35 @@ let test_bench_errors () =
   Alcotest.(check bool) "redefined" true
     (expect_error "INPUT(a)\nOUTPUT(a)\na = NOT(a)\n")
 
+let test_bench_strict_errors () =
+  (* validation failures surface as Parse_error with the offending line *)
+  let expect_line text line =
+    try
+      ignore (Bench_io.parse_string text);
+      Alcotest.fail "expected Parse_error"
+    with Bench_io.Parse_error (l, _) ->
+      Alcotest.(check int) "error line" line l
+  in
+  (* duplicate OUTPUT declaration, reported at the second declaration *)
+  expect_line "INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n" 3;
+  (* constants take no arguments *)
+  expect_line "INPUT(a)\nOUTPUT(y)\nc = VCC(a)\ny = AND(a, c)\n" 3;
+  expect_line "INPUT(a)\nOUTPUT(y)\nc = GND(a)\ny = AND(a, c)\n" 3;
+  (* a known gate at an impossible arity names the gate, not "unknown" *)
+  (try
+     ignore (Bench_io.parse_string "INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)\n");
+     Alcotest.fail "expected Parse_error"
+   with Bench_io.Parse_error (l, m) ->
+     Alcotest.(check int) "NOT arity line" 3 l;
+     Alcotest.(check string) "NOT arity message" "gate NOT cannot take 2 input(s)" m);
+  (* builder rejections (LUT arity beyond the technology maximum) are
+     wrapped into Parse_error instead of escaping as Invalid_argument *)
+  let wide_lut =
+    "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\nINPUT(g)\n\
+     OUTPUT(y)\ny = LUT(a, b, c, d, e, f, g)\n"
+  in
+  expect_line wide_lut 9
+
 let test_bench_constants () =
   let nl =
     Bench_io.parse_string "INPUT(a)\nOUTPUT(y)\nc1 = VCC()\ny = AND(a, c1)\n"
@@ -704,6 +733,7 @@ let () =
           Alcotest.test_case "roundtrip semantics" `Quick test_bench_roundtrip_semantics;
           Alcotest.test_case "lut roundtrip" `Quick test_bench_lut_roundtrip;
           Alcotest.test_case "errors" `Quick test_bench_errors;
+          Alcotest.test_case "strict errors" `Quick test_bench_strict_errors;
           Alcotest.test_case "constants" `Quick test_bench_constants;
         ] );
       ("verilog", [ Alcotest.test_case "output" `Quick test_verilog_output ]);

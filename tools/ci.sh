@@ -1,0 +1,44 @@
+#!/bin/sh
+# CI entry point: build, test, and lint-gate the bundled benchmarks.
+#
+#   tools/ci.sh          # build + tests + lint the sub-1000-gate set
+#   tools/ci.sh --full   # also lint the four large benchmarks
+#
+# Exit is nonzero on the first build failure, test failure, or
+# error-severity lint diagnostic (the `sttc lint` CI contract).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+QUICK="s641 s820 s832 s953 s1196 s1238 s1488"
+FULL="s5378a s9234a s13207 s15850a s38584"
+
+benches="$QUICK"
+if [ "${1:-}" = "--full" ]; then
+  benches="$QUICK $FULL"
+fi
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+sttc() {
+  dune exec --no-build bin/sttc.exe -- "$@"
+}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+status=0
+for b in $benches; do
+  echo "== lint $b (structural + all three algorithms)"
+  sttc gen -b "$b" -o "$tmpdir/$b.bench"
+  if ! sttc lint -i "$tmpdir/$b.bench" -a all; then
+    echo "LINT FAILED: $b" >&2
+    status=1
+  fi
+done
+
+exit $status

@@ -6,7 +6,7 @@
    Usage:
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- fig1      # one experiment
-     dune exec bench/main.exe -- table1 table2 fig3 attacks micro
+     dune exec bench/main.exe -- table1 table2 fig3 attacks faults micro
      dune exec bench/main.exe -- quick table1   # small-benchmark subset *)
 
 module Runner = Sttc_experiments.Runner
@@ -59,6 +59,16 @@ let sidechannel () =
 let baselines () =
   section "Baselines: camouflaging [12] and SRAM LUTs [8] vs STT LUTs";
   print_string (Runner.baselines ())
+
+let faults () =
+  section
+    "Fault injection: stochastic MTJ writes, provisioning yield and repair";
+  print_string (Runner.fault_sweep ());
+  match Runner.resume_selftest () with
+  | Ok msg -> Printf.printf "\n%s\n" msg
+  | Error m ->
+      Printf.printf "\nresume self-test FAILED: %s\n" m;
+      exit 1
 
 let ablations () =
   section "Ablation: parametric timing-constraint factor (s1196)";
@@ -144,5 +154,6 @@ let () =
   if want "sidechannel" then sidechannel ();
   if want "baseline" then baselines ();
   if want "ablation" then ablations ();
+  if want "faults" then faults ();
   if want "micro" then micro ();
   Printf.printf "\nbench: done\n"

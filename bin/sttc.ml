@@ -461,17 +461,42 @@ let attack_cmd =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Only the sub-1000-gate benchmarks.")
 
+let checkpoint_arg =
+  let doc =
+    "Checkpoint file: completed benchmarks are snapshotted there \
+     atomically, and a rerun against the same file (and seed) skips \
+     them."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~doc)
+
+let timeout_arg =
+  let doc =
+    "Wall-clock budget in seconds per benchmark stage; expired stages \
+     are reported as partial rows instead of hanging the table."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~doc)
+
+let isolate_arg =
+  let doc =
+    "Crash isolation: a benchmark that raises becomes a partial row \
+     with a footnote instead of aborting the whole run."
+  in
+  Arg.(value & flag & info [ "isolate" ] ~doc)
+
 let experiment_cmd name doc render =
-  let run quick seed =
+  let run quick seed checkpoint timeout isolate =
     let rows =
       Sttc_experiments.Runner.benchmark_rows ~quick ~seed
         ~progress:(fun line -> Printf.eprintf "  %s\n%!" line)
-        ()
+        ?timeout_s:timeout ~isolate ?checkpoint ()
     in
     print_string (render rows);
     0
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg $ seed_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const run $ quick_arg $ seed_arg $ checkpoint_arg $ timeout_arg
+      $ isolate_arg)
 
 let fig1_cmd =
   Cmd.v
@@ -511,6 +536,68 @@ let baseline_cmd =
     "Camouflaging [12] and SRAM-LUT [8] baselines vs STT LUTs."
     (fun ~seed () -> Sttc_experiments.Runner.baselines ~seed ())
 
+(* ---------- faults ---------- *)
+
+let faults_cmd =
+  let bench =
+    Arg.(value & opt string "s641"
+         & info [ "b"; "bench" ] ~doc:"ISCAS twin to protect and provision.")
+  in
+  let rates =
+    Arg.(value & opt (list float) [ 1e-4; 1e-3; 1e-2; 5e-2 ]
+         & info [ "rates" ]
+             ~doc:"Comma-separated per-bit MTJ write-error rates to sweep.")
+  in
+  let stuck =
+    Arg.(value & opt float 0.
+         & info [ "stuck" ] ~doc:"As-fabricated stuck-cell rate.")
+  in
+  let dies =
+    Arg.(value & opt int 12
+         & info [ "dies" ] ~doc:"Independent dies per rate in the yield table.")
+  in
+  let retries =
+    Arg.(value & opt int
+           Sttc_core.Provision.default_resilience.Sttc_core.Provision.retry_budget
+         & info [ "retries" ]
+             ~doc:"Retry budget per cell for the resilient provisioner.")
+  in
+  let resume_check =
+    Arg.(value & flag
+         & info [ "resume-check" ]
+             ~doc:"Run the checkpoint/resume self-test instead of the sweep.")
+  in
+  let run bench rates stuck dies retries seed resume_check =
+    exit_of_result
+      (if resume_check then
+         match Sttc_experiments.Runner.resume_selftest ~seed () with
+         | Ok msg ->
+             print_endline msg;
+             Ok ()
+         | Error m -> Error ("resume self-test failed: " ^ m)
+       else
+         try
+           let resilience =
+             {
+               Sttc_core.Provision.default_resilience with
+               Sttc_core.Provision.retry_budget = retries;
+             }
+           in
+           print_string
+             (Sttc_experiments.Runner.fault_sweep ~seed ~bench ~rates
+                ~stuck_rate:stuck ~dies ~resilience ());
+           Ok ()
+         with Invalid_argument m -> Error m)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Stochastic MTJ write-fault sweep: programming yield, retry/ECC \
+          repair cost and post-repair equivalence of the provisioned part.")
+    Term.(
+      const run $ bench $ rates $ stuck $ dies $ retries $ seed_arg
+      $ resume_check)
+
 let ablation_cmd =
   string_cmd "ablation"
     "Parametric-constraint, hardening and constants ablations."
@@ -542,4 +629,5 @@ let () =
             sidechannel_cmd;
             baseline_cmd;
             ablation_cmd;
+            faults_cmd;
           ]))

@@ -20,11 +20,42 @@ type campaign = {
   entries : entry list;
 }
 
-let run ?(sat_timeout_s = 30.) ?(tt_budget = 4000) ?(guess_rounds = 8)
-    ?(brute_max_bits = 16) ?(seq_frames = 4) ?(seed = 0xcafe) ~circuit
-    ~algorithm hybrid =
+(* Every attack runs under the wall-clock budget.  The SAT variants
+   check their own deadline between solver iterations; the rest are
+   interrupted by {!Sttc_util.Timing.with_timeout}.  A zero (or
+   negative) budget means "don't even start": the attacker got no CPU,
+   so the design trivially resisted. *)
+let budgeted ~budget attack f =
+  let skip detail =
+    { attack; verdict = Resisted; seconds = 0.; oracle_queries = 0; detail }
+  in
+  if budget <= 0. then skip "zero budget"
+  else
+    match Sttc_util.Timing.with_timeout ~seconds:budget f with
+    | Ok entry -> entry
+    | Error `Timeout ->
+        {
+          (skip (Printf.sprintf "wall-clock budget (%.1fs) exhausted" budget))
+          with
+          seconds = budget;
+        }
+
+let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
+    ?(guess_rounds = 8) ?(brute_max_bits = 16) ?(seq_frames = 4)
+    ?(seed = 0xcafe) ~circuit ~algorithm hybrid =
+  let seq_timeout_s =
+    match seq_timeout_s with Some s -> s | None -> sat_timeout_s
+  in
   let sat_entry =
-    match Sat_attack.run ~timeout_s:sat_timeout_s hybrid with
+    if sat_timeout_s <= 0. then
+      {
+        attack = "sat";
+        verdict = Resisted;
+        seconds = 0.;
+        oracle_queries = 0;
+        detail = "zero budget";
+      }
+    else match Sat_attack.run ~timeout_s:sat_timeout_s hybrid with
     | Sat_attack.Broken b ->
         {
           attack = "sat";
@@ -46,99 +77,112 @@ let run ?(sat_timeout_s = 30.) ?(tt_budget = 4000) ?(guess_rounds = 8)
         }
   in
   let tt_entry =
-    let r = Tt_attack.run ~budget_patterns:tt_budget ~seed hybrid in
-    {
-      attack = "truth-table";
-      verdict =
-        (if r.Tt_attack.resolution >= 1.0 then Recovered
-         else Partial r.Tt_attack.resolution);
-      seconds = r.Tt_attack.seconds;
-      oracle_queries = r.Tt_attack.oracle_queries;
-      detail =
-        Printf.sprintf "%d/%d LUTs fully resolved" r.Tt_attack.fully_resolved
-          r.Tt_attack.lut_count;
-    }
+    budgeted ~budget:sat_timeout_s "truth-table" (fun () ->
+        let r = Tt_attack.run ~budget_patterns:tt_budget ~seed hybrid in
+        {
+          attack = "truth-table";
+          verdict =
+            (if r.Tt_attack.resolution >= 1.0 then Recovered
+             else Partial r.Tt_attack.resolution);
+          seconds = r.Tt_attack.seconds;
+          oracle_queries = r.Tt_attack.oracle_queries;
+          detail =
+            Printf.sprintf "%d/%d LUTs fully resolved"
+              r.Tt_attack.fully_resolved r.Tt_attack.lut_count;
+        })
   in
   let tt_atpg_entry =
-    let r =
-      Tt_attack.run ~budget_patterns:(tt_budget / 4) ~targeted:true ~seed
-        hybrid
-    in
-    {
-      attack = "tt-atpg";
-      verdict =
-        (if r.Tt_attack.functional_resolution >= 1.0 then Recovered
-         else Partial r.Tt_attack.functional_resolution);
-      seconds = r.Tt_attack.seconds;
-      oracle_queries = r.Tt_attack.oracle_queries;
-      detail =
-        Printf.sprintf "%.0f%% functional (%.0f%% raw)"
-          (100. *. r.Tt_attack.functional_resolution)
-          (100. *. r.Tt_attack.resolution);
-    }
+    budgeted ~budget:sat_timeout_s "tt-atpg" (fun () ->
+        let r =
+          Tt_attack.run ~budget_patterns:(tt_budget / 4) ~targeted:true ~seed
+            hybrid
+        in
+        {
+          attack = "tt-atpg";
+          verdict =
+            (if r.Tt_attack.functional_resolution >= 1.0 then Recovered
+             else Partial r.Tt_attack.functional_resolution);
+          seconds = r.Tt_attack.seconds;
+          oracle_queries = r.Tt_attack.oracle_queries;
+          detail =
+            Printf.sprintf "%.0f%% functional (%.0f%% raw)"
+              (100. *. r.Tt_attack.functional_resolution)
+              (100. *. r.Tt_attack.resolution);
+        })
   in
   let guess_entry =
-    let r = Guess_attack.run ~rounds:guess_rounds ~seed hybrid in
-    {
-      attack = "hill-climb";
-      verdict =
-        (if r.Guess_attack.recovered then Recovered
-         else Partial r.Guess_attack.agreement);
-      seconds = r.Guess_attack.seconds;
-      oracle_queries = r.Guess_attack.oracle_queries;
-      detail =
-        Printf.sprintf "%.1f%% probe agreement"
-          (100. *. r.Guess_attack.agreement);
-    }
+    budgeted ~budget:sat_timeout_s "hill-climb" (fun () ->
+        let r = Guess_attack.run ~rounds:guess_rounds ~seed hybrid in
+        {
+          attack = "hill-climb";
+          verdict =
+            (if r.Guess_attack.recovered then Recovered
+             else Partial r.Guess_attack.agreement);
+          seconds = r.Guess_attack.seconds;
+          oracle_queries = r.Guess_attack.oracle_queries;
+          detail =
+            Printf.sprintf "%.1f%% probe agreement"
+              (100. *. r.Guess_attack.agreement);
+        })
   in
   let brute_entry =
-    match Brute_force.run ~max_bits:brute_max_bits ~seed hybrid with
-    | Brute_force.Broken b ->
-        {
-          attack = "brute-force";
-          verdict = Recovered;
-          seconds = b.seconds;
-          oracle_queries = 0;
-          detail =
-            Printf.sprintf "%s candidates tested"
-              (Lognum.to_string b.candidates_tested);
-        }
-    | Brute_force.Infeasible i ->
-        {
-          attack = "brute-force";
-          verdict = Resisted;
-          seconds = 0.;
-          oracle_queries = 0;
-          detail =
-            Printf.sprintf "space %s, ~%s years at %.0f cand/s"
-              (Lognum.to_string i.search_space)
-              (Lognum.to_string i.projected_years)
-              i.tested_rate_per_s;
-        }
+    budgeted ~budget:sat_timeout_s "brute-force" (fun () ->
+        match Brute_force.run ~max_bits:brute_max_bits ~seed hybrid with
+        | Brute_force.Broken b ->
+            {
+              attack = "brute-force";
+              verdict = Recovered;
+              seconds = b.seconds;
+              oracle_queries = 0;
+              detail =
+                Printf.sprintf "%s candidates tested"
+                  (Lognum.to_string b.candidates_tested);
+            }
+        | Brute_force.Infeasible i ->
+            {
+              attack = "brute-force";
+              verdict = Resisted;
+              seconds = 0.;
+              oracle_queries = 0;
+              detail =
+                Printf.sprintf "space %s, ~%s years at %.0f cand/s"
+                  (Lognum.to_string i.search_space)
+                  (Lognum.to_string i.projected_years)
+                  i.tested_rate_per_s;
+            })
   in
   let seq_entry =
-    match
-      Sat_attack.run_sequential ~frames:seq_frames ~timeout_s:sat_timeout_s
-        hybrid
-    with
-    | Sat_attack.Broken b ->
-        {
-          attack = "sat-seq";
-          verdict = Recovered;
-          seconds = b.seconds;
-          oracle_queries = b.queries;
-          detail =
-            Printf.sprintf "%d iterations, %d-cycle sequences" b.iterations
-              seq_frames;
-        }
-    | Sat_attack.Exhausted e ->
-        {
-          attack = "sat-seq";
-          verdict = Resisted;
-          seconds = e.seconds;
-          oracle_queries = 0;
-          detail = e.reason;
-        }
+    if seq_timeout_s <= 0. then
+      {
+        attack = "sat-seq";
+        verdict = Resisted;
+        seconds = 0.;
+        oracle_queries = 0;
+        detail = "zero budget";
+      }
+    else
+      match
+        Sat_attack.run_sequential ~frames:seq_frames ~timeout_s:seq_timeout_s
+          hybrid
+      with
+      | Sat_attack.Broken b ->
+          {
+            attack = "sat-seq";
+            verdict = Recovered;
+            seconds = b.seconds;
+            oracle_queries = b.queries;
+            detail =
+              Printf.sprintf "%d iterations, %d-cycle sequences" b.iterations
+                seq_frames;
+          }
+      | Sat_attack.Exhausted e ->
+          {
+            attack = "sat-seq";
+            verdict = Resisted;
+            seconds = e.seconds;
+            oracle_queries = 0;
+            detail = e.reason;
+          }
   in
   {
     circuit;

@@ -24,6 +24,7 @@ type campaign = {
 
 val run :
   ?sat_timeout_s:float ->
+  ?seq_timeout_s:float ->
   ?tt_budget:int ->
   ?guess_rounds:int ->
   ?brute_max_bits:int ->
@@ -36,7 +37,16 @@ val run :
 (** Runs six attacks: the combinational (scan-assumed) SAT attack, the
     sequential scan-disabled SAT attack on [seq_frames]-cycle sequences
     (default 4), random truth-table extraction, SAT-targeted truth-table
-    extraction (ATPG), hill-climbing and brute force. *)
+    extraction (ATPG), hill-climbing and brute force.
+
+    [sat_timeout_s] is the wall-clock budget for {e every} attack: the
+    SAT variants check it between solver iterations, the others are
+    interrupted through {!Sttc_util.Timing.with_timeout} and classified
+    [Resisted] on expiry.  [seq_timeout_s] gives the sequential SAT
+    attack its own budget (it does bounded-unrolling work per iteration,
+    so the combinational budget is usually too tight); it defaults to
+    [sat_timeout_s].  A zero or negative budget skips the attack
+    entirely and reports [Resisted] with detail ["zero budget"]. *)
 
 val pp_campaign : Format.formatter -> campaign -> unit
 val to_table : campaign list -> string

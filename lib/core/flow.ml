@@ -121,6 +121,86 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
     parametric_meta = meta;
   }
 
+(* ---------- resilient protection ---------- *)
+
+type rejection = {
+  attempted : algorithm;
+  attempt_seed : int;
+  reason : string;
+}
+
+type resilient = {
+  accepted : result;
+  requested : algorithm;
+  rejections : rejection list;
+  degraded : bool;
+}
+
+let meets_timing algorithm (r : result) =
+  match algorithm with
+  | Parametric options ->
+      let budget_pct = (options.Algorithms.clock_factor -. 1.) *. 100. in
+      if r.overhead.Ppa.performance_pct <= budget_pct +. 1e-9 then Ok ()
+      else
+        Error
+          (Printf.sprintf "timing missed: %.2f%% degradation > %.2f%% budget"
+             r.overhead.Ppa.performance_pct budget_pct)
+  | Independent _ | Dependent -> Ok ()
+
+let degradation_chain = function
+  | Parametric _ as p -> [ p; Dependent; Independent { count = 5 } ]
+  | Dependent -> [ Dependent; Independent { count = 5 } ]
+  | Independent _ as i -> [ i ]
+
+let protect_resilient ?(seed = 1) ?library ?fraction ?hardening
+    ?(max_reseeds = 2) algorithm netlist =
+  let rejections = ref [] in
+  let reject attempted attempt_seed reason =
+    rejections := { attempted; attempt_seed; reason } :: !rejections
+  in
+  let try_once alg attempt_seed =
+    match protect ~seed:attempt_seed ?library ?fraction ?hardening alg netlist with
+    | r -> (
+        match meets_timing alg r with
+        | Ok () -> Some r
+        | Error reason ->
+            reject alg attempt_seed reason;
+            None)
+    | exception Invalid_argument reason ->
+        reject alg attempt_seed reason;
+        None
+  in
+  let rec try_algorithm alg reseed =
+    if reseed > max_reseeds then None
+    else
+      match try_once alg (seed + reseed) with
+      | Some r -> Some r
+      | None -> try_algorithm alg (reseed + 1)
+  in
+  let rec down = function
+    | [] ->
+        invalid_arg
+          ("Flow.protect_resilient: all attempts failed: "
+          ^ String.concat "; "
+              (List.rev_map
+                 (fun rj ->
+                   Printf.sprintf "%s@%d: %s"
+                     (algorithm_name rj.attempted)
+                     rj.attempt_seed rj.reason)
+                 !rejections))
+    | alg :: rest -> (
+        match try_algorithm alg 0 with
+        | Some r -> r
+        | None -> down rest)
+  in
+  let accepted = down (degradation_chain algorithm) in
+  {
+    accepted;
+    requested = algorithm;
+    rejections = List.rev !rejections;
+    degraded = algorithm_name accepted.algorithm <> algorithm_name algorithm;
+  }
+
 let lint_view ?(library = Sttc_tech.Library.cmos90) r =
   let algorithm =
     match r.algorithm with
@@ -161,3 +241,18 @@ let pp_result fmt r =
     (Netlist.design_name (Hybrid.original r.hybrid))
     Security.pp_report r.security Ppa.pp r.overhead
     (Sttc_util.Timing.format_min_sec r.selection_seconds)
+
+let pp_resilient fmt r =
+  if r.rejections <> [] then begin
+    Format.fprintf fmt "degradation chain (requested %s):@\n"
+      (algorithm_name r.requested);
+    List.iter
+      (fun rj ->
+        Format.fprintf fmt "  rejected %s (seed %d): %s@\n"
+          (algorithm_name rj.attempted) rj.attempt_seed rj.reason)
+      r.rejections
+  end;
+  Format.fprintf fmt "%s%a"
+    (if r.degraded then "DEGRADED to " ^ algorithm_name r.accepted.algorithm ^ ": "
+     else "")
+    pp_result r.accepted

@@ -55,6 +55,54 @@ val protect :
     around it.  Deterministic for a fixed seed.  Raises [Invalid_argument]
     when the netlist has no replaceable gate. *)
 
+(** {1 Resilient protection}
+
+    The plain {!protect} fails hard: parametric selection that cannot
+    meet its clock budget, or a netlist whose hybrid trips the
+    structural lint, raises and takes the whole run with it.
+    {!protect_resilient} instead retries with fresh seeds and then walks
+    an explicit graceful-degradation chain
+    (parametric → dependent → independent), recording every rejected
+    attempt so the caller can see what it actually got. *)
+
+type rejection = {
+  attempted : algorithm;
+  attempt_seed : int;
+  reason : string;  (** timing miss or the exception message *)
+}
+
+type resilient = {
+  accepted : result;  (** the first attempt that passed *)
+  requested : algorithm;
+  rejections : rejection list;  (** failed attempts, in order *)
+  degraded : bool;
+      (** the accepted algorithm is weaker than the requested one *)
+}
+
+val meets_timing : algorithm -> result -> (unit, string) Stdlib.result
+(** Parametric results must keep measured performance degradation within
+    the requested [clock_factor] budget; other algorithms always pass
+    (the paper expects dependent selection to degrade timing). *)
+
+val protect_resilient :
+  ?seed:int ->
+  ?library:Sttc_tech.Library.t ->
+  ?fraction:float ->
+  ?hardening:hardening ->
+  ?max_reseeds:int ->
+  algorithm ->
+  Sttc_netlist.Netlist.t ->
+  resilient
+(** Try the requested algorithm at seeds [seed, seed+1, ..,
+    seed+max_reseeds] (default 2 reseeds), then degrade along
+    {e parametric → dependent → independent} with the same reseed budget
+    per step.  Deterministic for a fixed seed.  Raises
+    [Invalid_argument] only when every attempt of every step failed
+    (e.g. a netlist with no replaceable gates), with the full rejection
+    list in the message. *)
+
+val pp_resilient : Format.formatter -> resilient -> unit
+
 val lint_view :
   ?library:Sttc_tech.Library.t -> result -> Sttc_lint.Security_rules.view
 (** The security-lint view of a protect result: foundry netlist, LUT

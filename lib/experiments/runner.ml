@@ -1,30 +1,136 @@
 module Flow = Sttc_core.Flow
 module Report = Sttc_core.Report
 module Profiles = Sttc_netlist.Iscas_profiles
+module Timing = Sttc_util.Timing
 
 let master_seed = 20160605 (* DAC'16 *)
 
+(* ---------- crash-tolerant benchmark driver ---------- *)
+
+(* The checkpoint is a whole-state snapshot rewritten atomically after
+   every completed benchmark: a kill at any point leaves either the
+   previous or the new snapshot, never a torn file.  A corrupt, foreign
+   or stale-seed file degrades to an empty checkpoint instead of
+   failing the run it was meant to protect. *)
+let checkpoint_magic = "sttc-benchmark-checkpoint-v1"
+
+let load_checkpoint path seed =
+  if not (Sys.file_exists path) then []
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let magic, ckpt_seed, rows =
+            (Marshal.from_channel ic
+              : string * int * (string * Report.benchmark_row) list)
+          in
+          if magic = checkpoint_magic && ckpt_seed = seed then rows else [])
+    with _ -> []
+
+let save_checkpoint path seed rows =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Marshal.to_channel oc (checkpoint_magic, seed, rows) [];
+  close_out oc;
+  Sys.rename tmp path
+
+let exn_reason = function
+  | Invalid_argument m | Failure m -> m
+  | e -> Printexc.to_string e
+
 let benchmark_rows ?(quick = false) ?(seed = master_seed)
-    ?(progress = fun _ -> ()) () =
+    ?(progress = fun _ -> ()) ?only ?timeout_s ?(isolate = false)
+    ?checkpoint () =
   let infos =
-    if quick then
-      List.filter (fun i -> i.Profiles.n_gates <= 1000) Profiles.all
-    else Profiles.all
+    match only with
+    | Some names ->
+        List.iter (fun n -> ignore (Profiles.find_exn n)) names;
+        List.filter (fun i -> List.mem i.Profiles.name names) Profiles.all
+    | None ->
+        if quick then
+          List.filter (fun i -> i.Profiles.n_gates <= 1000) Profiles.all
+        else Profiles.all
+  in
+  (* run [f] under the per-run wall-clock budget and, when isolating,
+     turn its exceptions into classified failures instead of aborting
+     the whole table *)
+  let guarded label f =
+    match timeout_s with
+    | None -> (
+        match f () with
+        | v -> Ok v
+        | exception e when isolate -> Error (label ^ ": " ^ exn_reason e))
+    | Some budget -> (
+        match Timing.with_timeout ~seconds:budget f with
+        | Ok v -> Ok v
+        | Error `Timeout ->
+            Error (Printf.sprintf "%s: timeout after %.1fs" label budget)
+        | exception e when isolate -> Error (label ^ ": " ^ exn_reason e))
+  in
+  let run_benchmark info =
+    let name = info.Profiles.name in
+    match guarded "build" (fun () -> Profiles.build info) with
+    | Error reason ->
+        progress (Printf.sprintf "FAILED %s: %s" name reason);
+        {
+          Report.circuit = name;
+          size = info.Profiles.n_gates;
+          results = [];
+          failures =
+            List.map
+              (fun alg -> (Flow.algorithm_name alg, reason))
+              Flow.default_algorithms;
+        }
+    | Ok nl ->
+        let results, failures =
+          List.fold_left
+            (fun (rs, fs) alg ->
+              let alg_name = Flow.algorithm_name alg in
+              match guarded "protect" (fun () -> Flow.protect ~seed alg nl) with
+              | Ok r -> ((alg_name, r) :: rs, fs)
+              | Error reason ->
+                  progress
+                    (Printf.sprintf "FAILED %s/%s: %s" name alg_name reason);
+                  (rs, (alg_name, reason) :: fs))
+            ([], []) Flow.default_algorithms
+        in
+        progress
+          (Printf.sprintf "protected %s (%d gates)%s" name
+             info.Profiles.n_gates
+             (if failures = [] then ""
+              else Printf.sprintf " — %d of %d algorithms failed"
+                  (List.length failures)
+                  (List.length Flow.default_algorithms)));
+        {
+          Report.circuit = name;
+          size = info.Profiles.n_gates;
+          results = List.rev results;
+          failures = List.rev failures;
+        }
+  in
+  let completed =
+    ref (match checkpoint with Some p -> load_checkpoint p seed | None -> [])
   in
   List.map
     (fun info ->
-      let nl = Profiles.build info in
-      let results =
-        List.map
-          (fun alg ->
-            let r = Flow.protect ~seed alg nl in
-            (Flow.algorithm_name alg, r))
-          Flow.default_algorithms
-      in
-      progress
-        (Printf.sprintf "protected %s (%d gates)" info.Profiles.name
-           info.Profiles.n_gates);
-      { Report.circuit = info.Profiles.name; size = info.Profiles.n_gates; results })
+      let name = info.Profiles.name in
+      match List.assoc_opt name !completed with
+      | Some row ->
+          progress (Printf.sprintf "%s: restored from checkpoint" name);
+          row
+      | None ->
+          let row = run_benchmark info in
+          (* rows that failed outright are not checkpointed, so a rerun
+             with a longer budget recomputes them *)
+          if row.Report.failures = [] then begin
+            completed := !completed @ [ (name, row) ];
+            Option.iter
+              (fun p -> save_checkpoint p seed !completed)
+              checkpoint
+          end;
+          row)
     infos
 
 let fig1 () = Report.fig1 ()
@@ -329,6 +435,185 @@ let ablation_constants ?(seed = master_seed) () =
         ])
     [ "s641"; "s953"; "s1238" ];
   Sttc_util.Table.render t
+
+(* ---------- fault-injection sweep (beyond paper) ---------- *)
+
+module Provision = Sttc_core.Provision
+module Mtj = Sttc_fault.Mtj
+
+let outcome_label = function
+  | Provision.Programmed -> "programmed"
+  | Provision.Degraded { corrected_bits; spared_bits } ->
+      Printf.sprintf "degraded (%dc/%ds)" corrected_bits spared_bits
+  | Provision.Failed cause ->
+      "FAILED (" ^ Provision.failure_to_string cause ^ ")"
+
+let fault_sweep ?(seed = master_seed) ?(bench = "s641")
+    ?(algorithm = Flow.Dependent) ?(rates = [ 1e-4; 1e-3; 1e-2; 5e-2 ])
+    ?(stuck_rate = 0.) ?(dies = 12)
+    ?(resilience = Provision.default_resilience) () =
+  let nl = Profiles.build_by_name bench in
+  let r = Flow.protect ~seed algorithm nl in
+  let hybrid = r.Flow.hybrid in
+  let foundry = Sttc_core.Hybrid.foundry_view hybrid in
+  let entries = Provision.of_hybrid hybrid in
+  let ideal = Provision.programming_cost hybrid in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "fault sweep: %s / %s, %d LUTs, %d config bits, %d dies per rate\n\
+        resilience: %d retries%s%s, %d spare rows per LUT\n"
+       bench (Flow.algorithm_name algorithm)
+       (Sttc_core.Hybrid.lut_count hybrid)
+       ideal.Provision.mtj_cells dies resilience.Provision.retry_budget
+       (if resilience.Provision.escalate then " (escalating current)" else "")
+       (if resilience.Provision.ecc then ", ECC" else ", no ECC")
+       resilience.Provision.spare_rows);
+  (* detail: one die per rate, zero-retry vs resilient, on the same die *)
+  let t =
+    Sttc_util.Table.create
+      ~headers:
+        [
+          ("Write-err rate", Sttc_util.Table.Right);
+          ("Provisioner", Sttc_util.Table.Left);
+          ("Outcome", Sttc_util.Table.Left);
+          ("Retried", Sttc_util.Table.Right);
+          ("Corrected", Sttc_util.Table.Right);
+          ("Spared", Sttc_util.Table.Right);
+          ("Attempts", Sttc_util.Table.Right);
+          ("Energy ovh", Sttc_util.Table.Right);
+          ("Sign-off", Sttc_util.Table.Left);
+        ]
+  in
+  let sign_off report =
+    match report.Provision.view with
+    | None -> "-"
+    | Some view -> (
+        match Sttc_sim.Equiv.check_sat nl view with
+        | Sttc_sim.Equiv.Equivalent -> "equivalent"
+        | Sttc_sim.Equiv.Different f -> "DIFFERS at " ^ f.Sttc_sim.Equiv.signal
+        | Sttc_sim.Equiv.Inconclusive m -> "inconclusive: " ^ m)
+  in
+  let detail rate =
+    let spec =
+      Mtj.spec ~write_error_rate:rate ~stuck_cell_rate:stuck_rate ()
+    in
+    List.iter
+      (fun (label, res) ->
+        (* same channel seed: both provisioners face the same die *)
+        let channel = Mtj.channel ~seed spec in
+        let report = Provision.program ~resilience:res ~channel foundry entries in
+        Sttc_util.Table.add_row t
+          [
+            Printf.sprintf "%.0e" rate;
+            label;
+            outcome_label report.Provision.outcome;
+            string_of_int report.Provision.retried_bits;
+            string_of_int report.Provision.corrected_bits;
+            string_of_int report.Provision.spared_bits;
+            string_of_int report.Provision.write_attempts;
+            Printf.sprintf "%+.1f%%"
+              (100.
+               *. (report.Provision.cost.Provision.write_energy_nj
+                   /. ideal.Provision.write_energy_nj
+                  -. 1.));
+            sign_off report;
+          ])
+      [ ("zero-retry", Provision.no_resilience); ("resilient", resilience) ];
+    Sttc_util.Table.add_separator t
+  in
+  List.iter detail rates;
+  Buffer.add_string buf (Sttc_util.Table.render t);
+  (* yield: many dies per rate *)
+  let t2 =
+    Sttc_util.Table.create
+      ~headers:
+        [
+          ("Write-err rate", Sttc_util.Table.Right);
+          ("Yield zero-retry", Sttc_util.Table.Right);
+          ("Yield resilient", Sttc_util.Table.Right);
+          ("Mean extra attempts", Sttc_util.Table.Right);
+        ]
+  in
+  List.iter
+    (fun rate ->
+      let spec =
+        Mtj.spec ~write_error_rate:rate ~stuck_cell_rate:stuck_rate ()
+      in
+      let ok report =
+        match report.Provision.outcome with
+        | Provision.Programmed | Provision.Degraded _ -> true
+        | Provision.Failed _ -> false
+      in
+      let good0 = ref 0 and good1 = ref 0 and extra = ref 0 in
+      for die = 0 to dies - 1 do
+        let die_seed = seed + (7919 * die) in
+        let ch0 = Mtj.channel ~seed:die_seed spec in
+        let r0 =
+          Provision.program ~resilience:Provision.no_resilience ~channel:ch0
+            foundry entries
+        in
+        if ok r0 then incr good0;
+        let ch1 = Mtj.channel ~seed:die_seed spec in
+        let r1 = Provision.program ~resilience ~channel:ch1 foundry entries in
+        if ok r1 then incr good1;
+        extra := !extra + (r1.Provision.write_attempts - ideal.Provision.mtj_cells)
+      done;
+      Sttc_util.Table.add_row t2
+        [
+          Printf.sprintf "%.0e" rate;
+          Printf.sprintf "%d/%d" !good0 dies;
+          Printf.sprintf "%d/%d" !good1 dies;
+          Printf.sprintf "%.1f" (float_of_int !extra /. float_of_int dies);
+        ])
+    rates;
+  Buffer.add_string buf "\nprogramming yield over dies:\n";
+  Buffer.add_string buf (Sttc_util.Table.render t2);
+  Buffer.contents buf
+
+(* ---------- checkpoint/resume self-test (CI smoke) ---------- *)
+
+let resume_selftest ?(seed = master_seed) () =
+  let path = Filename.temp_file "sttc-resume" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () ->
+      let first =
+        benchmark_rows ~seed ~only:[ "s641" ] ~checkpoint:path ()
+      in
+      let restored = ref 0 in
+      let resumed =
+        benchmark_rows ~seed
+          ~only:[ "s641"; "s820" ]
+          ~checkpoint:path
+          ~progress:(fun line ->
+            let is_sub s sub =
+              let n = String.length sub in
+              let rec go i =
+                i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+              in
+              go 0
+            in
+            if is_sub line "restored from checkpoint" then incr restored)
+          ()
+      in
+      let fresh = benchmark_rows ~seed ~only:[ "s641"; "s820" ] () in
+      if List.length first <> 1 then Error "first pass must produce one row"
+      else if !restored <> 1 then
+        Error
+          (Printf.sprintf
+             "resume must restore exactly the checkpointed benchmark (got %d)"
+             !restored)
+      else if Report.table1 resumed <> Report.table1 fresh then
+        Error "resumed rows differ from a fresh run"
+      else
+        Ok
+          (Printf.sprintf
+             "checkpoint round-trip: 1 benchmark restored, %d recomputed, \
+              Table I identical to a fresh run"
+             (List.length resumed - 1)))
 
 let sweep ?(seed = master_seed) nl ~counts =
   let t =

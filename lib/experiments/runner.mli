@@ -12,10 +12,28 @@ val benchmark_rows :
   ?quick:bool ->
   ?seed:int ->
   ?progress:(string -> unit) ->
+  ?only:string list ->
+  ?timeout_s:float ->
+  ?isolate:bool ->
+  ?checkpoint:string ->
   unit ->
   Sttc_core.Report.benchmark_row list
 (** [quick] restricts to the sub-1000-gate benchmarks (default false).
-    [progress] receives a line per benchmark as it completes. *)
+    [progress] receives a line per benchmark as it completes.
+
+    Crash tolerance:
+    - [only] restricts to the named benchmarks (unknown names raise
+      up front, before any work);
+    - [timeout_s] puts a wall-clock budget on each build and each
+      protect run ({!Sttc_util.Timing.with_timeout});
+    - [isolate] turns per-benchmark exceptions into partial rows
+      (rendered as ["-"] cells with a footnote) instead of aborting the
+      whole table;
+    - [checkpoint] names a snapshot file rewritten atomically after
+      every fully-successful benchmark, so a killed run resumes where
+      it stopped.  A corrupt, foreign or different-seed checkpoint is
+      ignored.  Partial rows are never checkpointed: a rerun with a
+      longer budget recomputes them. *)
 
 val fig1 : unit -> string
 val table1 : Sttc_core.Report.benchmark_row list -> string
@@ -61,6 +79,32 @@ val baselines : ?seed:int -> unit -> string
       LUT cells — PPA comparison plus the volatility problem (the
       bitstream is exposed on every power-up, so its effective search
       space is 1). *)
+
+val fault_sweep :
+  ?seed:int ->
+  ?bench:string ->
+  ?algorithm:Sttc_core.Flow.algorithm ->
+  ?rates:float list ->
+  ?stuck_rate:float ->
+  ?dies:int ->
+  ?resilience:Sttc_core.Provision.resilience ->
+  unit ->
+  string
+(** Stochastic-write provisioning study (beyond the paper): protect one
+    ISCAS twin (default s641, dependent selection), then program its
+    foundry view through {!Sttc_fault.Mtj} channels across a sweep of
+    write-error rates.  Two tables: a per-die detail comparing the
+    zero-retry provisioner against the resilient one on the same die
+    (outcome, retried/corrected/spared bits, write attempts, energy
+    overhead versus the ideal channel, SAT sign-off of the effective
+    view), and a programming-yield summary over [dies] independent
+    dies per rate. *)
+
+val resume_selftest : ?seed:int -> unit -> (string, string) result
+(** Checkpoint round-trip smoke test (the [@fault] alias): run s641
+    into a fresh checkpoint, rerun s641+s820 against it, and require
+    exactly one restore plus a Table I byte-identical to a fresh run.
+    [Error] carries the first violated expectation. *)
 
 val ablation_constants : ?seed:int -> unit -> string
 (** Eq. (2) attack cost under the paper's published alpha/P constants

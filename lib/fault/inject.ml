@@ -1,0 +1,65 @@
+module Netlist = Sttc_netlist.Netlist
+module Truth = Sttc_logic.Truth
+module Rng = Sttc_util.Rng
+
+let flip_row config row =
+  let s = Bytes.of_string (Truth.to_string config) in
+  Bytes.set s row (if Bytes.get s row = '0' then '1' else '0');
+  Truth.of_string (Bytes.to_string s)
+
+let retention_flips ~rng ~rate nl =
+  if not (rate >= 0. && rate <= 1.) then
+    invalid_arg "Inject.retention_flips: rate outside [0,1]";
+  let flipped = ref [] in
+  let faulty =
+    Netlist.with_kinds nl (fun id kind fanins ->
+        match kind with
+        | Netlist.Lut { arity; config = Some c } ->
+            let c = ref c in
+            for row = 0 to Truth.rows !c - 1 do
+              if rate > 0. && Rng.float rng 1.0 < rate then begin
+                c := flip_row !c row;
+                flipped := (Netlist.name nl id, row) :: !flipped
+              end
+            done;
+            (Netlist.Lut { arity; config = Some !c }, fanins)
+        | k -> (k, fanins))
+  in
+  (faulty, List.rev !flipped)
+
+let stuck_at nl ~net v =
+  match Netlist.find nl net with
+  | None -> invalid_arg ("Inject.stuck_at: no net named " ^ net)
+  | Some id -> (
+      match Netlist.kind nl id with
+      | Netlist.Dff ->
+          invalid_arg ("Inject.stuck_at: " ^ net ^ " is a flip-flop output")
+      | _ ->
+          Netlist.with_kinds nl (fun id' kind fanins ->
+              if id' = id then (Netlist.Const v, [||]) else (kind, fanins)))
+
+let random_stuck_ats ~rng ~count nl =
+  let gates = Array.of_list (Netlist.gates nl) in
+  let picks = Rng.sample rng count gates in
+  Array.fold_left
+    (fun (nl, log) id ->
+      let net = Netlist.name nl id in
+      let v = Rng.bool rng in
+      (stuck_at nl ~net v, (net, v) :: log))
+    (nl, []) picks
+  |> fun (nl, log) -> (nl, List.rev log)
+
+let corrupt_bitstream ~rng ?(char_flips = 4) ?truncate_at text =
+  let b = Bytes.of_string text in
+  let n = Bytes.length b in
+  if n > 0 then
+    for _ = 1 to char_flips do
+      let i = Rng.int rng n in
+      (* printable ASCII plus the separators the parser cares about *)
+      let repl = [| ' '; '\t'; '\r'; '\n'; '0'; '1'; '2'; 'x'; '#'; '_' |] in
+      Bytes.set b i (Rng.pick rng repl)
+    done;
+  let s = Bytes.to_string b in
+  match truncate_at with
+  | Some k when k < String.length s -> String.sub s 0 (max 0 k)
+  | _ -> s

@@ -1,0 +1,53 @@
+(** Design-level fault injection: what can go wrong {e after} (or
+    around) programming.
+
+    Three fault classes, all deterministic under an explicit
+    {!Sttc_util.Rng.t} so experiments are reproducible:
+
+    - {e retention flips}: thermal upsets of already-programmed LUT
+      configuration bits (the non-volatility of STT-MRAM is a retention
+      {e time}, not an absolute),
+    - {e stuck-at faults}: a net tied to a constant — the classic
+      manufacturing-defect model, applied to the hybrid's nets,
+    - {e bitstream corruption}: the configuration file mangled in
+      transit (bit flips in the text, truncation) — the input the
+      hardened {!Sttc_core.Provision.parse} must survive. *)
+
+val retention_flips :
+  rng:Sttc_util.Rng.t ->
+  rate:float ->
+  Sttc_netlist.Netlist.t ->
+  Sttc_netlist.Netlist.t * (string * int) list
+(** Flip each configuration bit of each programmed LUT independently
+    with probability [rate].  Returns the faulty netlist and the flipped
+    (LUT name, row) pairs.  Unprogrammed LUTs and non-LUT nodes are
+    untouched.  Raises [Invalid_argument] when [rate] is outside
+    [0, 1]. *)
+
+val stuck_at :
+  Sttc_netlist.Netlist.t -> net:string -> bool -> Sttc_netlist.Netlist.t
+(** [stuck_at nl ~net v] ties the named net to the constant [v]: the
+    driver node becomes a [Const] and its fanin cone is left to the
+    dead-logic sweep.  Raises [Invalid_argument] when no node drives a
+    net of that name or the node is a flip-flop (sequential stuck-ats
+    need the scan model, not a combinational rewrite). *)
+
+val random_stuck_ats :
+  rng:Sttc_util.Rng.t ->
+  count:int ->
+  Sttc_netlist.Netlist.t ->
+  Sttc_netlist.Netlist.t * (string * bool) list
+(** [count] distinct gate-output nets tied to random constants. *)
+
+val corrupt_bitstream :
+  rng:Sttc_util.Rng.t ->
+  ?char_flips:int ->
+  ?truncate_at:int ->
+  string ->
+  string
+(** Mangle a bitstream text: [char_flips] (default 4) random characters
+    are overwritten with random printable bytes, then the text is cut at
+    [truncate_at] bytes if given.  The result is {e syntactically}
+    arbitrary — it may still parse, parse to different entries, or make
+    {!Sttc_core.Provision.parse} raise; the contract under test is that
+    it never escapes as anything but a labelled [Failure]. *)

@@ -4,6 +4,35 @@ let time f =
   let t1 = Unix.gettimeofday () in
   (result, t1 -. t0)
 
+exception Timed_out
+
+let with_timeout ~seconds f =
+  if seconds <= 0. then Error `Timeout
+  else begin
+    let old_handler =
+      Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Timed_out))
+    in
+    let stop () =
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_value = 0.; it_interval = 0. });
+      Sys.set_signal Sys.sigalrm old_handler
+    in
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_value = seconds; it_interval = 0. });
+    match f () with
+    | v ->
+        stop ();
+        Ok v
+    | exception Timed_out ->
+        stop ();
+        Error `Timeout
+    | exception e ->
+        stop ();
+        raise e
+  end
+
 let format_min_sec seconds =
   if seconds < 0. then invalid_arg "Timing.format_min_sec: negative";
   let minutes = int_of_float (seconds /. 60.) in

@@ -4,6 +4,14 @@ val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
     wall-clock seconds. *)
 
+val with_timeout : seconds:float -> (unit -> 'a) -> ('a, [ `Timeout ]) result
+(** [with_timeout ~seconds f] runs [f ()] under a wall-clock budget
+    enforced with [ITIMER_REAL]/[SIGALRM]: if [f] has not returned after
+    [seconds], it is interrupted at its next allocation point and
+    [Error `Timeout] is returned.  A budget [<= 0] refuses to run [f] at
+    all.  Exceptions raised by [f] propagate; the previous signal
+    disposition is restored either way.  Not reentrant (one timer). *)
+
 val format_min_sec : float -> string
 (** Render seconds as the paper's Table II format ["MM:SS.d"], e.g.
     [format_min_sec 75.5 = "01:15.5"]. *)

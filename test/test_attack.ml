@@ -453,6 +453,49 @@ let test_harness_campaign () =
   | Harness.Recovered -> ()
   | _ -> Alcotest.fail "sat should recover 2 LUTs on 60 gates")
 
+(* With a zero wall-clock budget no attack may even start: every entry
+   must classify as Resisted, and do so instantly. *)
+let test_harness_zero_budget () =
+  let nl = small_circuit 14 in
+  let h = protect_n nl 2 14 in
+  let c =
+    Harness.run ~sat_timeout_s:0. ~circuit:"t" ~algorithm:"independent" h
+  in
+  Alcotest.(check int) "six attacks" 6 (List.length c.Harness.entries);
+  List.iter
+    (fun e ->
+      (match e.Harness.verdict with
+      | Harness.Resisted -> ()
+      | _ ->
+          Alcotest.fail
+            (e.Harness.attack ^ " must be Resisted at zero budget"));
+      Alcotest.(check string)
+        (e.Harness.attack ^ " detail")
+        "zero budget" e.Harness.detail;
+      Alcotest.(check int)
+        (e.Harness.attack ^ " queries")
+        0 e.Harness.oracle_queries)
+    c.Harness.entries
+
+(* The sequential SAT attack gets its own budget; zeroing it must not
+   silence the other attacks. *)
+let test_harness_seq_budget_independent () =
+  let nl = small_circuit 15 in
+  let h = protect_n nl 2 15 in
+  let c =
+    Harness.run ~sat_timeout_s:20. ~seq_timeout_s:0. ~tt_budget:400
+      ~guess_rounds:1 ~brute_max_bits:10 ~circuit:"t"
+      ~algorithm:"independent" h
+  in
+  let seq = List.find (fun e -> e.Harness.attack = "sat-seq") c.Harness.entries in
+  (match seq.Harness.verdict with
+  | Harness.Resisted -> ()
+  | _ -> Alcotest.fail "sat-seq must be Resisted at zero budget");
+  Alcotest.(check string) "seq detail" "zero budget" seq.Harness.detail;
+  let sat = List.find (fun e -> e.Harness.attack = "sat") c.Harness.entries in
+  if sat.Harness.detail = "zero budget" then
+    Alcotest.fail "combinational sat must still run"
+
 let () =
   Alcotest.run "sttc_attack"
     [
@@ -515,5 +558,12 @@ let () =
           Alcotest.test_case "hybrid leaks less" `Slow
             test_dpa_hybrid_leaks_less_on_target;
         ] );
-      ("harness", [ Alcotest.test_case "campaign" `Slow test_harness_campaign ]);
+      ( "harness",
+        [
+          Alcotest.test_case "campaign" `Slow test_harness_campaign;
+          Alcotest.test_case "zero budget resists" `Quick
+            test_harness_zero_budget;
+          Alcotest.test_case "seq budget independent" `Slow
+            test_harness_seq_budget_independent;
+        ] );
     ]

@@ -336,6 +336,61 @@ let test_flow_deterministic () =
     (Hybrid.lut_ids r1.Flow.hybrid)
     (Hybrid.lut_ids r2.Flow.hybrid)
 
+(* Same seed must reproduce the run bit for bit: the secret bitstream
+   text and every lint diagnostic, for all three algorithms.  This is
+   what makes a checkpointed/resumed experiment trustworthy. *)
+let test_flow_seed_identical_artifacts () =
+  let nl = medium_circuit 23 in
+  List.iter
+    (fun alg ->
+      let artifacts () =
+        let r = Flow.protect ~seed:77 alg nl in
+        let bitstream =
+          Sttc_core.Provision.to_string (Sttc_core.Provision.of_hybrid r.Flow.hybrid)
+        in
+        let lint_text =
+          String.concat "\n"
+            (List.map Sttc_lint.Diagnostic.to_text
+               (r.Flow.lint @ Flow.lint_security r))
+        in
+        (bitstream, lint_text)
+      in
+      let b1, l1 = artifacts () in
+      let b2, l2 = artifacts () in
+      let name = Flow.algorithm_name alg in
+      Alcotest.(check string) (name ^ " bitstream identical") b1 b2;
+      Alcotest.(check string) (name ^ " lint identical") l1 l2)
+    Flow.default_algorithms
+
+let test_protect_resilient_passthrough () =
+  let nl = medium_circuit 24 in
+  let r = Flow.protect_resilient ~seed:5 Flow.Dependent nl in
+  Alcotest.(check bool) "not degraded" false r.Flow.degraded;
+  Alcotest.(check (list string)) "no rejections" []
+    (List.map (fun rj -> rj.Flow.reason) r.Flow.rejections);
+  Alcotest.(check string) "kept algorithm" "dependent"
+    (Flow.algorithm_name r.Flow.accepted.Flow.algorithm)
+
+let test_protect_resilient_degrades () =
+  let nl = medium_circuit 25 in
+  (* a clock factor this tight leaves no slack at all, so parametric
+     selection cannot meet its own timing budget and the chain must
+     fall back *)
+  let options =
+    { Sttc_core.Algorithms.default_parametric with clock_factor = 1.000001 }
+  in
+  let r = Flow.protect_resilient ~seed:5 ~max_reseeds:1 (Flow.Parametric options) nl in
+  if r.Flow.degraded then begin
+    Alcotest.(check bool) "recorded rejections" true (r.Flow.rejections <> []);
+    Alcotest.(check string) "degraded to the next chain step" "dependent"
+      (Flow.algorithm_name r.Flow.accepted.Flow.algorithm)
+  end
+  else
+    (* the tight budget happened to hold: then there is nothing to
+       degrade and the result must be the parametric one *)
+    Alcotest.(check string) "kept parametric" "parametric"
+      (Flow.algorithm_name r.Flow.accepted.Flow.algorithm)
+
 let test_flow_independent_uses_count () =
   let nl = medium_circuit 19 in
   let r = Flow.protect ~seed:4 (Flow.Independent { count = 7 }) nl in
@@ -526,7 +581,7 @@ let test_report_rendering () =
       (fun alg -> (Flow.algorithm_name alg, Flow.protect ~seed:5 alg nl))
       Flow.default_algorithms
   in
-  let rows = [ { Report.circuit = "med"; size = 120; results } ] in
+  let rows = [ Report.complete_row "med" 120 results ] in
   let t1 = Report.table1 rows in
   Alcotest.(check bool) "table1 has circuit" true
     (String.length t1 > 0
@@ -549,6 +604,40 @@ let test_report_rendering () =
        && (String.sub f1 i (String.length re) = re || contains (i + 1))
      in
      contains 0)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay
+    && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_report_partial_rows () =
+  let nl = medium_circuit 20 in
+  let results =
+    [ ("independent", Flow.protect ~seed:5 (Flow.Independent { count = 5 }) nl) ]
+  in
+  let row =
+    {
+      Report.circuit = "med";
+      size = 120;
+      results;
+      failures =
+        [ ("dependent", "protect: timeout after 1.0s"); ("parametric", "boom") ];
+    }
+  in
+  let t1 = Report.table1 [ row ] in
+  Alcotest.(check bool) "footnote present" true (contains t1 "partial results:");
+  Alcotest.(check bool) "names the timeout" true
+    (contains t1 "! med/dependent: protect: timeout after 1.0s");
+  Alcotest.(check bool) "names the crash" true (contains t1 "! med/parametric: boom");
+  let t2 = Report.table2 [ row ] in
+  Alcotest.(check bool) "table2 footnote" true (contains t2 "partial results:");
+  (* complete rows must not grow a footnote *)
+  let full = Report.complete_row "med" 120 results in
+  Alcotest.(check bool) "no footnote when complete" false
+    (contains (Report.table1 [ full ]) "partial results:")
 
 let () =
   Alcotest.run "sttc_core"
@@ -596,6 +685,12 @@ let () =
         [
           Alcotest.test_case "all algorithms" `Quick test_flow_protect_all_algorithms;
           Alcotest.test_case "deterministic" `Quick test_flow_deterministic;
+          Alcotest.test_case "seed-identical artifacts" `Quick
+            test_flow_seed_identical_artifacts;
+          Alcotest.test_case "resilient passthrough" `Quick
+            test_protect_resilient_passthrough;
+          Alcotest.test_case "resilient degradation" `Quick
+            test_protect_resilient_degrades;
           Alcotest.test_case "independent count" `Quick
             test_flow_independent_uses_count;
           Alcotest.test_case "rejects gateless" `Quick test_flow_rejects_gateless;
@@ -613,5 +708,9 @@ let () =
           Alcotest.test_case "errors" `Quick test_provision_errors;
           Alcotest.test_case "cost" `Quick test_provision_cost;
         ] );
-      ("report", [ Alcotest.test_case "rendering" `Quick test_report_rendering ]);
+      ( "report",
+        [
+          Alcotest.test_case "rendering" `Quick test_report_rendering;
+          Alcotest.test_case "partial rows" `Quick test_report_partial_rows;
+        ] );
     ]

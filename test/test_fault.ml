@@ -1,0 +1,560 @@
+(* Tests for Sttc_fault (MTJ write channel, SECDED code, design-level
+   fault injection) and the resilience built on it: the retrying
+   provisioner, the hardened bitstream parser and the crash-tolerant
+   experiment runner. *)
+
+module Netlist = Sttc_netlist.Netlist
+module Generator = Sttc_netlist.Generator
+module Truth = Sttc_logic.Truth
+module Rng = Sttc_util.Rng
+module Timing = Sttc_util.Timing
+module Mtj = Sttc_fault.Mtj
+module Ecc = Sttc_fault.Ecc
+module Inject = Sttc_fault.Inject
+module Flow = Sttc_core.Flow
+module Hybrid = Sttc_core.Hybrid
+module Provision = Sttc_core.Provision
+module Runner = Sttc_experiments.Runner
+
+let to_case = QCheck_alcotest.to_alcotest
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let small_circuit seed =
+  Generator.generate ~seed
+    {
+      Generator.design_name = "flt";
+      n_pi = 8;
+      n_po = 6;
+      n_ff = 5;
+      n_gates = 70;
+      levels = 6;
+    }
+
+let equivalent a b =
+  match Sttc_sim.Equiv.check_sat a b with
+  | Sttc_sim.Equiv.Equivalent -> true
+  | _ -> false
+
+(* ---------- Ecc ---------- *)
+
+let test_ecc_parity_bits () =
+  Alcotest.(check int) "4 data" 4 (Ecc.parity_bits 4);
+  Alcotest.(check int) "8 data" 5 (Ecc.parity_bits 8);
+  Alcotest.(check int) "16 data" 6 (Ecc.parity_bits 16);
+  Alcotest.(check int) "64 data" 8 (Ecc.parity_bits 64);
+  Alcotest.(check bool) "n < 1 rejected" true
+    (try
+       ignore (Ecc.parity_bits 0);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_ecc_clean_roundtrip =
+  QCheck2.Test.make ~name:"ecc: undisturbed codeword decodes Clean" ~count:200
+    QCheck2.Gen.(pair (int_range 1 64) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let data = Array.init n (fun _ -> Rng.bool rng) in
+      Ecc.decode ~data ~parity:(Ecc.encode data) = Ecc.Clean)
+
+let prop_ecc_single_data_flip_corrected =
+  QCheck2.Test.make ~name:"ecc: any single data flip is corrected" ~count:200
+    QCheck2.Gen.(pair (int_range 1 64) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let data = Array.init n (fun _ -> Rng.bool rng) in
+      let parity = Ecc.encode data in
+      let flip_at = Rng.int rng n in
+      let bad = Array.copy data in
+      bad.(flip_at) <- not bad.(flip_at);
+      match Ecc.decode ~data:bad ~parity with
+      | Ecc.Corrected repaired -> repaired = data
+      | Ecc.Clean | Ecc.Uncorrectable -> false)
+
+let prop_ecc_single_parity_flip_corrected =
+  QCheck2.Test.make ~name:"ecc: any single parity flip leaves data intact"
+    ~count:200
+    QCheck2.Gen.(pair (int_range 1 64) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let data = Array.init n (fun _ -> Rng.bool rng) in
+      let parity = Ecc.encode data in
+      let flip_at = Rng.int rng (Array.length parity) in
+      let bad = Array.copy parity in
+      bad.(flip_at) <- not bad.(flip_at);
+      match Ecc.decode ~data ~parity:bad with
+      | Ecc.Corrected repaired -> repaired = data
+      | Ecc.Clean | Ecc.Uncorrectable -> false)
+
+let prop_ecc_double_flip_detected =
+  QCheck2.Test.make ~name:"ecc: any double data flip is Uncorrectable"
+    ~count:200
+    QCheck2.Gen.(pair (int_range 2 64) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let data = Array.init n (fun _ -> Rng.bool rng) in
+      let parity = Ecc.encode data in
+      let i = Rng.int rng n in
+      let j = (i + 1 + Rng.int rng (n - 1)) mod n in
+      let bad = Array.copy data in
+      bad.(i) <- not bad.(i);
+      bad.(j) <- not bad.(j);
+      Ecc.decode ~data:bad ~parity = Ecc.Uncorrectable)
+
+(* ---------- Mtj ---------- *)
+
+let test_mtj_ideal_channel () =
+  let ch = Mtj.channel ~seed:3 Mtj.ideal in
+  for cell = 0 to 15 do
+    let target = cell mod 3 = 0 in
+    Alcotest.(check bool) "write sticks" target
+      (Mtj.write ch ~lut:"u1" ~cell target);
+    Alcotest.(check bool) "read agrees" target (Mtj.read ch ~lut:"u1" ~cell)
+  done;
+  Alcotest.(check int) "attempts counted" 16 (Mtj.attempts ch);
+  Alcotest.(check bool) "no stuck cells" false (Mtj.is_stuck ch ~lut:"u1" ~cell:0)
+
+let test_mtj_deterministic_across_order () =
+  let spec = Mtj.spec ~write_error_rate:0.3 ~stuck_cell_rate:0.1 () in
+  let addresses =
+    List.concat_map
+      (fun lut -> List.init 8 (fun cell -> (lut, cell)))
+      [ "u1"; "u2"; "u3" ]
+  in
+  let program order =
+    let ch = Mtj.channel ~seed:42 spec in
+    List.iter (fun (lut, cell) -> ignore (Mtj.write ch ~lut ~cell true)) order;
+    List.map (fun (lut, cell) -> Mtj.read ch ~lut ~cell) addresses
+  in
+  Alcotest.(check (list bool)) "write order is irrelevant"
+    (program addresses)
+    (program (List.rev addresses))
+
+let test_mtj_always_failing_writes () =
+  (* rate 1: no write ever changes a cell, so read-back equals the
+     as-fabricated value regardless of target *)
+  let spec = Mtj.spec ~write_error_rate:1.0 () in
+  let ch = Mtj.channel ~seed:5 spec in
+  for cell = 0 to 31 do
+    let fabricated = Mtj.read ch ~lut:"u9" ~cell in
+    Alcotest.(check bool) "failed write keeps value" fabricated
+      (Mtj.write ch ~lut:"u9" ~cell (not fabricated))
+  done
+
+let test_mtj_stuck_cells () =
+  let spec = Mtj.spec ~stuck_cell_rate:1.0 () in
+  let ch = Mtj.channel ~seed:6 spec in
+  for cell = 0 to 15 do
+    Alcotest.(check bool) "all stuck" true (Mtj.is_stuck ch ~lut:"u2" ~cell);
+    let fabricated = Mtj.read ch ~lut:"u2" ~cell in
+    ignore (Mtj.write ch ~lut:"u2" ~cell (not fabricated));
+    Alcotest.(check bool) "stuck cell never changes" fabricated
+      (Mtj.read ch ~lut:"u2" ~cell)
+  done
+
+let test_mtj_escalation_energy () =
+  let spec = Mtj.spec ~escalation_gain:10. () in
+  let ch = Mtj.channel ~seed:7 spec in
+  ignore (Mtj.write ch ~lut:"u1" ~cell:0 true);
+  ignore (Mtj.write ch ~lut:"u1" ~cell:1 ~escalation:2 true);
+  (* 10^0 + 10^2 units *)
+  Alcotest.(check (float 1e-9)) "energy accounting" 101. (Mtj.energy_units ch);
+  Alcotest.(check int) "verify per attempt" 2 (Mtj.verify_reads ch)
+
+let test_mtj_spec_validation () =
+  let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "rate > 1" true
+    (rejects (fun () -> Mtj.spec ~write_error_rate:1.5 ()));
+  Alcotest.(check bool) "negative rate" true
+    (rejects (fun () -> Mtj.spec ~stuck_cell_rate:(-0.1) ()));
+  Alcotest.(check bool) "gain < 1" true
+    (rejects (fun () -> Mtj.spec ~escalation_gain:0.5 ()))
+
+(* ---------- Inject ---------- *)
+
+let programmed_hybrid seed =
+  let nl = small_circuit seed in
+  let r = Flow.protect ~seed (Flow.Independent { count = 4 }) nl in
+  (nl, r.Flow.hybrid)
+
+let test_inject_retention_rate_bounds () =
+  let _, h = programmed_hybrid 31 in
+  let nl = Hybrid.programmed h in
+  let none, flips0 = Inject.retention_flips ~rng:(Rng.make 1) ~rate:0. nl in
+  Alcotest.(check int) "rate 0 flips nothing" 0 (List.length flips0);
+  Alcotest.(check bool) "rate 0 is the identity" true (equivalent nl none);
+  let _, flips1 = Inject.retention_flips ~rng:(Rng.make 1) ~rate:1. nl in
+  Alcotest.(check int) "rate 1 flips every config bit"
+    (Hybrid.bitstream_bits h) (List.length flips1);
+  Alcotest.(check bool) "bad rate rejected" true
+    (try
+       ignore (Inject.retention_flips ~rng:(Rng.make 1) ~rate:2. nl);
+       false
+     with Invalid_argument _ -> true)
+
+let test_inject_stuck_at () =
+  let _, h = programmed_hybrid 32 in
+  let nl = Hybrid.programmed h in
+  let net = Netlist.name nl (List.hd (Netlist.gates nl)) in
+  let faulty = Inject.stuck_at nl ~net true in
+  (match Netlist.kind faulty (Netlist.find_exn faulty net) with
+  | Netlist.Const true -> ()
+  | _ -> Alcotest.fail "driver must become Const true");
+  Alcotest.(check bool) "unknown net rejected" true
+    (try
+       ignore (Inject.stuck_at nl ~net:"no-such-net" false);
+       false
+     with Invalid_argument _ -> true)
+
+let test_inject_random_stuck_ats () =
+  let _, h = programmed_hybrid 33 in
+  let nl = Hybrid.programmed h in
+  let faulty, faults = Inject.random_stuck_ats ~rng:(Rng.make 5) ~count:3 nl in
+  Alcotest.(check int) "three faults" 3 (List.length faults);
+  Alcotest.(check int) "distinct nets" 3
+    (List.length (List.sort_uniq compare (List.map fst faults)));
+  List.iter
+    (fun (net, v) ->
+      match Netlist.kind faulty (Netlist.find_exn faulty net) with
+      | Netlist.Const c ->
+          Alcotest.(check bool) ("constant at " ^ net) v c
+      | _ -> Alcotest.fail ("no constant at " ^ net))
+    faults
+
+(* ---------- Provision.parse hardening ---------- *)
+
+let reference_entries seed =
+  let _, h = programmed_hybrid seed in
+  Provision.of_hybrid h
+
+let test_parse_crlf_and_whitespace () =
+  let entries = reference_entries 34 in
+  let text = Provision.to_string entries in
+  let crlf =
+    String.concat "\r\n" (String.split_on_char '\n' text) ^ "\r\n"
+  in
+  let padded =
+    String.concat "\n"
+      (List.map (fun l -> l ^ "   \t") (String.split_on_char '\n' text))
+  in
+  List.iter
+    (fun mangled ->
+      let back = Provision.parse mangled in
+      Alcotest.(check int) "entry count survives" (List.length entries)
+        (List.length back);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string) "name" a.Provision.lut_name b.Provision.lut_name;
+          Alcotest.(check bool) "config" true
+            (Truth.equal a.Provision.config b.Provision.config))
+        entries back)
+    [ crlf; padded ]
+
+let test_parse_reports_line_numbers () =
+  let fails_with_line text =
+    match Provision.parse_result text with
+    | Ok _ -> Alcotest.fail "malformed bitstream accepted"
+    | Error msg ->
+        Alcotest.(check bool) ("labelled: " ^ msg) true (contains msg "bitstream:")
+  in
+  fails_with_line "u1 01x0";
+  fails_with_line "u1 010";
+  (* not a power of two *)
+  fails_with_line "u1 01\nu1 10";
+  (* duplicate *)
+  fails_with_line "justaname"
+
+let prop_parse_never_escapes =
+  QCheck2.Test.make
+    ~name:"corrupted bitstream: parse is total modulo labelled Failure"
+    ~count:300
+    QCheck2.Gen.(
+      triple (int_range 0 1_000_000) (int_range 0 12) (int_range 0 400))
+    (fun (seed, char_flips, cut) ->
+      let entries = reference_entries 35 in
+      let text = Provision.to_string entries in
+      let mangled =
+        Inject.corrupt_bitstream ~rng:(Rng.make seed) ~char_flips
+          ~truncate_at:(min cut (String.length text))
+          text
+      in
+      match Provision.parse mangled with
+      | _ -> true
+      | exception Failure msg ->
+          (* the contract: a Failure naming the offending line *)
+          contains msg "bitstream:"
+      | exception _ -> false)
+
+(* ---------- Provision.program: resilient provisioning ---------- *)
+
+(* The ISCAS-profile acceptance scenario: at write-error rate 1e-3 the
+   one-shot provisioner fails this die (channel seed 9, found by
+   search), while the retrying one programs it exactly, with sign-off
+   equivalence on the repaired view. *)
+let acceptance_fixture () =
+  let nl = Sttc_netlist.Iscas_profiles.build_by_name "s641" in
+  let r = Flow.protect ~seed:7 Flow.Dependent nl in
+  (nl, Hybrid.foundry_view r.Flow.hybrid, Provision.of_hybrid r.Flow.hybrid)
+
+let test_program_acceptance_1e3 () =
+  let nl, foundry, entries = acceptance_fixture () in
+  let spec = Mtj.spec ~write_error_rate:1e-3 () in
+  let zero =
+    Provision.program ~resilience:Provision.no_resilience
+      ~channel:(Mtj.channel ~seed:9 spec) foundry entries
+  in
+  (match zero.Provision.outcome with
+  | Provision.Failed (Provision.Unprogrammable cells) ->
+      Alcotest.(check bool) "names the bad cells" true (cells <> [])
+  | _ -> Alcotest.fail "zero-retry provisioning must fail on this die");
+  let resilient =
+    Provision.program ~resilience:Provision.default_resilience
+      ~channel:(Mtj.channel ~seed:9 spec) foundry entries
+  in
+  (match resilient.Provision.outcome with
+  | Provision.Programmed | Provision.Degraded _ -> ()
+  | Provision.Failed _ -> Alcotest.fail "retrying provisioner must succeed");
+  Alcotest.(check (list (pair string int))) "no failed bits" []
+    resilient.Provision.failed_bits;
+  (match resilient.Provision.view with
+  | Some view ->
+      Alcotest.(check bool) "sign-off equivalence on the repaired view" true
+        (equivalent nl view)
+  | None -> Alcotest.fail "resilient report must carry the programmed view");
+  Alcotest.(check bool) "extra write attempts were spent" true
+    (resilient.Provision.write_attempts > zero.Provision.write_attempts)
+
+let test_program_degraded_by_spares () =
+  let nl, foundry, entries = acceptance_fixture () in
+  let spec = Mtj.spec ~write_error_rate:1e-4 ~stuck_cell_rate:0.01 () in
+  let report =
+    Provision.program ~resilience:Provision.default_resilience
+      ~channel:(Mtj.channel ~seed:1 spec) foundry entries
+  in
+  (match report.Provision.outcome with
+  | Provision.Degraded { spared_bits; _ } ->
+      Alcotest.(check bool) "stuck rows remapped to spares" true (spared_bits > 0)
+  | _ -> Alcotest.fail "this die must come out Degraded");
+  match report.Provision.view with
+  | Some view ->
+      Alcotest.(check bool) "degraded part still equivalent" true
+        (equivalent nl view)
+  | None -> Alcotest.fail "degraded report must carry the view"
+
+let test_program_degraded_by_ecc () =
+  let nl, foundry, entries = acceptance_fixture () in
+  let spec = Mtj.spec ~write_error_rate:1e-4 ~stuck_cell_rate:0.01 () in
+  let resilience = { Provision.default_resilience with spare_rows = 0 } in
+  let report =
+    Provision.program ~resilience ~channel:(Mtj.channel ~seed:1 spec) foundry
+      entries
+  in
+  (match report.Provision.outcome with
+  | Provision.Degraded { corrected_bits; spared_bits } ->
+      Alcotest.(check bool) "ECC repaired the stuck rows" true
+        (corrected_bits > 0);
+      Alcotest.(check int) "no spares available" 0 spared_bits
+  | _ -> Alcotest.fail "this die must come out Degraded via ECC");
+  match report.Provision.view with
+  | Some view ->
+      Alcotest.(check bool) "ECC-corrected part equivalent" true
+        (equivalent nl view)
+  | None -> Alcotest.fail "report must carry the corrected view"
+
+let test_program_structural_failures () =
+  let _, foundry, entries = acceptance_fixture () in
+  let channel () = Mtj.channel ~seed:2 Mtj.ideal in
+  (* an entry naming a node the netlist lacks *)
+  let ghost =
+    { Provision.lut_name = "no_such_lut"; config = (List.hd entries).Provision.config }
+  in
+  (match
+     (Provision.program ~channel:(channel ()) foundry (ghost :: List.tl entries))
+       .Provision.outcome
+   with
+  | Provision.Failed (Provision.Missing_lut "no_such_lut") -> ()
+  | _ -> Alcotest.fail "missing LUT must classify as Missing_lut");
+  (* a missing entry leaves a LUT unconfigured *)
+  (match
+     (Provision.program ~channel:(channel ()) foundry (List.tl entries))
+       .Provision.outcome
+   with
+  | Provision.Failed (Provision.Unconfigured names) ->
+      Alcotest.(check bool) "names the unconfigured slot" true (names <> [])
+  | _ -> Alcotest.fail "partial bitstream must classify as Unconfigured");
+  (* duplicates *)
+  match
+    (Provision.program ~channel:(channel ()) foundry
+       (List.hd entries :: entries))
+      .Provision.outcome
+  with
+  | Provision.Failed (Provision.Duplicate_entry _) -> ()
+  | _ -> Alcotest.fail "duplicate entries must classify as Duplicate_entry"
+
+let test_program_ideal_channel_matches_apply () =
+  let _, foundry, entries = acceptance_fixture () in
+  let report =
+    Provision.program ~channel:(Mtj.channel ~seed:0 Mtj.ideal) foundry entries
+  in
+  (match report.Provision.outcome with
+  | Provision.Programmed -> ()
+  | _ -> Alcotest.fail "ideal channel must program exactly");
+  match report.Provision.view with
+  | Some view ->
+      Alcotest.(check bool) "same netlist as Provision.apply" true
+        (equivalent (Provision.apply foundry entries) view)
+  | None -> Alcotest.fail "view missing"
+
+(* ---------- Timing.with_timeout ---------- *)
+
+let test_with_timeout () =
+  (match Timing.with_timeout ~seconds:5. (fun () -> 42) with
+  | Ok v -> Alcotest.(check int) "fast f returns" 42 v
+  | Error `Timeout -> Alcotest.fail "must not time out");
+  (match
+     Timing.with_timeout ~seconds:0.05 (fun () ->
+         while true do
+           ignore (Sys.opaque_identity (ref 0))
+         done)
+   with
+  | Ok () -> Alcotest.fail "infinite loop cannot return"
+  | Error `Timeout -> ());
+  (match Timing.with_timeout ~seconds:0. (fun () -> 1) with
+  | Ok _ -> Alcotest.fail "zero budget must refuse to run"
+  | Error `Timeout -> ());
+  (* exceptions propagate, they are not misreported as timeouts *)
+  Alcotest.(check bool) "exception escapes" true
+    (try
+       ignore (Timing.with_timeout ~seconds:5. (fun () -> failwith "boom"));
+       false
+     with Failure m -> m = "boom")
+
+(* ---------- Runner: isolation, timeout, checkpoint ---------- *)
+
+let test_runner_zero_timeout_partial_rows () =
+  let rows = Runner.benchmark_rows ~only:[ "s641" ] ~timeout_s:0. () in
+  match rows with
+  | [ row ] ->
+      Alcotest.(check (list string)) "no results" []
+        (List.map fst row.Sttc_core.Report.results);
+      Alcotest.(check int) "all three algorithms reported failed" 3
+        (List.length row.Sttc_core.Report.failures);
+      let t1 = Runner.table1 rows in
+      Alcotest.(check bool) "rendered as partial" true
+        (contains t1 "partial results:")
+  | _ -> Alcotest.fail "expected exactly one row"
+
+let test_runner_unknown_benchmark_rejected () =
+  Alcotest.(check bool) "unknown name raises before any work" true
+    (try
+       ignore (Runner.benchmark_rows ~only:[ "definitely-not-a-bench" ] ());
+       false
+     with Invalid_argument _ | Failure _ -> true)
+
+let test_runner_checkpoint_resume () =
+  match Runner.resume_selftest () with
+  | Ok msg ->
+      Alcotest.(check bool) "mentions the restore" true
+        (contains msg "restored")
+  | Error m -> Alcotest.fail ("resume self-test: " ^ m)
+
+let test_runner_corrupt_checkpoint_ignored () =
+  let path = Filename.temp_file "sttc-ckpt" ".bad" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "this is not a checkpoint";
+      close_out oc;
+      let rows = Runner.benchmark_rows ~only:[ "s641" ] ~checkpoint:path () in
+      Alcotest.(check int) "still computes the row" 1 (List.length rows);
+      match rows with
+      | [ row ] ->
+          Alcotest.(check (list string)) "all algorithms present"
+            [ "independent"; "dependent"; "parametric" ]
+            (List.map fst row.Sttc_core.Report.results)
+      | _ -> assert false)
+
+(* ---------- fault sweep (the CLI/bench surface) ---------- *)
+
+let test_fault_sweep_renders () =
+  let out =
+    Runner.fault_sweep ~rates:[ 1e-3 ] ~dies:2 ()
+  in
+  Alcotest.(check bool) "mentions yield" true
+    (contains out "programming yield over dies");
+  Alcotest.(check bool) "compares both provisioners" true
+    (contains out "zero-retry" && contains out "resilient")
+
+let () =
+  Alcotest.run "sttc_fault"
+    [
+      ( "ecc",
+        [
+          Alcotest.test_case "parity bits" `Quick test_ecc_parity_bits;
+          to_case prop_ecc_clean_roundtrip;
+          to_case prop_ecc_single_data_flip_corrected;
+          to_case prop_ecc_single_parity_flip_corrected;
+          to_case prop_ecc_double_flip_detected;
+        ] );
+      ( "mtj",
+        [
+          Alcotest.test_case "ideal channel" `Quick test_mtj_ideal_channel;
+          Alcotest.test_case "order-independent" `Quick
+            test_mtj_deterministic_across_order;
+          Alcotest.test_case "always-failing writes" `Quick
+            test_mtj_always_failing_writes;
+          Alcotest.test_case "stuck cells" `Quick test_mtj_stuck_cells;
+          Alcotest.test_case "escalation energy" `Quick
+            test_mtj_escalation_energy;
+          Alcotest.test_case "spec validation" `Quick test_mtj_spec_validation;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "retention rate bounds" `Quick
+            test_inject_retention_rate_bounds;
+          Alcotest.test_case "stuck-at" `Quick test_inject_stuck_at;
+          Alcotest.test_case "random stuck-ats" `Quick
+            test_inject_random_stuck_ats;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "crlf and whitespace" `Quick
+            test_parse_crlf_and_whitespace;
+          Alcotest.test_case "line numbers" `Quick
+            test_parse_reports_line_numbers;
+          to_case prop_parse_never_escapes;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "acceptance at 1e-3" `Slow
+            test_program_acceptance_1e3;
+          Alcotest.test_case "degraded by spares" `Slow
+            test_program_degraded_by_spares;
+          Alcotest.test_case "degraded by ECC" `Slow test_program_degraded_by_ecc;
+          Alcotest.test_case "structural failures" `Quick
+            test_program_structural_failures;
+          Alcotest.test_case "ideal channel = apply" `Quick
+            test_program_ideal_channel_matches_apply;
+        ] );
+      ( "timeout",
+        [ Alcotest.test_case "with_timeout" `Quick test_with_timeout ] );
+      ( "runner",
+        [
+          Alcotest.test_case "zero timeout partial rows" `Quick
+            test_runner_zero_timeout_partial_rows;
+          Alcotest.test_case "unknown benchmark rejected" `Quick
+            test_runner_unknown_benchmark_rejected;
+          Alcotest.test_case "checkpoint resume" `Slow
+            test_runner_checkpoint_resume;
+          Alcotest.test_case "corrupt checkpoint ignored" `Quick
+            test_runner_corrupt_checkpoint_ignored;
+        ] );
+      ( "sweep",
+        [ Alcotest.test_case "renders" `Slow test_fault_sweep_renders ] );
+    ]

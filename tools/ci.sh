@@ -24,6 +24,9 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+echo "== dune build @fault (fault sweep + checkpoint/resume round-trip)"
+timeout 600 dune build @fault
+
 sttc() {
   dune exec --no-build bin/sttc.exe -- "$@"
 }

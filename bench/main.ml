@@ -7,11 +7,16 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- fig1      # one experiment
      dune exec bench/main.exe -- table1 table2 fig3 attacks faults micro
-     dune exec bench/main.exe -- quick table1   # small-benchmark subset *)
+     dune exec bench/main.exe -- quick table1   # small-benchmark subset
+     dune exec bench/main.exe -- -j 4 table1    # 4 worker domains
+     dune exec bench/main.exe -- parallel       # serial-vs-parallel record *)
 
 module Runner = Sttc_experiments.Runner
 module Flow = Sttc_core.Flow
 module Profiles = Sttc_netlist.Iscas_profiles
+
+let protect_strict ~seed alg nl =
+  (Flow.run ~seed ~policy:Flow.Strict alg nl).Flow.accepted
 
 let section title =
   Printf.printf
@@ -20,15 +25,18 @@ let section title =
 
 let cached_rows = ref None
 
-let rows ~quick () =
+let run_config ~quick ~jobs =
+  Runner.Config.(
+    default |> with_quick quick |> with_jobs jobs
+    |> with_on_event (function
+         | Runner.Started _ -> ()
+         | ev -> Printf.printf "  %s\n%!" (Runner.string_of_event ev)))
+
+let rows ~quick ~jobs () =
   match !cached_rows with
   | Some (q, rows) when q = quick -> rows
   | _ ->
-      let r =
-        Runner.benchmark_rows ~quick
-          ~progress:(fun line -> Printf.printf "  %s\n%!" line)
-          ()
-      in
+      let r = Runner.rows (run_config ~quick ~jobs) in
       cached_rows := Some (quick, r);
       r
 
@@ -36,21 +44,21 @@ let fig1 () =
   section "Fig. 1 - STT-based LUT vs static CMOS (normalized to CMOS)";
   print_string (Runner.fig1 ())
 
-let table1 ~quick () =
+let table1 ~quick ~jobs () =
   section "Table I - performance / power / area overhead and #STT LUTs";
-  print_string (Runner.table1 (rows ~quick ()))
+  print_string (Runner.table1 (rows ~quick ~jobs ()))
 
-let table2 ~quick () =
+let table2 ~quick ~jobs () =
   section "Table II - CPU time for gate selection (MM:SS.d)";
-  print_string (Runner.table2 (rows ~quick ()))
+  print_string (Runner.table2 (rows ~quick ~jobs ()))
 
-let fig3 ~quick () =
+let fig3 ~quick ~jobs () =
   section "Fig. 3 - required test clocks to determine the missing gates";
-  print_string (Runner.fig3 (rows ~quick ()))
+  print_string (Runner.fig3 (rows ~quick ~jobs ()))
 
-let attacks () =
+let attacks ~jobs () =
   section "Attack campaign (empirical; small circuits where attacks finish)";
-  print_string (Runner.attack_campaign ())
+  print_string (Runner.attack_campaign ~jobs ())
 
 let sidechannel () =
   section "Side-channel experiment: DPA difference-of-means, CMOS vs hybrid";
@@ -60,10 +68,10 @@ let baselines () =
   section "Baselines: camouflaging [12] and SRAM LUTs [8] vs STT LUTs";
   print_string (Runner.baselines ())
 
-let faults () =
+let faults ~jobs () =
   section
     "Fault injection: stochastic MTJ writes, provisioning yield and repair";
-  print_string (Runner.fault_sweep ());
+  print_string (Runner.fault_sweep ~jobs ());
   match Runner.resume_selftest () with
   | Ok msg -> Printf.printf "\n%s\n" msg
   | Error m ->
@@ -77,6 +85,47 @@ let ablations () =
   print_string (Runner.ablation_hardening ());
   section "Ablation: Fig. 3 sensitivity to the alpha/P constants";
   print_string (Runner.ablation_constants ())
+
+(* ---------- serial vs parallel speedup record ---------- *)
+
+(* Times the quick Table I fan-out at one worker and at [jobs] workers,
+   checks the rows are byte-identical (the Pool determinism contract),
+   and leaves a machine-readable record in BENCH_parallel.json. *)
+let parallel ~jobs () =
+  let jobs = if jobs > 1 then jobs else Sttc_util.Pool.default_jobs () in
+  section
+    (Printf.sprintf "Parallel speedup - quick Table I rows, 1 vs %d workers"
+       jobs);
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run j = Runner.rows Runner.Config.(default |> with_quick true |> with_jobs j) in
+  let serial_rows, serial_s = time (fun () -> run 1) in
+  let par_rows, parallel_s = time (fun () -> run jobs) in
+  let identical = Runner.table1 serial_rows = Runner.table1 par_rows in
+  let speedup = serial_s /. parallel_s in
+  Printf.printf
+    "  serial %.2fs, %d workers %.2fs -> %.2fx; rows identical: %b\n" serial_s
+    jobs parallel_s speedup identical;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"table1-quick\",\n\
+    \  \"jobs\": %d,\n\
+    \  \"serial_s\": %.3f,\n\
+    \  \"parallel_s\": %.3f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"rows_identical\": %b\n\
+     }\n"
+    jobs serial_s parallel_s speedup identical;
+  close_out oc;
+  Printf.printf "  wrote BENCH_parallel.json\n";
+  if not identical then begin
+    Printf.printf "parallel rows DIFFER from serial rows\n";
+    exit 1
+  end
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
@@ -98,13 +147,14 @@ let micro () =
       (* Table I: the three selection algorithms end to end on s1196 *)
       Test.make ~name:"table1/independent-s1196"
         (Staged.stage (fun () ->
-             ignore (Flow.protect ~seed:1 (Flow.Independent { count = 5 }) nl)));
+             ignore (protect_strict ~seed:1 (Flow.Independent { count = 5 }) nl)));
       Test.make ~name:"table1/dependent-s1196"
-        (Staged.stage (fun () -> ignore (Flow.protect ~seed:1 Flow.Dependent nl)));
+        (Staged.stage (fun () ->
+             ignore (protect_strict ~seed:1 Flow.Dependent nl)));
       Test.make ~name:"table1/parametric-s1196"
         (Staged.stage (fun () ->
              ignore
-               (Flow.protect ~seed:1
+               (protect_strict ~seed:1
                   (Flow.Parametric Sttc_core.Algorithms.default_parametric)
                   nl)));
       (* Table II's underlying primitives *)
@@ -115,7 +165,9 @@ let micro () =
       (* Fig. 3: the security equations *)
       Test.make ~name:"fig3/security-eval"
         (Staged.stage
-           (let hybrid = (Flow.protect ~seed:1 Flow.Dependent nl).Flow.hybrid in
+           (let hybrid =
+              (protect_strict ~seed:1 Flow.Dependent nl).Flow.hybrid
+            in
             let foundry = Sttc_core.Hybrid.foundry_view hybrid in
             let luts = Sttc_core.Hybrid.lut_ids hybrid in
             fun () -> ignore (Sttc_core.Security.evaluate foundry ~luts)));
@@ -142,18 +194,34 @@ let micro () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let jobs = ref 1 in
+  let rec strip_jobs = function
+    | [] -> []
+    | "-j" :: n :: rest ->
+        jobs := int_of_string n;
+        strip_jobs rest
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
+        jobs := int_of_string (String.sub a 2 (String.length a - 2));
+        strip_jobs rest
+    | a :: rest -> a :: strip_jobs rest
+  in
+  let args = strip_jobs args in
+  let jobs =
+    if !jobs <= 0 then Sttc_util.Pool.default_jobs () else !jobs
+  in
   let quick = List.mem "quick" args in
   let args = List.filter (fun a -> a <> "quick") args in
   let all = args = [] in
   let want name = all || List.mem name args in
   if want "fig1" then fig1 ();
-  if want "table1" then table1 ~quick ();
-  if want "table2" then table2 ~quick ();
-  if want "fig3" then fig3 ~quick ();
-  if want "attacks" then attacks ();
+  if want "table1" then table1 ~quick ~jobs ();
+  if want "table2" then table2 ~quick ~jobs ();
+  if want "fig3" then fig3 ~quick ~jobs ();
+  if want "attacks" then attacks ~jobs ();
   if want "sidechannel" then sidechannel ();
   if want "baseline" then baselines ();
   if want "ablation" then ablations ();
-  if want "faults" then faults ();
+  if want "faults" then faults ~jobs ();
+  if want "parallel" then parallel ~jobs ();
   if want "micro" then micro ();
   Printf.printf "\nbench: done\n"

@@ -23,6 +23,20 @@ let seed_arg =
   let doc = "Random seed (experiments are deterministic per seed)." in
   Arg.(value & opt int Sttc_experiments.Runner.master_seed & info [ "seed" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel fan-out: 1 runs serially, 0 picks \
+     one per core.  Output is identical at any value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+
+let resolve_jobs j = if j <= 0 then Sttc_util.Pool.default_jobs () else j
+
+(* the CLI always wants the hard-failure semantics of the flow *)
+let protect_strict ~seed ?hardening alg nl =
+  (Sttc_core.Flow.run ~seed ?hardening ~policy:Sttc_core.Flow.Strict alg nl)
+    .Sttc_core.Flow.accepted
+
 let exit_of_result = function
   | Ok () -> 0
   | Error msg ->
@@ -159,7 +173,7 @@ let protect_cmd =
               { Sttc_core.Flow.extra_inputs_per_lut = 2; absorb_drivers = true }
             else Sttc_core.Flow.no_hardening
           in
-          let r = Sttc_core.Flow.protect ~seed ~hardening alg nl in
+          let r = protect_strict ~seed ~hardening alg nl in
           Format.printf "%a@." Sttc_core.Flow.pp_result r;
           let hybrid = r.Sttc_core.Flow.hybrid in
           Option.iter
@@ -360,7 +374,7 @@ let lint_cmd =
                 let hybrids =
                   List.concat_map
                     (fun alg ->
-                      let r = Sttc_core.Flow.protect ~seed alg nl in
+                      let r = protect_strict ~seed alg nl in
                       List.map
                         (fun d ->
                           {
@@ -436,14 +450,15 @@ let attack_cmd =
   let timeout =
     Arg.(value & opt float 15. & info [ "timeout" ] ~doc:"SAT attack timeout (s).")
   in
-  let run input alg seed timeout =
+  let run input alg seed timeout jobs =
     exit_of_result
       (match read_netlist input with
       | Error m -> Error m
       | Ok nl ->
-          let r = Sttc_core.Flow.protect ~seed alg nl in
+          let r = protect_strict ~seed alg nl in
           let campaign =
             Sttc_attack.Harness.run ~sat_timeout_s:timeout
+              ~jobs:(resolve_jobs jobs)
               ~circuit:(Sttc_netlist.Netlist.design_name nl)
               ~algorithm:(Sttc_core.Flow.algorithm_name alg)
               r.Sttc_core.Flow.hybrid
@@ -454,7 +469,8 @@ let attack_cmd =
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Protect a netlist, then run the reverse-engineering attack campaign against it.")
-    Term.(const run $ netlist_arg $ algorithm_arg $ seed_arg $ timeout)
+    Term.(
+      const run $ netlist_arg $ algorithm_arg $ seed_arg $ timeout $ jobs_arg)
 
 (* ---------- experiments ---------- *)
 
@@ -484,19 +500,30 @@ let isolate_arg =
   Arg.(value & flag & info [ "isolate" ] ~doc)
 
 let experiment_cmd name doc render =
-  let run quick seed checkpoint timeout isolate =
-    let rows =
-      Sttc_experiments.Runner.benchmark_rows ~quick ~seed
-        ~progress:(fun line -> Printf.eprintf "  %s\n%!" line)
-        ?timeout_s:timeout ~isolate ?checkpoint ()
+  let run quick seed checkpoint timeout isolate jobs =
+    let module R = Sttc_experiments.Runner in
+    let cfg =
+      {
+        R.Config.quick;
+        seed;
+        only = None;
+        timeout_s = timeout;
+        isolate;
+        checkpoint;
+        jobs = resolve_jobs jobs;
+        on_event =
+          (function
+          | R.Started _ -> ()
+          | ev -> Printf.eprintf "  %s\n%!" (R.string_of_event ev));
+      }
     in
-    print_string (render rows);
+    print_string (render (R.rows cfg));
     0
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ quick_arg $ seed_arg $ checkpoint_arg $ timeout_arg
-      $ isolate_arg)
+      $ isolate_arg $ jobs_arg)
 
 let fig1_cmd =
   Cmd.v
@@ -567,7 +594,7 @@ let faults_cmd =
          & info [ "resume-check" ]
              ~doc:"Run the checkpoint/resume self-test instead of the sweep.")
   in
-  let run bench rates stuck dies retries seed resume_check =
+  let run bench rates stuck dies retries seed resume_check jobs =
     exit_of_result
       (if resume_check then
          match Sttc_experiments.Runner.resume_selftest ~seed () with
@@ -585,7 +612,8 @@ let faults_cmd =
            in
            print_string
              (Sttc_experiments.Runner.fault_sweep ~seed ~bench ~rates
-                ~stuck_rate:stuck ~dies ~resilience ());
+                ~stuck_rate:stuck ~dies ~resilience
+                ~jobs:(resolve_jobs jobs) ());
            Ok ()
          with Invalid_argument m -> Error m)
   in
@@ -596,7 +624,7 @@ let faults_cmd =
           repair cost and post-repair equivalence of the provisioned part.")
     Term.(
       const run $ bench $ rates $ stuck $ dies $ retries $ seed_arg
-      $ resume_check)
+      $ resume_check $ jobs_arg)
 
 let ablation_cmd =
   string_cmd "ablation"

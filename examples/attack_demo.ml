@@ -7,6 +7,12 @@
    Run with:  dune exec examples/attack_demo.exe *)
 
 module Flow = Sttc_core.Flow
+
+(* strict single-attempt protection via the unified Flow.run entry point *)
+let protect ?seed ?fraction ?hardening alg nl =
+  (Flow.run ?seed ?fraction ?hardening ~policy:Flow.Strict alg nl)
+    .Flow.accepted
+
 module Harness = Sttc_attack.Harness
 
 let () =
@@ -25,7 +31,7 @@ let () =
   let campaigns =
     List.map
       (fun alg ->
-        let r = Flow.protect ~seed:7 alg nl in
+        let r = protect ~seed:7 alg nl in
         Printf.printf "protected with %s: %d LUT slots, %d config bits\n%!"
           (Flow.algorithm_name alg)
           (Sttc_core.Hybrid.lut_count r.Flow.hybrid)

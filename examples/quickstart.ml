@@ -7,6 +7,12 @@
 module Netlist = Sttc_netlist.Netlist
 module Gate_fn = Sttc_logic.Gate_fn
 module Flow = Sttc_core.Flow
+
+(* strict single-attempt protection via the unified Flow.run entry point *)
+let protect ?seed ?fraction ?hardening alg nl =
+  (Flow.run ?seed ?fraction ?hardening ~policy:Flow.Strict alg nl)
+    .Flow.accepted
+
 module Hybrid = Sttc_core.Hybrid
 
 (* A 4-bit-ish datapath fragment: two stages of logic around a register. *)
@@ -42,7 +48,7 @@ let () =
 
   (* 1. protect: replace selected gates with unconfigured STT LUTs *)
   let result =
-    Flow.protect ~seed:42
+    protect ~seed:42
       (Flow.Parametric Sttc_core.Algorithms.default_parametric)
       nl
   in

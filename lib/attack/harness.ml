@@ -24,29 +24,42 @@ type campaign = {
    check their own deadline between solver iterations; the rest are
    interrupted by {!Sttc_util.Timing.with_timeout}.  A zero (or
    negative) budget means "don't even start": the attacker got no CPU,
-   so the design trivially resisted. *)
+   so the design trivially resisted.
+
+   [with_timeout] arms a per-process setitimer, which only the main
+   domain may do — when the campaign runs inside a {!Sttc_util.Pool}
+   task the budget is instead enforced cooperatively: an attack that
+   returns past its budget is classified as exhausted, and attack code
+   that polls [Pool.check_deadline] is interrupted at the poll. *)
 let budgeted ~budget attack f =
   let skip detail =
     { attack; verdict = Resisted; seconds = 0.; oracle_queries = 0; detail }
   in
+  let exhausted () =
+    {
+      (skip (Printf.sprintf "wall-clock budget (%.1fs) exhausted" budget)) with
+      seconds = budget;
+    }
+  in
   if budget <= 0. then skip "zero budget"
-  else
+  else if Domain.is_main_domain () then
     match Sttc_util.Timing.with_timeout ~seconds:budget f with
     | Ok entry -> entry
-    | Error `Timeout ->
-        {
-          (skip (Printf.sprintf "wall-clock budget (%.1fs) exhausted" budget))
-          with
-          seconds = budget;
-        }
+    | Error `Timeout -> exhausted ()
+  else
+    let t0 = Sttc_util.Pool.now_s () in
+    match f () with
+    | entry ->
+        if Sttc_util.Pool.now_s () -. t0 > budget then exhausted () else entry
+    | exception Sttc_util.Pool.Deadline_exceeded -> exhausted ()
 
 let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
     ?(guess_rounds = 8) ?(brute_max_bits = 16) ?(seq_frames = 4)
-    ?(seed = 0xcafe) ~circuit ~algorithm hybrid =
+    ?(seed = 0xcafe) ?(jobs = 1) ~circuit ~algorithm hybrid =
   let seq_timeout_s =
     match seq_timeout_s with Some s -> s | None -> sat_timeout_s
   in
-  let sat_entry =
+  let sat_entry () =
     if sat_timeout_s <= 0. then
       {
         attack = "sat";
@@ -76,7 +89,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
           detail = e.reason;
         }
   in
-  let tt_entry =
+  let tt_entry () =
     budgeted ~budget:sat_timeout_s "truth-table" (fun () ->
         let r = Tt_attack.run ~budget_patterns:tt_budget ~seed hybrid in
         {
@@ -91,7 +104,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
               r.Tt_attack.fully_resolved r.Tt_attack.lut_count;
         })
   in
-  let tt_atpg_entry =
+  let tt_atpg_entry () =
     budgeted ~budget:sat_timeout_s "tt-atpg" (fun () ->
         let r =
           Tt_attack.run ~budget_patterns:(tt_budget / 4) ~targeted:true ~seed
@@ -110,7 +123,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
               (100. *. r.Tt_attack.resolution);
         })
   in
-  let guess_entry =
+  let guess_entry () =
     budgeted ~budget:sat_timeout_s "hill-climb" (fun () ->
         let r = Guess_attack.run ~rounds:guess_rounds ~seed hybrid in
         {
@@ -125,7 +138,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
               (100. *. r.Guess_attack.agreement);
         })
   in
-  let brute_entry =
+  let brute_entry () =
     budgeted ~budget:sat_timeout_s "brute-force" (fun () ->
         match Brute_force.run ~max_bits:brute_max_bits ~seed hybrid with
         | Brute_force.Broken b ->
@@ -151,7 +164,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
                   i.tested_rate_per_s;
             })
   in
-  let seq_entry =
+  let seq_entry () =
     if seq_timeout_s <= 0. then
       {
         attack = "sat-seq";
@@ -184,11 +197,29 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
             detail = e.reason;
           }
   in
+  let attacks =
+    [ sat_entry; seq_entry; tt_entry; tt_atpg_entry; guess_entry; brute_entry ]
+  in
+  let entries =
+    if jobs <= 1 then List.map (fun f -> f ()) attacks
+    else begin
+      (* the attacks read the hybrid's three netlist views concurrently:
+         force their lazy topology caches before the fan-out *)
+      List.iter Sttc_netlist.Netlist.warm
+        [
+          Sttc_core.Hybrid.original hybrid;
+          Sttc_core.Hybrid.programmed hybrid;
+          Sttc_core.Hybrid.foundry_view hybrid;
+        ];
+      Sttc_util.Pool.with_pool ~jobs (fun pool ->
+          Sttc_util.Pool.map_exn pool (fun f -> f ()) attacks)
+    end
+  in
   {
     circuit;
     algorithm;
     lut_count = Sttc_core.Hybrid.lut_count hybrid;
-    entries = [ sat_entry; seq_entry; tt_entry; tt_atpg_entry; guess_entry; brute_entry ];
+    entries;
   }
 
 let verdict_string = function

@@ -30,6 +30,7 @@ val run :
   ?brute_max_bits:int ->
   ?seq_frames:int ->
   ?seed:int ->
+  ?jobs:int ->
   circuit:string ->
   algorithm:string ->
   Sttc_core.Hybrid.t ->
@@ -46,7 +47,18 @@ val run :
     attack its own budget (it does bounded-unrolling work per iteration,
     so the combinational budget is usually too tight); it defaults to
     [sat_timeout_s].  A zero or negative budget skips the attack
-    entirely and reports [Resisted] with detail ["zero budget"]. *)
+    entirely and reports [Resisted] with detail ["zero budget"].
+
+    [jobs > 1] runs the six attacks concurrently on a
+    {!Sttc_util.Pool}; every attack is seeded from [seed] alone, so the
+    campaign is identical at any job count.  Off the main domain —
+    under [jobs > 1], or when the whole campaign runs inside a pool
+    task — budgets are enforced cooperatively instead of by signal: an
+    attack that overruns is reported as exhausted when it returns. *)
+
+val verdict_string : verdict -> string
+(** ["RECOVERED"], ["partial NN%"] or ["resisted"] — the rendering used
+    by {!pp_campaign} and {!to_table}. *)
 
 val pp_campaign : Format.formatter -> campaign -> unit
 val to_table : campaign list -> string

@@ -38,7 +38,7 @@ let no_hardening = { extra_inputs_per_lut = 0; absorb_drivers = false }
 let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
     ?(fraction = 0.02) ?(hardening = no_hardening) algorithm netlist =
   if Netlist.gates netlist = [] then
-    invalid_arg "Flow.protect: netlist has no CMOS gates";
+    invalid_arg "Flow.run: netlist has no CMOS gates";
   let rng = Rng.make (seed lxor Hashtbl.hash (algorithm_name algorithm)) in
   let (hybrid, meta), selection_seconds =
     Sttc_util.Timing.time (fun () ->
@@ -103,7 +103,7 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
   | [] -> ()
   | d :: _ ->
       invalid_arg
-        ("Flow.protect: hybrid fails structural lint: "
+        ("Flow.run: hybrid fails structural lint: "
         ^ Sttc_lint.Diagnostic.to_text d));
   let security =
     Security.evaluate (Hybrid.foundry_view hybrid) ~luts:(Hybrid.lut_ids hybrid)
@@ -180,7 +180,7 @@ let protect_resilient ?(seed = 1) ?library ?fraction ?hardening
   let rec down = function
     | [] ->
         invalid_arg
-          ("Flow.protect_resilient: all attempts failed: "
+          ("Flow.run: all attempts failed: "
           ^ String.concat "; "
               (List.rev_map
                  (fun rj ->
@@ -200,6 +200,23 @@ let protect_resilient ?(seed = 1) ?library ?fraction ?hardening
     rejections = List.rev !rejections;
     degraded = algorithm_name accepted.algorithm <> algorithm_name algorithm;
   }
+
+(* ---------- unified entry point ---------- *)
+
+type resilience = { max_reseeds : int }
+
+let default_resilience = { max_reseeds = 2 }
+
+type policy = Strict | Resilient of resilience
+
+let run ?seed ?library ?fraction ?hardening ~policy algorithm netlist =
+  match policy with
+  | Strict ->
+      let accepted = protect ?seed ?library ?fraction ?hardening algorithm netlist in
+      { accepted; requested = algorithm; rejections = []; degraded = false }
+  | Resilient { max_reseeds } ->
+      protect_resilient ?seed ?library ?fraction ?hardening ~max_reseeds
+        algorithm netlist
 
 let lint_view ?(library = Sttc_tech.Library.cmos90) r =
   let algorithm =

@@ -43,27 +43,31 @@ type result = {
       (** selection metadata when the algorithm was parametric-aware *)
 }
 
-val protect :
-  ?seed:int ->
-  ?library:Sttc_tech.Library.t ->
-  ?fraction:float ->
-  ?hardening:hardening ->
-  algorithm ->
-  Sttc_netlist.Netlist.t ->
-  result
-(** Runs the full selection-and-replacement stage and the evaluation
-    around it.  Deterministic for a fixed seed.  Raises [Invalid_argument]
-    when the netlist has no replaceable gate. *)
+(** {1 The unified entry point}
 
-(** {1 Resilient protection}
+    One function covers both failure semantics; callers choose with a
+    {!policy} value rather than between differently-named entry points:
 
-    The plain {!protect} fails hard: parametric selection that cannot
-    meet its clock budget, or a netlist whose hybrid trips the
-    structural lint, raises and takes the whole run with it.
-    {!protect_resilient} instead retries with fresh seeds and then walks
-    an explicit graceful-degradation chain
-    (parametric → dependent → independent), recording every rejected
-    attempt so the caller can see what it actually got. *)
+    - [run ~policy:Strict] fails hard — parametric selection that cannot
+      meet its clock budget, or a netlist whose hybrid trips the
+      structural lint, raises [Invalid_argument] and takes the run with
+      it;
+    - [run ~policy:(Resilient r)] retries with fresh seeds and then
+      walks an explicit graceful-degradation chain
+      (parametric → dependent → independent), recording every rejected
+      attempt so the caller can see what it actually got. *)
+
+type resilience = {
+  max_reseeds : int;
+      (** extra seeds tried per degradation step before moving on *)
+}
+
+val default_resilience : resilience
+(** [{ max_reseeds = 2 }] — seeds [seed, seed+1, seed+2] per step. *)
+
+type policy =
+  | Strict
+  | Resilient of resilience
 
 type rejection = {
   attempted : algorithm;
@@ -78,11 +82,55 @@ type resilient = {
   degraded : bool;
       (** the accepted algorithm is weaker than the requested one *)
 }
+(** What {!run} produces.  Under [Strict] the outcome is always
+    [{ accepted; requested; rejections = []; degraded = false }]. *)
+
+val run :
+  ?seed:int ->
+  ?library:Sttc_tech.Library.t ->
+  ?fraction:float ->
+  ?hardening:hardening ->
+  policy:policy ->
+  algorithm ->
+  Sttc_netlist.Netlist.t ->
+  resilient
+(** Run the full selection-and-replacement stage and the evaluation
+    around it.  Deterministic for a fixed seed at either policy.
+
+    [Strict]: a single attempt at [seed]; any failure raises
+    [Invalid_argument].
+
+    [Resilient { max_reseeds }]: try the requested algorithm at seeds
+    [seed, seed+1, .., seed+max_reseeds], then degrade along
+    {e parametric → dependent → independent} with the same reseed budget
+    per step.  Raises [Invalid_argument] only when every attempt of
+    every step failed (e.g. a netlist with no replaceable gates), with
+    the full rejection list in the message. *)
 
 val meets_timing : algorithm -> result -> (unit, string) Stdlib.result
 (** Parametric results must keep measured performance degradation within
     the requested [clock_factor] budget; other algorithms always pass
     (the paper expects dependent selection to degrade timing). *)
+
+val pp_resilient : Format.formatter -> resilient -> unit
+
+(** {1 Deprecated aliases}
+
+    The pre-[run] entry points, kept for one PR so out-of-tree callers
+    can migrate.  [protect ~seed alg nl] is
+    [(run ~seed ~policy:Strict alg nl).accepted];
+    [protect_resilient ~max_reseeds] is
+    [run ~policy:(Resilient { max_reseeds })]. *)
+
+val protect :
+  ?seed:int ->
+  ?library:Sttc_tech.Library.t ->
+  ?fraction:float ->
+  ?hardening:hardening ->
+  algorithm ->
+  Sttc_netlist.Netlist.t ->
+  result
+[@@ocaml.deprecated "use Flow.run ~policy:Strict"]
 
 val protect_resilient :
   ?seed:int ->
@@ -93,15 +141,7 @@ val protect_resilient :
   algorithm ->
   Sttc_netlist.Netlist.t ->
   resilient
-(** Try the requested algorithm at seeds [seed, seed+1, ..,
-    seed+max_reseeds] (default 2 reseeds), then degrade along
-    {e parametric → dependent → independent} with the same reseed budget
-    per step.  Deterministic for a fixed seed.  Raises
-    [Invalid_argument] only when every attempt of every step failed
-    (e.g. a netlist with no replaceable gates), with the full rejection
-    list in the message. *)
-
-val pp_resilient : Format.formatter -> resilient -> unit
+[@@ocaml.deprecated "use Flow.run ~policy:(Resilient resilience)"]
 
 val lint_view :
   ?library:Sttc_tech.Library.t -> result -> Sttc_lint.Security_rules.view

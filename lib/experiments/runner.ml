@@ -2,8 +2,87 @@ module Flow = Sttc_core.Flow
 module Report = Sttc_core.Report
 module Profiles = Sttc_netlist.Iscas_profiles
 module Timing = Sttc_util.Timing
+module Pool = Sttc_util.Pool
 
 let master_seed = 20160605 (* DAC'16 *)
+
+(* Every stage below is deterministic in its seed alone, so protecting a
+   benchmark on a worker domain gives the same result as on the main
+   one. *)
+let strict ~seed ?hardening alg nl =
+  (Flow.run ~seed ?hardening ~policy:Flow.Strict alg nl).Flow.accepted
+
+(* ---------- progress events ---------- *)
+
+type stage = Build | Protect of string
+
+type exn_info = { benchmark : string; stage : stage; reason : string }
+
+type event =
+  | Started of string
+  | Restored of string
+  | Timed_out of { benchmark : string; stage : stage; budget_s : float }
+  | Failed of exn_info
+  | Finished of Report.benchmark_row
+
+let stage_label = function Build -> "build" | Protect _ -> "protect"
+
+let stage_target benchmark = function
+  | Build -> benchmark
+  | Protect alg -> benchmark ^ "/" ^ alg
+
+let string_of_event = function
+  | Started b -> b ^ ": starting"
+  | Restored b -> b ^ ": restored from checkpoint"
+  | Timed_out { benchmark; stage; budget_s } ->
+      Printf.sprintf "FAILED %s: %s: timeout after %.1fs"
+        (stage_target benchmark stage) (stage_label stage) budget_s
+  | Failed { benchmark; stage; reason } ->
+      Printf.sprintf "FAILED %s: %s: %s"
+        (stage_target benchmark stage) (stage_label stage) reason
+  | Finished row ->
+      let failed = List.length row.Report.failures in
+      let total = failed + List.length row.Report.results in
+      Printf.sprintf "protected %s (%d gates)%s" row.Report.circuit
+        row.Report.size
+        (if failed = 0 then ""
+         else Printf.sprintf " — %d of %d algorithms failed" failed total)
+
+(* ---------- configuration ---------- *)
+
+module Config = struct
+  type t = {
+    quick : bool;
+    seed : int;
+    only : string list option;
+    timeout_s : float option;
+    isolate : bool;
+    checkpoint : string option;
+    jobs : int;
+    on_event : event -> unit;
+  }
+
+  let default =
+    {
+      quick = false;
+      seed = master_seed;
+      only = None;
+      timeout_s = None;
+      isolate = false;
+      checkpoint = None;
+      jobs = 1;
+      on_event = ignore;
+    }
+
+  let with_quick quick t = { t with quick }
+  let with_seed seed t = { t with seed }
+  let with_only names t = { t with only = Some names }
+  let with_timeout_s s t = { t with timeout_s = Some s }
+  let with_isolate isolate t = { t with isolate }
+  let with_checkpoint p t = { t with checkpoint = Some p }
+  let with_jobs jobs t = { t with jobs }
+  let with_on_event on_event t = { t with on_event }
+end
 
 (* ---------- crash-tolerant benchmark driver ---------- *)
 
@@ -40,105 +119,257 @@ let exn_reason = function
   | Invalid_argument m | Failure m -> m
   | e -> Printexc.to_string e
 
-let benchmark_rows ?(quick = false) ?(seed = master_seed)
-    ?(progress = fun _ -> ()) ?only ?timeout_s ?(isolate = false)
-    ?checkpoint () =
-  let infos =
-    match only with
-    | Some names ->
-        List.iter (fun n -> ignore (Profiles.find_exn n)) names;
-        List.filter (fun i -> List.mem i.Profiles.name names) Profiles.all
-    | None ->
-        if quick then
-          List.filter (fun i -> i.Profiles.n_gates <= 1000) Profiles.all
-        else Profiles.all
+(* A guarded stage either yields a value, overruns its budget, or (when
+   isolating) crashes with a captured reason.  The serial guard enforces
+   the budget preemptively with the setitimer-based [Timing.with_timeout];
+   the pool guard cannot (signals are per-process), so it reports an
+   overrun when the stage returns, and honours the pool's cooperative
+   deadline if the stage polls it. *)
+let serial_guard ~timeout_s ~isolate f =
+  match timeout_s with
+  | None -> (
+      match f () with
+      | v -> `Ok v
+      | exception e when isolate -> `Crash (exn_reason e))
+  | Some budget -> (
+      match Timing.with_timeout ~seconds:budget f with
+      | Ok v -> `Ok v
+      | Error `Timeout -> `Timeout budget
+      | exception e when isolate -> `Crash (exn_reason e))
+
+(* one guard value is used at both the build and the protect result
+   types, so it needs an explicitly polymorphic field *)
+type guard = {
+  guard :
+    'a.
+    (unit -> 'a) -> [ `Ok of 'a | `Timeout of float | `Crash of string ];
+}
+
+let pool_guard ~timeout_s ~isolate f =
+  match timeout_s with
+  | None -> (
+      match f () with
+      | v -> `Ok v
+      | exception e when isolate -> `Crash (exn_reason e))
+  | Some budget -> (
+      let t0 = Pool.now_s () in
+      match f () with
+      | v -> if Pool.now_s () -. t0 > budget then `Timeout budget else `Ok v
+      | exception Pool.Deadline_exceeded -> `Timeout budget
+      | exception e when isolate -> `Crash (exn_reason e))
+
+let attempt_reason label = function
+  | `Timeout budget -> Printf.sprintf "%s: timeout after %.1fs" label budget
+  | `Crash m -> label ^ ": " ^ m
+
+let emit_attempt emit ~benchmark ~stage = function
+  | `Timeout budget_s -> emit (Timed_out { benchmark; stage; budget_s })
+  | `Crash reason -> emit (Failed { benchmark; stage; reason })
+
+let build_failed_row info reason =
+  {
+    Report.circuit = info.Profiles.name;
+    size = info.Profiles.n_gates;
+    results = [];
+    failures =
+      List.map
+        (fun alg -> (Flow.algorithm_name alg, reason))
+        Flow.default_algorithms;
+  }
+
+let assemble_row info outcomes =
+  let results =
+    List.filter_map (function Ok p -> Some p | Error _ -> None) outcomes
   in
-  (* run [f] under the per-run wall-clock budget and, when isolating,
-     turn its exceptions into classified failures instead of aborting
-     the whole table *)
-  let guarded label f =
-    match timeout_s with
-    | None -> (
-        match f () with
-        | v -> Ok v
-        | exception e when isolate -> Error (label ^ ": " ^ exn_reason e))
-    | Some budget -> (
-        match Timing.with_timeout ~seconds:budget f with
-        | Ok v -> Ok v
-        | Error `Timeout ->
-            Error (Printf.sprintf "%s: timeout after %.1fs" label budget)
-        | exception e when isolate -> Error (label ^ ": " ^ exn_reason e))
+  let failures =
+    List.filter_map (function Error p -> Some p | Ok _ -> None) outcomes
   in
-  let run_benchmark info =
-    let name = info.Profiles.name in
-    match guarded "build" (fun () -> Profiles.build info) with
-    | Error reason ->
-        progress (Printf.sprintf "FAILED %s: %s" name reason);
-        {
-          Report.circuit = name;
-          size = info.Profiles.n_gates;
-          results = [];
-          failures =
-            List.map
-              (fun alg -> (Flow.algorithm_name alg, reason))
-              Flow.default_algorithms;
-        }
-    | Ok nl ->
-        let results, failures =
-          List.fold_left
-            (fun (rs, fs) alg ->
-              let alg_name = Flow.algorithm_name alg in
-              match guarded "protect" (fun () -> Flow.protect ~seed alg nl) with
-              | Ok r -> ((alg_name, r) :: rs, fs)
-              | Error reason ->
-                  progress
-                    (Printf.sprintf "FAILED %s/%s: %s" name alg_name reason);
-                  (rs, (alg_name, reason) :: fs))
-            ([], []) Flow.default_algorithms
-        in
-        progress
-          (Printf.sprintf "protected %s (%d gates)%s" name
-             info.Profiles.n_gates
-             (if failures = [] then ""
-              else Printf.sprintf " — %d of %d algorithms failed"
-                  (List.length failures)
-                  (List.length Flow.default_algorithms)));
-        {
-          Report.circuit = name;
-          size = info.Profiles.n_gates;
-          results = List.rev results;
-          failures = List.rev failures;
-        }
+  { Report.circuit = info.Profiles.name; size = info.Profiles.n_gates;
+    results; failures }
+
+let protect_outcome ~guard ~emit ~seed ~name nl alg =
+  let alg_name = Flow.algorithm_name alg in
+  match guard.guard (fun () -> strict ~seed alg nl) with
+  | `Ok r -> Ok (alg_name, r)
+  | (`Timeout _ | `Crash _) as a ->
+      emit_attempt emit ~benchmark:name ~stage:(Protect alg_name) a;
+      Error (alg_name, attempt_reason "protect" a)
+
+let run_benchmark_serial ~guard ~emit ~seed info =
+  let name = info.Profiles.name in
+  emit (Started name);
+  match guard.guard (fun () -> Profiles.build info) with
+  | (`Timeout _ | `Crash _) as a ->
+      emit_attempt emit ~benchmark:name ~stage:Build a;
+      build_failed_row info (attempt_reason "build" a)
+  | `Ok nl ->
+      let outcomes =
+        List.map (protect_outcome ~guard ~emit ~seed ~name nl)
+          Flow.default_algorithms
+      in
+      let row = assemble_row info outcomes in
+      emit (Finished row);
+      row
+
+(* Serial: benchmarks run one after the other, incrementally
+   checkpointed — byte-for-byte the historical behaviour. *)
+let rows_serial ~cfg infos completed0 =
+  let { Config.seed; timeout_s; isolate; checkpoint; on_event = emit; _ } =
+    cfg
   in
-  let completed =
-    ref (match checkpoint with Some p -> load_checkpoint p seed | None -> [])
-  in
+  let guard = { guard = (fun f -> serial_guard ~timeout_s ~isolate f) } in
+  let completed = ref completed0 in
   List.map
     (fun info ->
       let name = info.Profiles.name in
       match List.assoc_opt name !completed with
       | Some row ->
-          progress (Printf.sprintf "%s: restored from checkpoint" name);
+          emit (Restored name);
           row
       | None ->
-          let row = run_benchmark info in
+          let row = run_benchmark_serial ~guard ~emit ~seed info in
           (* rows that failed outright are not checkpointed, so a rerun
              with a longer budget recomputes them *)
           if row.Report.failures = [] then begin
             completed := !completed @ [ (name, row) ];
-            Option.iter
-              (fun p -> save_checkpoint p seed !completed)
-              checkpoint
+            Option.iter (fun p -> save_checkpoint p seed !completed) checkpoint
           end;
           row)
     infos
+
+(* Parallel: a build task per benchmark, then a protect task per
+   benchmark × algorithm.  Each task depends only on [seed], so results
+   merge in submission order into exactly the serial rows; the
+   checkpoint is written during the merge, in the same benchmark order
+   a serial run would use. *)
+let rows_parallel ~cfg infos completed0 =
+  let { Config.seed; timeout_s; isolate; checkpoint; jobs; on_event; _ } =
+    cfg
+  in
+  let emit =
+    let m = Mutex.create () in
+    fun ev ->
+      Mutex.lock m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> on_event ev)
+  in
+  let guard = { guard = (fun f -> pool_guard ~timeout_s ~isolate f) } in
+  let todo =
+    List.filter
+      (fun i -> not (List.mem_assoc i.Profiles.name completed0))
+      infos
+  in
+  let computed =
+    Pool.with_pool ~jobs (fun pool ->
+        let builds =
+          Pool.map_exn ?deadline_s:timeout_s pool
+            (fun info ->
+              let name = info.Profiles.name in
+              emit (Started name);
+              match guard.guard (fun () -> Profiles.build info) with
+              | `Ok nl ->
+                  (* force the lazy topology caches while the netlist is
+                     still private to this task: the protect tasks read
+                     it from several domains concurrently *)
+                  Sttc_netlist.Netlist.warm nl;
+                  (info, `Ok nl)
+              | (`Timeout _ | `Crash _) as a ->
+                  emit_attempt emit ~benchmark:name ~stage:Build a;
+                  (info, a))
+            todo
+        in
+        let protect_tasks =
+          List.concat_map
+            (fun (info, b) ->
+              match b with
+              | `Ok nl ->
+                  List.map (fun alg -> (info, nl, alg)) Flow.default_algorithms
+              | `Timeout _ | `Crash _ -> [])
+            builds
+        in
+        let protects =
+          Pool.map_exn ?deadline_s:timeout_s pool
+            (fun (info, nl, alg) ->
+              let name = info.Profiles.name in
+              (name, protect_outcome ~guard ~emit ~seed ~name nl alg))
+            protect_tasks
+        in
+        List.map
+          (fun (info, b) ->
+            let name = info.Profiles.name in
+            match b with
+            | (`Timeout _ | `Crash _) as a ->
+                (name, build_failed_row info (attempt_reason "build" a))
+            | `Ok _ ->
+                let outcomes =
+                  List.filter_map
+                    (fun (n, o) -> if n = name then Some o else None)
+                    protects
+                in
+                let row = assemble_row info outcomes in
+                emit (Finished row);
+                (name, row))
+          builds)
+  in
+  let completed = ref completed0 in
+  List.map
+    (fun info ->
+      let name = info.Profiles.name in
+      match List.assoc_opt name !completed with
+      | Some row ->
+          emit (Restored name);
+          row
+      | None ->
+          let row = List.assoc name computed in
+          if row.Report.failures = [] then begin
+            completed := !completed @ [ (name, row) ];
+            Option.iter (fun p -> save_checkpoint p seed !completed) checkpoint
+          end;
+          row)
+    infos
+
+let rows (cfg : Config.t) =
+  if cfg.Config.jobs < 1 then invalid_arg "Runner.rows: jobs must be >= 1";
+  let infos =
+    match cfg.Config.only with
+    | Some names ->
+        List.iter (fun n -> ignore (Profiles.find_exn n)) names;
+        List.filter (fun i -> List.mem i.Profiles.name names) Profiles.all
+    | None ->
+        if cfg.Config.quick then
+          List.filter (fun i -> i.Profiles.n_gates <= 1000) Profiles.all
+        else Profiles.all
+  in
+  let completed =
+    match cfg.Config.checkpoint with
+    | Some p -> load_checkpoint p cfg.Config.seed
+    | None -> []
+  in
+  if cfg.Config.jobs = 1 then rows_serial ~cfg infos completed
+  else rows_parallel ~cfg infos completed
+
+let benchmark_rows ?(quick = false) ?(seed = master_seed)
+    ?(progress = fun _ -> ()) ?only ?timeout_s ?(isolate = false)
+    ?checkpoint () =
+  rows
+    {
+      Config.quick;
+      seed;
+      only;
+      timeout_s;
+      isolate;
+      checkpoint;
+      jobs = 1;
+      on_event =
+        (function Started _ -> () | ev -> progress (string_of_event ev));
+    }
 
 let fig1 () = Report.fig1 ()
 let table1 rows = Report.table1 rows
 let table2 rows = Report.table2 rows
 let fig3 rows = Report.fig3 rows
 
-let attack_campaign ?(seed = master_seed) ?(sat_timeout_s = 15.) () =
+let attack_campaign ?(seed = master_seed) ?(sat_timeout_s = 15.) ?(jobs = 1)
+    () =
   let spec =
     {
       Sttc_netlist.Generator.design_name = "atk80";
@@ -150,14 +381,22 @@ let attack_campaign ?(seed = master_seed) ?(sat_timeout_s = 15.) () =
     }
   in
   let nl = Sttc_netlist.Generator.generate ~seed:11 spec in
+  let campaign alg =
+    let r = strict ~seed alg nl in
+    Sttc_attack.Harness.run ~sat_timeout_s ~tt_budget:3000 ~guess_rounds:6
+      ~circuit:spec.Sttc_netlist.Generator.design_name
+      ~algorithm:(Flow.algorithm_name alg) r.Flow.hybrid
+  in
   let campaigns =
-    List.map
-      (fun alg ->
-        let r = Flow.protect ~seed alg nl in
-        Sttc_attack.Harness.run ~sat_timeout_s ~tt_budget:3000 ~guess_rounds:6
-          ~circuit:spec.Sttc_netlist.Generator.design_name
-          ~algorithm:(Flow.algorithm_name alg) r.Flow.hybrid)
-      Flow.default_algorithms
+    if jobs <= 1 then List.map campaign Flow.default_algorithms
+    else begin
+      Sttc_netlist.Netlist.warm nl;
+      (* one campaign per algorithm; each harness runs serially inside
+         its task and enforces budgets cooperatively off the main
+         domain *)
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.map_exn pool campaign Flow.default_algorithms)
+    end
   in
   Sttc_attack.Harness.to_table campaigns
 
@@ -187,7 +426,7 @@ let sidechannel ?(seed = master_seed) () =
   in
   List.iter
     (fun alg ->
-      let r = Flow.protect ~seed alg nl in
+      let r = strict ~seed alg nl in
       let hybrid = Sttc_core.Hybrid.programmed r.Flow.hybrid in
       (* target the first replaced gate's signal: the value the defence
          hides inside an STT LUT *)
@@ -233,7 +472,7 @@ let ablation_parametric ?(seed = master_seed) () =
           Sttc_core.Algorithms.clock_factor = factor;
         }
       in
-      let r = Flow.protect ~seed (Flow.Parametric options) nl in
+      let r = strict ~seed (Flow.Parametric options) nl in
       Sttc_util.Table.add_row t
         [
           Printf.sprintf "%.2f" factor;
@@ -279,9 +518,7 @@ let ablation_hardening ?(seed = master_seed) () =
   in
   List.iter
     (fun (label, hardening) ->
-      let r =
-        Flow.protect ~seed ~hardening (Flow.Independent { count = 5 }) nl
-      in
+      let r = strict ~seed ~hardening (Flow.Independent { count = 5 }) nl in
       let g = Sttc_attack.Guess_attack.run ~rounds:5 r.Flow.hybrid in
       Sttc_util.Table.add_row t
         [
@@ -413,7 +650,7 @@ let ablation_constants ?(seed = master_seed) () =
   List.iter
     (fun name ->
       let nl = Profiles.build_by_name name in
-      let r = Flow.protect ~seed Flow.Dependent nl in
+      let r = strict ~seed Flow.Dependent nl in
       let foundry = Sttc_core.Hybrid.foundry_view r.Flow.hybrid in
       let luts = Sttc_core.Hybrid.lut_ids r.Flow.hybrid in
       let rp =
@@ -451,9 +688,9 @@ let outcome_label = function
 let fault_sweep ?(seed = master_seed) ?(bench = "s641")
     ?(algorithm = Flow.Dependent) ?(rates = [ 1e-4; 1e-3; 1e-2; 5e-2 ])
     ?(stuck_rate = 0.) ?(dies = 12)
-    ?(resilience = Provision.default_resilience) () =
+    ?(resilience = Provision.default_resilience) ?(jobs = 1) () =
   let nl = Profiles.build_by_name bench in
-  let r = Flow.protect ~seed algorithm nl in
+  let r = strict ~seed algorithm nl in
   let hybrid = r.Flow.hybrid in
   let foundry = Sttc_core.Hybrid.foundry_view hybrid in
   let entries = Provision.of_hybrid hybrid in
@@ -524,7 +761,10 @@ let fault_sweep ?(seed = master_seed) ?(bench = "s641")
   in
   List.iter detail rates;
   Buffer.add_string buf (Sttc_util.Table.render t);
-  (* yield: many dies per rate *)
+  (* yield: many dies per rate.  Every die's channel seed is derived up
+     front from the master seed, so the table is identical at any job
+     count; with [jobs > 1] the dies of each rate are programmed on a
+     pool. *)
   let t2 =
     Sttc_util.Table.create
       ~headers:
@@ -535,38 +775,50 @@ let fault_sweep ?(seed = master_seed) ?(bench = "s641")
           ("Mean extra attempts", Sttc_util.Table.Right);
         ]
   in
-  List.iter
-    (fun rate ->
-      let spec =
-        Mtj.spec ~write_error_rate:rate ~stuck_cell_rate:stuck_rate ()
+  let ok report =
+    match report.Provision.outcome with
+    | Provision.Programmed | Provision.Degraded _ -> true
+    | Provision.Failed _ -> false
+  in
+  let yield_row pool rate =
+    let spec =
+      Mtj.spec ~write_error_rate:rate ~stuck_cell_rate:stuck_rate ()
+    in
+    let one_die die =
+      let die_seed = seed + (7919 * die) in
+      let ch0 = Mtj.channel ~seed:die_seed spec in
+      let r0 =
+        Provision.program ~resilience:Provision.no_resilience ~channel:ch0
+          foundry entries
       in
-      let ok report =
-        match report.Provision.outcome with
-        | Provision.Programmed | Provision.Degraded _ -> true
-        | Provision.Failed _ -> false
-      in
-      let good0 = ref 0 and good1 = ref 0 and extra = ref 0 in
-      for die = 0 to dies - 1 do
-        let die_seed = seed + (7919 * die) in
-        let ch0 = Mtj.channel ~seed:die_seed spec in
-        let r0 =
-          Provision.program ~resilience:Provision.no_resilience ~channel:ch0
-            foundry entries
-        in
-        if ok r0 then incr good0;
-        let ch1 = Mtj.channel ~seed:die_seed spec in
-        let r1 = Provision.program ~resilience ~channel:ch1 foundry entries in
-        if ok r1 then incr good1;
-        extra := !extra + (r1.Provision.write_attempts - ideal.Provision.mtj_cells)
-      done;
-      Sttc_util.Table.add_row t2
-        [
-          Printf.sprintf "%.0e" rate;
-          Printf.sprintf "%d/%d" !good0 dies;
-          Printf.sprintf "%d/%d" !good1 dies;
-          Printf.sprintf "%.1f" (float_of_int !extra /. float_of_int dies);
-        ])
-    rates;
+      let ch1 = Mtj.channel ~seed:die_seed spec in
+      let r1 = Provision.program ~resilience ~channel:ch1 foundry entries in
+      ( (if ok r0 then 1 else 0),
+        (if ok r1 then 1 else 0),
+        r1.Provision.write_attempts - ideal.Provision.mtj_cells )
+    in
+    let die_indices = List.init dies Fun.id in
+    let good0, good1, extra =
+      let reduce (a, b, c) (x, y, z) = (a + x, b + y, c + z) in
+      match pool with
+      | None -> List.fold_left reduce (0, 0, 0) (List.map one_die die_indices)
+      | Some pool ->
+          Pool.map_reduce pool ~map:one_die ~reduce ~init:(0, 0, 0) die_indices
+    in
+    Sttc_util.Table.add_row t2
+      [
+        Printf.sprintf "%.0e" rate;
+        Printf.sprintf "%d/%d" good0 dies;
+        Printf.sprintf "%d/%d" good1 dies;
+        Printf.sprintf "%.1f" (float_of_int extra /. float_of_int dies);
+      ]
+  in
+  if jobs <= 1 then List.iter (yield_row None) rates
+  else begin
+    Sttc_netlist.Netlist.warm foundry;
+    Pool.with_pool ~jobs (fun pool ->
+        List.iter (yield_row (Some pool)) rates)
+  end;
   Buffer.add_string buf "\nprogramming yield over dies:\n";
   Buffer.add_string buf (Sttc_util.Table.render t2);
   Buffer.contents buf
@@ -580,26 +832,19 @@ let resume_selftest ?(seed = master_seed) () =
       if Sys.file_exists path then Sys.remove path;
       if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
     (fun () ->
-      let first =
-        benchmark_rows ~seed ~only:[ "s641" ] ~checkpoint:path ()
-      in
+      let run cfg names = rows Config.(cfg |> with_seed seed |> with_only names) in
+      let first = run Config.(default |> with_checkpoint path) [ "s641" ] in
       let restored = ref 0 in
       let resumed =
-        benchmark_rows ~seed
-          ~only:[ "s641"; "s820" ]
-          ~checkpoint:path
-          ~progress:(fun line ->
-            let is_sub s sub =
-              let n = String.length sub in
-              let rec go i =
-                i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
-              in
-              go 0
-            in
-            if is_sub line "restored from checkpoint" then incr restored)
-          ()
+        run
+          Config.(
+            default |> with_checkpoint path
+            |> with_on_event (function
+                 | Restored _ -> incr restored
+                 | _ -> ()))
+          [ "s641"; "s820" ]
       in
-      let fresh = benchmark_rows ~seed ~only:[ "s641"; "s820" ] () in
+      let fresh = run Config.default [ "s641"; "s820" ] in
       if List.length first <> 1 then Error "first pass must produce one row"
       else if !restored <> 1 then
         Error
@@ -631,7 +876,7 @@ let sweep ?(seed = master_seed) nl ~counts =
   in
   List.iter
     (fun count ->
-      let r = Flow.protect ~seed (Flow.Independent { count }) nl in
+      let r = strict ~seed (Flow.Independent { count }) nl in
       let o = r.Flow.overhead and s = r.Flow.security in
       Sttc_util.Table.add_row t
         [

@@ -3,10 +3,109 @@
     One call protects every ISCAS'89 structural twin with the paper's
     three algorithms under a fixed master seed; the resulting rows feed
     the Table I / Table II / Fig. 3 renderers.  The attack campaign runs
-    the empirical attacks on a small circuit where they terminate. *)
+    the empirical attacks on a small circuit where they terminate.
+
+    The driver fans its work out over {!Sttc_util.Pool} when
+    [Config.jobs > 1]; per-task seeds are derived before submission, so
+    rows are bit-identical at any job count. *)
 
 val master_seed : int
 (** 20160605 — fixed so published output is reproducible. *)
+
+(** {1 Progress events}
+
+    The run reports progress as a typed stream instead of pre-rendered
+    strings, so the CLI, the bench harness and future tracing can each
+    render (or aggregate) it their own way. *)
+
+type stage =
+  | Build  (** constructing the benchmark netlist *)
+  | Protect of string  (** running one named selection algorithm *)
+
+type exn_info = {
+  benchmark : string;
+  stage : stage;
+  reason : string;  (** the exception message, without the stage label *)
+}
+
+type event =
+  | Started of string  (** benchmark name, before any work on it *)
+  | Restored of string  (** benchmark row loaded from the checkpoint *)
+  | Timed_out of { benchmark : string; stage : stage; budget_s : float }
+  | Failed of exn_info  (** stage crashed (isolation captured it) *)
+  | Finished of Sttc_core.Report.benchmark_row
+      (** benchmark done (only when its build stage succeeded; the row
+          may still carry per-algorithm failures) *)
+
+val string_of_event : event -> string
+(** The classic progress-line rendering of an event, e.g.
+    ["s641: restored from checkpoint"] or
+    ["FAILED s641/dependent: protect: timeout after 2.0s"]. *)
+
+(** {1 Configuration}
+
+    The driver's knobs as one value instead of a growing pile of
+    optional arguments.  Build one with {!Config.default} and the
+    [with_*] setters:
+    {[ Config.(default |> with_quick true |> with_jobs 4) ]} *)
+
+module Config : sig
+  type t = {
+    quick : bool;  (** restrict to the sub-1000-gate benchmarks *)
+    seed : int;  (** master seed; every row is deterministic in it *)
+    only : string list option;
+        (** restrict to these benchmarks (unknown names raise up front) *)
+    timeout_s : float option;
+        (** wall-clock budget per build / per protect stage *)
+    isolate : bool;
+        (** turn per-benchmark crashes into partial rows instead of
+            aborting the whole table *)
+    checkpoint : string option;
+        (** snapshot file rewritten atomically as benchmarks complete *)
+    jobs : int;
+        (** worker domains; [1] = serial (identical rows either way) *)
+    on_event : event -> unit;  (** progress stream consumer *)
+  }
+
+  val default : t
+  (** quick=false, seed={!master_seed}, no restriction, no timeout, no
+      isolation, no checkpoint, jobs=1, events dropped. *)
+
+  val with_quick : bool -> t -> t
+  val with_seed : int -> t -> t
+  val with_only : string list -> t -> t
+  val with_timeout_s : float -> t -> t
+  val with_isolate : bool -> t -> t
+  val with_checkpoint : string -> t -> t
+  val with_jobs : int -> t -> t
+  val with_on_event : (event -> unit) -> t -> t
+end
+
+val rows : Config.t -> Sttc_core.Report.benchmark_row list
+(** Protect every selected benchmark with the paper's three algorithms.
+
+    Crash tolerance (see the {!Config} fields): [timeout_s] budgets each
+    build and protect stage, [isolate] degrades crashes to partial rows
+    (rendered as ["-"] cells with a footnote), and [checkpoint] lets a
+    killed run resume where it stopped — a corrupt, foreign or
+    different-seed checkpoint is ignored, and partial rows are never
+    checkpointed, so a rerun with a longer budget recomputes them.
+
+    Parallelism: with [jobs > 1] the build stages and the benchmark ×
+    algorithm protect stages run on a {!Sttc_util.Pool}.  Rows (and the
+    final checkpoint file) are bit-identical to a serial run because
+    each task's result depends only on [seed]; three differences are
+    semantic, not numeric:
+    - stage budgets are enforced cooperatively (an overrunning stage is
+      reported as timed out when it completes) rather than interrupted
+      by [setitimer], which does not compose with domains;
+    - the checkpoint is written as results are merged after the fan-out
+      rather than after each benchmark;
+    - [on_event] may be invoked from worker domains (calls are
+      serialized by a mutex), and event order across benchmarks is not
+      deterministic;
+    - without [isolate], a crashing stage surfaces as
+      {!Sttc_util.Pool.Task_error} instead of the original exception. *)
 
 val benchmark_rows :
   ?quick:bool ->
@@ -18,22 +117,12 @@ val benchmark_rows :
   ?checkpoint:string ->
   unit ->
   Sttc_core.Report.benchmark_row list
-(** [quick] restricts to the sub-1000-gate benchmarks (default false).
-    [progress] receives a line per benchmark as it completes.
-
-    Crash tolerance:
-    - [only] restricts to the named benchmarks (unknown names raise
-      up front, before any work);
-    - [timeout_s] puts a wall-clock budget on each build and each
-      protect run ({!Sttc_util.Timing.with_timeout});
-    - [isolate] turns per-benchmark exceptions into partial rows
-      (rendered as ["-"] cells with a footnote) instead of aborting the
-      whole table;
-    - [checkpoint] names a snapshot file rewritten atomically after
-      every fully-successful benchmark, so a killed run resumes where
-      it stopped.  A corrupt, foreign or different-seed checkpoint is
-      ignored.  Partial rows are never checkpointed: a rerun with a
-      longer budget recomputes them. *)
+[@@ocaml.deprecated
+  "use Runner.rows with a Runner.Config.t (progress strings become \
+   Config.on_event + Runner.string_of_event)"]
+(** Deprecated pre-{!Config} entry point; one optional argument per
+    knob.  [progress] receives {!string_of_event} renderings of every
+    event except [Started]. *)
 
 val fig1 : unit -> string
 val table1 : Sttc_core.Report.benchmark_row list -> string
@@ -41,9 +130,11 @@ val table2 : Sttc_core.Report.benchmark_row list -> string
 val fig3 : Sttc_core.Report.benchmark_row list -> string
 
 val attack_campaign :
-  ?seed:int -> ?sat_timeout_s:float -> unit -> string
+  ?seed:int -> ?sat_timeout_s:float -> ?jobs:int -> unit -> string
 (** Protect an 80-gate circuit three ways and run the SAT / truth-table /
-    hill-climb / brute-force attacks against each. *)
+    hill-climb / brute-force attacks against each.  [jobs > 1] runs one
+    pool task per algorithm (each campaign's attacks then enforce their
+    budgets cooperatively). *)
 
 val sweep :
   ?seed:int ->
@@ -88,6 +179,7 @@ val fault_sweep :
   ?stuck_rate:float ->
   ?dies:int ->
   ?resilience:Sttc_core.Provision.resilience ->
+  ?jobs:int ->
   unit ->
   string
 (** Stochastic-write provisioning study (beyond the paper): protect one
@@ -98,7 +190,9 @@ val fault_sweep :
     (outcome, retried/corrected/spared bits, write attempts, energy
     overhead versus the ideal channel, SAT sign-off of the effective
     view), and a programming-yield summary over [dies] independent
-    dies per rate. *)
+    dies per rate.  [jobs > 1] programs the yield table's dies in
+    parallel; every die's channel seed is derived up front, so the
+    output is identical at any job count. *)
 
 val resume_selftest : ?seed:int -> unit -> (string, string) result
 (** Checkpoint round-trip smoke test (the [@fault] alias): run s641

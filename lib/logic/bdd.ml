@@ -23,17 +23,19 @@ type t = {
 }
 
 let terminal_var = max_int
-let counter = ref 0
+
+(* atomic so managers created on different domains (parallel attack or
+   equivalence tasks) still get distinct ids for the mixing check *)
+let counter = Atomic.make 0
 
 let manager ?(cache_size = 1 lsl 14) () =
-  incr counter;
   let dummy = { var = terminal_var; low = 0; high = 0 } in
   {
     nodes = Array.make 1024 dummy;
     next = 2;
     unique = Hashtbl.create cache_size;
     cache = Hashtbl.create cache_size;
-    mid = !counter;
+    mid = 1 + Atomic.fetch_and_add counter 1;
   }
 
 let zero m = { mgr = m; id = 0 }

@@ -17,8 +17,10 @@ type stats = {
 let empty_stats =
   { decisions = 0; propagations = 0; conflicts = 0; learned = 0; restarts = 0 }
 
-let stats_ref = ref empty_stats
-let last_stats () = !stats_ref
+(* domain-local: parallel solves (pool tasks) each see their own last
+   stats instead of racing on one global cell *)
+let stats_key = Domain.DLS.new_key (fun () -> empty_stats)
+let last_stats () = Domain.DLS.get stats_key
 
 type value = Vfree | Vtrue | Vfalse
 
@@ -387,7 +389,7 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) cnf =
       end
     end
   in
-  stats_ref :=
+  Domain.DLS.set stats_key
     {
       decisions = s.decisions;
       propagations = s.propagations;

@@ -33,7 +33,8 @@ val solve_exn : ?assumptions:Cnf.lit list -> Cnf.t -> result
 (** Like {!solve} without a conflict budget. *)
 
 val last_stats : unit -> stats
-(** Statistics of the most recent {!solve} call. *)
+(** Statistics of the most recent {!solve} call on the current domain
+    (domain-local, so parallel solver tasks do not race). *)
 
 val is_satisfiable : Cnf.t -> bool
 (** Convenience wrapper. *)

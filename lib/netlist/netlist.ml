@@ -153,6 +153,10 @@ let compute_topo t =
 
 let topo_order t = compute_topo t
 
+let warm t =
+  ignore (compute_fanouts t);
+  ignore (compute_topo t)
+
 let stats t =
   Printf.sprintf "%s: %d nodes (%d PI, %d PO, %d DFF, %d gates, %d LUTs)"
     t.design_name (node_count t)

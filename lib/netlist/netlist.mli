@@ -73,6 +73,12 @@ val topo_order : t -> node_id array
     fanins.  DFF D-inputs do not constrain the order (they are sequential
     edges). *)
 
+val warm : t -> unit
+(** Force the lazily-computed fanout and topological-order caches.
+    A netlist is otherwise immutable, so after [warm] it can be shared
+    read-only across domains (e.g. {!Sttc_util.Pool} tasks) without the
+    unsynchronized lazy-initialization race the caches would cause. *)
+
 val stats : t -> string
 (** One-line summary for logs. *)
 

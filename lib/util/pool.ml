@@ -1,0 +1,186 @@
+(* Work-stealing is overkill for our task shapes (tens to hundreds of
+   coarse tasks): a single mutex-protected queue of chunks keeps the
+   implementation dependency-free and the contention negligible next to
+   task cost. *)
+
+type error = {
+  index : int;
+  exn : string;
+  backtrace : string;
+}
+
+exception Task_error of error
+exception Deadline_exceeded
+
+(* ---------- monotonic clock + cooperative deadlines ---------- *)
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+(* The deadline lives in domain-local storage so task code can poll it
+   without threading a handle through every call. *)
+let deadline_key : float option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_deadline d = Domain.DLS.get deadline_key := d
+
+let check_deadline () =
+  match !(Domain.DLS.get deadline_key) with
+  | Some d when now_s () > d -> raise Deadline_exceeded
+  | _ -> ()
+
+let remaining_s () =
+  Option.map (fun d -> d -. now_s ()) !(Domain.DLS.get deadline_key)
+
+(* ---------- the pool ---------- *)
+
+type t = {
+  mutex : Mutex.t;
+  work_cond : Condition.t;  (* workers: work arrived or shutdown *)
+  done_cond : Condition.t;  (* submitters: a chunk completed *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  size : int;
+  chunk_hint : int option;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let worker_loop t =
+  let rec next () =
+    (* drain queued work even when stopping: shutdown is graceful *)
+    match Queue.take_opt t.queue with
+    | Some task -> Some task
+    | None ->
+        if t.stop then None
+        else begin
+          Condition.wait t.work_cond t.mutex;
+          next ()
+        end
+  in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let task = next () in
+    Mutex.unlock t.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+        task ();
+        loop ()
+  in
+  loop ()
+
+let create ?chunk ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.create: chunk must be >= 1"
+  | _ -> ());
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_cond = Condition.create ();
+      done_cond = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+      size = jobs;
+      chunk_hint = chunk;
+    }
+  in
+  t.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.work_cond;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?chunk ~jobs f =
+  let t = create ?chunk ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map ?deadline_s t f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let chunk =
+      match t.chunk_hint with
+      | Some c -> c
+      | None -> max 1 (n / (4 * t.size))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let pending = ref nchunks in
+    let run_range lo hi =
+      for i = lo to hi do
+        let outcome =
+          match
+            set_deadline (Option.map (fun s -> now_s () +. s) deadline_s);
+            f arr.(i)
+          with
+          | v -> Ok v
+          | exception e ->
+              Error
+                {
+                  index = i;
+                  exn = Printexc.to_string e;
+                  backtrace = Printexc.get_backtrace ();
+                }
+        in
+        set_deadline None;
+        (* distinct indices per worker; the caller only reads them after
+           synchronizing on [pending] under the mutex *)
+        results.(i) <- Some outcome
+      done;
+      Mutex.lock t.mutex;
+      decr pending;
+      if !pending = 0 then Condition.broadcast t.done_cond;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    for c = 0 to nchunks - 1 do
+      let lo = c * chunk in
+      let hi = min (n - 1) (lo + chunk - 1) in
+      Queue.add (fun () -> run_range lo hi) t.queue
+    done;
+    Condition.broadcast t.work_cond;
+    while !pending > 0 do
+      Condition.wait t.done_cond t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* pending = 0 implies every slot set *))
+         results)
+  end
+
+let first_error outcomes =
+  List.find_map (function Error e -> Some e | Ok _ -> None) outcomes
+
+let map_exn ?deadline_s t f items =
+  let outcomes = map ?deadline_s t f items in
+  match first_error outcomes with
+  | Some e -> raise (Task_error e)
+  | None ->
+      List.map (function Ok v -> v | Error _ -> assert false) outcomes
+
+let map_reduce ?deadline_s t ~map:f ~reduce ~init items =
+  List.fold_left
+    (fun acc v -> reduce acc v)
+    init
+    (map_exn ?deadline_s t f items)

@@ -1,0 +1,98 @@
+(** Fixed-size domain work pool for embarrassingly parallel experiment
+    fan-outs.
+
+    The paper's evaluation is a bag of independent tasks (benchmark x
+    algorithm protect runs, attack-harness entries, per-die provisioning
+    trials), each deterministic given a pre-derived seed.  The pool runs
+    such bags across OCaml 5 domains while keeping submission-order
+    results, so serial and parallel runs produce identical output.
+
+    Determinism contract: derive every task's random stream ({!Rng.split}
+    or an explicit per-task seed) {e before} submission.  Tasks must not
+    share mutable state; netlists shared read-only across tasks should
+    have their lazy caches forced first ({!Sttc_netlist.Netlist.warm}).
+
+    Deadlines: [setitimer]-based {!Timing.with_timeout} is per-process
+    and does not compose with domains, so the pool instead carries a
+    cooperative per-task deadline on a monotonic clock.  Long-running
+    task code polls {!check_deadline} at convenient points; expiry is
+    reported as an ordinary captured task error. *)
+
+type error = {
+  index : int;  (** submission position of the failed task *)
+  exn : string;  (** [Printexc.to_string] of the captured exception *)
+  backtrace : string;  (** captured backtrace text (may be empty) *)
+}
+
+exception Task_error of error
+(** Raised by {!map_exn} / {!map_reduce} for the failed task with the
+    smallest submission index. *)
+
+exception Deadline_exceeded
+(** Raised by {!check_deadline} when the current task is past its
+    deadline; captured per task like any other exception. *)
+
+type t
+
+val create : ?chunk:int -> jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs] worker domains ([jobs >= 1]).
+    [chunk] fixes the number of consecutive tasks handed to a worker at
+    a time (default: computed from the submission size, about four
+    chunks per worker). *)
+
+val jobs : t -> int
+(** Worker count the pool was created with. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [-j 0] resolves to. *)
+
+val map : ?deadline_s:float -> t -> ('a -> 'b) -> 'a list -> ('b, error) result list
+(** [map t f items] applies [f] to every item on the worker domains and
+    returns the outcomes in submission order.  Exceptions (including
+    {!Deadline_exceeded}) are captured per task: one failed task never
+    aborts the bag.  [deadline_s] arms each task's cooperative deadline,
+    starting when the task starts.
+
+    Must not be called from inside a pool task of the same pool (the
+    worker would wait on itself); nested fan-outs run serially instead. *)
+
+val map_exn : ?deadline_s:float -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!map}, but re-raises the first (by submission index) captured
+    failure as {!Task_error} after the whole bag has settled. *)
+
+val map_reduce :
+  ?deadline_s:float ->
+  t ->
+  map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** [map_reduce t ~map ~reduce ~init items] maps on the workers, then
+    folds the results in submission order on the calling domain — the
+    reduction is order-stable, so a non-commutative [reduce] still gives
+    the serial answer.  Raises {!Task_error} like {!map_exn}. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: already-queued work is drained, workers then exit
+    and are joined.  Idempotent.  Subsequent {!map} calls raise
+    [Invalid_argument]. *)
+
+val with_pool : ?chunk:int -> jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down on
+    the way out, exceptions included. *)
+
+(** {1 Cooperative deadlines}
+
+    Available to task code regardless of which pool runs it. *)
+
+val check_deadline : unit -> unit
+(** Raise {!Deadline_exceeded} if the current task's deadline has
+    passed.  No-op outside a deadline-armed task. *)
+
+val remaining_s : unit -> float option
+(** Seconds until the current task's deadline ([None] when no deadline
+    is armed).  Negative once expired. *)
+
+val now_s : unit -> float
+(** The pool's monotonic clock, in seconds from an arbitrary origin. *)

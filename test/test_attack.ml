@@ -9,6 +9,12 @@ module Truth = Sttc_logic.Truth
 module Rng = Sttc_util.Rng
 module Hybrid = Sttc_core.Hybrid
 module Flow = Sttc_core.Flow
+
+(* strict single-attempt protection via the unified Flow.run entry point *)
+let protect ?seed ?fraction ?hardening alg nl =
+  (Flow.run ?seed ?fraction ?hardening ~policy:Flow.Strict alg nl)
+    .Flow.accepted
+
 module Oracle = Sttc_attack.Oracle
 module Encode = Sttc_attack.Encode
 module Sat_attack = Sttc_attack.Sat_attack
@@ -148,7 +154,7 @@ let test_sat_attack_breaks_dependent_small () =
   (* on small circuits even dependent selection falls to the SAT attack
      (with scan access) -- the honest result from the literature *)
   let nl = small_circuit 6 in
-  let r = Flow.protect ~seed:2 Flow.Dependent nl in
+  let r = protect ~seed:2 Flow.Dependent nl in
   match Sat_attack.run ~timeout_s:30. r.Flow.hybrid with
   | Sat_attack.Broken b ->
       Alcotest.(check bool) "verified" true
@@ -217,8 +223,8 @@ let test_tt_attack_functional_resolution_bounds () =
 
 let test_tt_attack_degrades_on_dependent () =
   let nl = small_circuit 9 in
-  let indep = Flow.protect ~seed:3 (Flow.Independent { count = 4 }) nl in
-  let dep = Flow.protect ~seed:3 Flow.Dependent nl in
+  let indep = protect ~seed:3 (Flow.Independent { count = 4 }) nl in
+  let dep = protect ~seed:3 Flow.Dependent nl in
   let r_indep = Tt_attack.run ~budget_patterns:3000 indep.Flow.hybrid in
   let r_dep = Tt_attack.run ~budget_patterns:3000 dep.Flow.hybrid in
   (* the paper's asymmetry: dependent selection leaves a (weakly) smaller
@@ -416,7 +422,7 @@ let test_scan_oracle_matches_direct () =
   (* the pin-level scan protocol gives bit-exact combinational access at
      2*FFs + 1 clocks per query *)
   let nl = Sttc_netlist.Iscas_data.s27 () in
-  let r = Flow.protect ~seed:1 (Flow.Independent { count = 3 }) nl in
+  let r = protect ~seed:1 (Flow.Independent { count = 3 }) nl in
   let direct = Oracle.create r.Flow.hybrid in
   let via_scan = Sttc_attack.Scan_oracle.create r.Flow.hybrid in
   Alcotest.(check int) "cycles per query" 7
@@ -452,6 +458,34 @@ let test_harness_campaign () =
   (match sat_entry.Harness.verdict with
   | Harness.Recovered -> ()
   | _ -> Alcotest.fail "sat should recover 2 LUTs on 60 gates")
+
+(* The campaign fanned out over a pool must reach the same verdicts as
+   a serial run: every attack is seeded up front, so only the (wall
+   clock) seconds column may differ. *)
+let test_harness_parallel_matches_serial () =
+  let nl = small_circuit 13 in
+  let h = protect_n nl 2 13 in
+  let campaign jobs =
+    Harness.run ~sat_timeout_s:20. ~tt_budget:1500 ~guess_rounds:3
+      ~brute_max_bits:10 ~jobs ~circuit:"t" ~algorithm:"independent" h
+  in
+  let serial = campaign 1 and parallel = campaign 3 in
+  let signature c =
+    List.map
+      (fun e ->
+        (* brute force reports a measured candidates/s rate in its
+           detail, which is wall clock, not seed-derived — skip it *)
+        let detail =
+          if e.Harness.attack = "brute-force" then "-" else e.Harness.detail
+        in
+        Printf.sprintf "%s:%s:%d:%s" e.Harness.attack
+          (Harness.verdict_string e.Harness.verdict)
+          e.Harness.oracle_queries detail)
+      c.Harness.entries
+  in
+  Alcotest.(check (list string))
+    "same attacks, verdicts, queries and details in the same order"
+    (signature serial) (signature parallel)
 
 (* With a zero wall-clock budget no attack may even start: every entry
    must classify as Resisted, and do so instantly. *)
@@ -561,6 +595,8 @@ let () =
       ( "harness",
         [
           Alcotest.test_case "campaign" `Slow test_harness_campaign;
+          Alcotest.test_case "parallel matches serial" `Slow
+            test_harness_parallel_matches_serial;
           Alcotest.test_case "zero budget resists" `Quick
             test_harness_zero_budget;
           Alcotest.test_case "seq budget independent" `Slow

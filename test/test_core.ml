@@ -13,6 +13,12 @@ module Algorithms = Sttc_core.Algorithms
 module Security = Sttc_core.Security
 module Ppa = Sttc_core.Ppa
 module Flow = Sttc_core.Flow
+
+(* strict single-attempt protection via the unified Flow.run entry point *)
+let protect ?seed ?fraction ?hardening alg nl =
+  (Flow.run ?seed ?fraction ?hardening ~policy:Flow.Strict alg nl)
+    .Flow.accepted
+
 module Report = Sttc_core.Report
 
 let lib = Sttc_tech.Library.cmos90
@@ -317,7 +323,7 @@ let test_flow_protect_all_algorithms () =
   let nl = medium_circuit 17 in
   List.iter
     (fun alg ->
-      let r = Flow.protect ~seed:3 alg nl in
+      let r = protect ~seed:3 alg nl in
       Alcotest.(check bool)
         (Flow.algorithm_name alg ^ " produced luts")
         true
@@ -330,8 +336,8 @@ let test_flow_protect_all_algorithms () =
 
 let test_flow_deterministic () =
   let nl = medium_circuit 18 in
-  let r1 = Flow.protect ~seed:9 Flow.Dependent nl in
-  let r2 = Flow.protect ~seed:9 Flow.Dependent nl in
+  let r1 = protect ~seed:9 Flow.Dependent nl in
+  let r2 = protect ~seed:9 Flow.Dependent nl in
   Alcotest.(check (list int)) "same selection"
     (Hybrid.lut_ids r1.Flow.hybrid)
     (Hybrid.lut_ids r2.Flow.hybrid)
@@ -344,7 +350,7 @@ let test_flow_seed_identical_artifacts () =
   List.iter
     (fun alg ->
       let artifacts () =
-        let r = Flow.protect ~seed:77 alg nl in
+        let r = protect ~seed:77 alg nl in
         let bitstream =
           Sttc_core.Provision.to_string (Sttc_core.Provision.of_hybrid r.Flow.hybrid)
         in
@@ -362,9 +368,40 @@ let test_flow_seed_identical_artifacts () =
       Alcotest.(check string) (name ^ " lint identical") l1 l2)
     Flow.default_algorithms
 
+(* The one-PR deprecated aliases must stay behaviourally identical to
+   Flow.run so out-of-tree callers can migrate at leisure. *)
+let test_deprecated_aliases_match_run () =
+  let nl = medium_circuit 31 in
+  let via_run = protect ~seed:7 Flow.Dependent nl in
+  let via_alias =
+    (Flow.protect ~seed:7 Flow.Dependent nl [@alert "-deprecated"])
+  in
+  Alcotest.(check (list int))
+    "protect alias: same selection"
+    (Hybrid.lut_ids via_run.Flow.hybrid)
+    (Hybrid.lut_ids via_alias.Flow.hybrid);
+  let r_run =
+    Flow.run ~seed:7
+      ~policy:(Flow.Resilient { Flow.max_reseeds = 2 })
+      Flow.Dependent nl
+  in
+  let r_alias =
+    (Flow.protect_resilient ~seed:7 ~max_reseeds:2 Flow.Dependent nl
+     [@alert "-deprecated"])
+  in
+  Alcotest.(check (list int))
+    "resilient alias: same selection"
+    (Hybrid.lut_ids r_run.Flow.accepted.Flow.hybrid)
+    (Hybrid.lut_ids r_alias.Flow.accepted.Flow.hybrid);
+  Alcotest.(check bool) "resilient alias: same degraded flag"
+    r_run.Flow.degraded r_alias.Flow.degraded
+
 let test_protect_resilient_passthrough () =
   let nl = medium_circuit 24 in
-  let r = Flow.protect_resilient ~seed:5 Flow.Dependent nl in
+  let r =
+    Flow.run ~seed:5 ~policy:(Flow.Resilient Flow.default_resilience)
+      Flow.Dependent nl
+  in
   Alcotest.(check bool) "not degraded" false r.Flow.degraded;
   Alcotest.(check (list string)) "no rejections" []
     (List.map (fun rj -> rj.Flow.reason) r.Flow.rejections);
@@ -379,7 +416,11 @@ let test_protect_resilient_degrades () =
   let options =
     { Sttc_core.Algorithms.default_parametric with clock_factor = 1.000001 }
   in
-  let r = Flow.protect_resilient ~seed:5 ~max_reseeds:1 (Flow.Parametric options) nl in
+  let r =
+    Flow.run ~seed:5
+      ~policy:(Flow.Resilient { Flow.max_reseeds = 1 })
+      (Flow.Parametric options) nl
+  in
   if r.Flow.degraded then begin
     Alcotest.(check bool) "recorded rejections" true (r.Flow.rejections <> []);
     Alcotest.(check string) "degraded to the next chain step" "dependent"
@@ -393,7 +434,7 @@ let test_protect_resilient_degrades () =
 
 let test_flow_independent_uses_count () =
   let nl = medium_circuit 19 in
-  let r = Flow.protect ~seed:4 (Flow.Independent { count = 7 }) nl in
+  let r = protect ~seed:4 (Flow.Independent { count = 7 }) nl in
   Alcotest.(check int) "seven luts" 7 (Hybrid.lut_count r.Flow.hybrid)
 
 let test_flow_rejects_gateless () =
@@ -402,8 +443,8 @@ let test_flow_rejects_gateless () =
   Netlist.Builder.add_output b "y" a;
   let nl = Netlist.Builder.finalize b in
   Alcotest.check_raises "no gates"
-    (Invalid_argument "Flow.protect: netlist has no CMOS gates") (fun () ->
-      ignore (Flow.protect (Flow.Independent { count = 1 }) nl))
+    (Invalid_argument "Flow.run: netlist has no CMOS gates") (fun () ->
+      ignore (protect (Flow.Independent { count = 1 }) nl))
 
 (* ---------- Expand / hardening ---------- *)
 
@@ -451,8 +492,8 @@ let test_flow_hardening () =
   let hardening =
     { Flow.extra_inputs_per_lut = 2; absorb_drivers = true }
   in
-  let plain = Flow.protect ~seed:4 (Flow.Independent { count = 5 }) nl in
-  let hard = Flow.protect ~seed:4 ~hardening (Flow.Independent { count = 5 }) nl in
+  let plain = protect ~seed:4 (Flow.Independent { count = 5 }) nl in
+  let hard = protect ~seed:4 ~hardening (Flow.Independent { count = 5 }) nl in
   (* hardening must preserve functionality *)
   Alcotest.(check bool) "hardened sign-off" true
     (Flow.sign_off ~method_:(`Random 2048) hard);
@@ -520,7 +561,7 @@ let test_camouflage_sat_candidates () =
 
 let test_provision_roundtrip () =
   let nl = medium_circuit 24 in
-  let r = Flow.protect ~seed:6 (Flow.Independent { count = 4 }) nl in
+  let r = protect ~seed:6 (Flow.Independent { count = 4 }) nl in
   let entries = Sttc_core.Provision.of_hybrid r.Flow.hybrid in
   Alcotest.(check int) "one entry per lut" 4 (List.length entries);
   let text = Sttc_core.Provision.to_string entries in
@@ -535,7 +576,7 @@ let test_provision_roundtrip () =
 
 let test_provision_errors () =
   let nl = medium_circuit 25 in
-  let r = Flow.protect ~seed:7 (Flow.Independent { count = 2 }) nl in
+  let r = protect ~seed:7 (Flow.Independent { count = 2 }) nl in
   let foundry = Hybrid.foundry_view r.Flow.hybrid in
   (* malformed text *)
   Alcotest.(check bool) "garbage rejected" true
@@ -562,7 +603,7 @@ let test_provision_errors () =
 
 let test_provision_cost () =
   let nl = medium_circuit 26 in
-  let r = Flow.protect ~seed:8 (Flow.Independent { count = 3 }) nl in
+  let r = protect ~seed:8 (Flow.Independent { count = 3 }) nl in
   let cost = Sttc_core.Provision.programming_cost r.Flow.hybrid in
   Alcotest.(check int) "cells = bitstream bits"
     (Hybrid.bitstream_bits r.Flow.hybrid)
@@ -578,7 +619,7 @@ let test_report_rendering () =
   let nl = medium_circuit 20 in
   let results =
     List.map
-      (fun alg -> (Flow.algorithm_name alg, Flow.protect ~seed:5 alg nl))
+      (fun alg -> (Flow.algorithm_name alg, protect ~seed:5 alg nl))
       Flow.default_algorithms
   in
   let rows = [ Report.complete_row "med" 120 results ] in
@@ -616,7 +657,7 @@ let contains hay needle =
 let test_report_partial_rows () =
   let nl = medium_circuit 20 in
   let results =
-    [ ("independent", Flow.protect ~seed:5 (Flow.Independent { count = 5 }) nl) ]
+    [ ("independent", protect ~seed:5 (Flow.Independent { count = 5 }) nl) ]
   in
   let row =
     {
@@ -687,6 +728,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_flow_deterministic;
           Alcotest.test_case "seed-identical artifacts" `Quick
             test_flow_seed_identical_artifacts;
+          Alcotest.test_case "deprecated aliases match run" `Quick
+            test_deprecated_aliases_match_run;
           Alcotest.test_case "resilient passthrough" `Quick
             test_protect_resilient_passthrough;
           Alcotest.test_case "resilient degradation" `Quick

@@ -12,6 +12,12 @@ module Mtj = Sttc_fault.Mtj
 module Ecc = Sttc_fault.Ecc
 module Inject = Sttc_fault.Inject
 module Flow = Sttc_core.Flow
+
+(* strict single-attempt protection via the unified Flow.run entry point *)
+let protect ?seed ?fraction ?hardening alg nl =
+  (Flow.run ?seed ?fraction ?hardening ~policy:Flow.Strict alg nl)
+    .Flow.accepted
+
 module Hybrid = Sttc_core.Hybrid
 module Provision = Sttc_core.Provision
 module Runner = Sttc_experiments.Runner
@@ -179,7 +185,7 @@ let test_mtj_spec_validation () =
 
 let programmed_hybrid seed =
   let nl = small_circuit seed in
-  let r = Flow.protect ~seed (Flow.Independent { count = 4 }) nl in
+  let r = protect ~seed (Flow.Independent { count = 4 }) nl in
   (nl, r.Flow.hybrid)
 
 let test_inject_retention_rate_bounds () =
@@ -298,7 +304,7 @@ let prop_parse_never_escapes =
    equivalence on the repaired view. *)
 let acceptance_fixture () =
   let nl = Sttc_netlist.Iscas_profiles.build_by_name "s641" in
-  let r = Flow.protect ~seed:7 Flow.Dependent nl in
+  let r = protect ~seed:7 Flow.Dependent nl in
   (nl, Hybrid.foundry_view r.Flow.hybrid, Provision.of_hybrid r.Flow.hybrid)
 
 let test_program_acceptance_1e3 () =
@@ -437,7 +443,10 @@ let test_with_timeout () =
 (* ---------- Runner: isolation, timeout, checkpoint ---------- *)
 
 let test_runner_zero_timeout_partial_rows () =
-  let rows = Runner.benchmark_rows ~only:[ "s641" ] ~timeout_s:0. () in
+  let rows =
+    Runner.rows
+      Runner.Config.(default |> with_only [ "s641" ] |> with_timeout_s 0.)
+  in
   match rows with
   | [ row ] ->
       Alcotest.(check (list string)) "no results" []
@@ -452,7 +461,9 @@ let test_runner_zero_timeout_partial_rows () =
 let test_runner_unknown_benchmark_rejected () =
   Alcotest.(check bool) "unknown name raises before any work" true
     (try
-       ignore (Runner.benchmark_rows ~only:[ "definitely-not-a-bench" ] ());
+       ignore
+         (Runner.rows
+            Runner.Config.(default |> with_only [ "definitely-not-a-bench" ]));
        false
      with Invalid_argument _ | Failure _ -> true)
 
@@ -471,7 +482,11 @@ let test_runner_corrupt_checkpoint_ignored () =
       let oc = open_out_bin path in
       output_string oc "this is not a checkpoint";
       close_out oc;
-      let rows = Runner.benchmark_rows ~only:[ "s641" ] ~checkpoint:path () in
+      let rows =
+        Runner.rows
+          Runner.Config.(
+            default |> with_only [ "s641" ] |> with_checkpoint path)
+      in
       Alcotest.(check int) "still computes the row" 1 (List.length rows);
       match rows with
       | [ row ] ->
@@ -490,6 +505,30 @@ let test_fault_sweep_renders () =
     (contains out "programming yield over dies");
   Alcotest.(check bool) "compares both provisioners" true
     (contains out "zero-retry" && contains out "resilient")
+
+(* Every die draws from a seed pre-derived from the die index, so the
+   sweep renders byte-identically at any job count. *)
+let test_fault_sweep_parallel_identical () =
+  let serial = Runner.fault_sweep ~rates:[ 1e-3 ] ~dies:4 () in
+  let parallel = Runner.fault_sweep ~rates:[ 1e-3 ] ~dies:4 ~jobs:3 () in
+  Alcotest.(check string) "sweep byte-identical" serial parallel
+
+(* ---------- runner event rendering (legacy progress strings) ---------- *)
+
+let test_event_strings () =
+  let check name expect ev =
+    Alcotest.(check string) name expect (Runner.string_of_event ev)
+  in
+  check "restored" "s641: restored from checkpoint" (Runner.Restored "s641");
+  check "build timeout" "FAILED s641: build: timeout after 2.0s"
+    (Runner.Timed_out
+       { benchmark = "s641"; stage = Runner.Build; budget_s = 2.0 });
+  check "protect timeout" "FAILED s641/dependent: protect: timeout after 0.5s"
+    (Runner.Timed_out
+       { benchmark = "s641"; stage = Runner.Protect "dependent"; budget_s = 0.5 });
+  check "build failure" "FAILED s641: build: boom"
+    (Runner.Failed
+       { Runner.benchmark = "s641"; stage = Runner.Build; reason = "boom" })
 
 let () =
   Alcotest.run "sttc_fault"
@@ -552,9 +591,14 @@ let () =
             test_runner_unknown_benchmark_rejected;
           Alcotest.test_case "checkpoint resume" `Slow
             test_runner_checkpoint_resume;
+          Alcotest.test_case "event strings" `Quick test_event_strings;
           Alcotest.test_case "corrupt checkpoint ignored" `Quick
             test_runner_corrupt_checkpoint_ignored;
         ] );
       ( "sweep",
-        [ Alcotest.test_case "renders" `Slow test_fault_sweep_renders ] );
+        [
+          Alcotest.test_case "renders" `Slow test_fault_sweep_renders;
+          Alcotest.test_case "parallel identical" `Slow
+            test_fault_sweep_parallel_identical;
+        ] );
     ]

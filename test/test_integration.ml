@@ -6,6 +6,12 @@ module Netlist = Sttc_netlist.Netlist
 module Bench_io = Sttc_netlist.Bench_io
 module Profiles = Sttc_netlist.Iscas_profiles
 module Flow = Sttc_core.Flow
+
+(* strict single-attempt protection via the unified Flow.run entry point *)
+let protect ?seed ?fraction ?hardening alg nl =
+  (Flow.run ?seed ?fraction ?hardening ~policy:Flow.Strict alg nl)
+    .Flow.accepted
+
 module Hybrid = Sttc_core.Hybrid
 module Runner = Sttc_experiments.Runner
 
@@ -21,7 +27,7 @@ let test_flow_through_files () =
   (match Sttc_sim.Equiv.check_sat nl nl2 with
   | Sttc_sim.Equiv.Equivalent -> ()
   | _ -> Alcotest.fail "write/parse must preserve semantics");
-  let r = Flow.protect ~seed:1 (Flow.Independent { count = 5 }) nl2 in
+  let r = protect ~seed:1 (Flow.Independent { count = 5 }) nl2 in
   let tmp2 = Filename.temp_file "sttc_hybrid" ".bench" in
   Bench_io.write_file tmp2 (Hybrid.foundry_view r.Flow.hybrid);
   let foundry = Bench_io.parse_file tmp2 in
@@ -54,7 +60,7 @@ let test_all_profiles_protect_and_signoff () =
         let nl = Profiles.build info in
         List.iter
           (fun alg ->
-            let r = Flow.protect ~seed:11 alg nl in
+            let r = protect ~seed:11 alg nl in
             Alcotest.(check bool)
               (info.Profiles.name ^ "/" ^ Flow.algorithm_name alg)
               true
@@ -65,7 +71,7 @@ let test_all_profiles_protect_and_signoff () =
 
 let test_verilog_emission_for_hybrid () =
   let nl = Profiles.build_by_name "s820" in
-  let r = Flow.protect ~seed:2 Flow.Dependent nl in
+  let r = protect ~seed:2 Flow.Dependent nl in
   let v = Sttc_netlist.Verilog_out.to_string (Hybrid.programmed r.Flow.hybrid) in
   let contains needle =
     let n = String.length needle and h = String.length v in
@@ -80,7 +86,7 @@ let test_overheads_decrease_with_size () =
      the circuit grows *)
   let overhead name =
     let nl = Profiles.build_by_name name in
-    let r = Flow.protect ~seed:Runner.master_seed (Flow.Independent { count = 5 }) nl in
+    let r = protect ~seed:Runner.master_seed (Flow.Independent { count = 5 }) nl in
     (r.Flow.overhead.Sttc_core.Ppa.power_pct, r.Flow.overhead.Sttc_core.Ppa.area_pct)
   in
   let p_small, a_small = overhead "s641" in
@@ -97,7 +103,7 @@ let test_security_grows_with_algorithm () =
      astronomically more clocks than independent *)
   let nl = Profiles.build_by_name "s953" in
   let clocks alg pick =
-    let r = Flow.protect ~seed:Runner.master_seed alg nl in
+    let r = protect ~seed:Runner.master_seed alg nl in
     pick r.Flow.security
   in
   let n1 =
@@ -111,7 +117,7 @@ let test_genuine_s27_flow_and_attack () =
   (* the real ISCAS'89 s27 through the whole pipeline: protect, sign off,
      attack, recover *)
   let nl = Sttc_netlist.Iscas_data.s27 () in
-  let r = Flow.protect ~seed:1 (Flow.Independent { count = 3 }) nl in
+  let r = protect ~seed:1 (Flow.Independent { count = 3 }) nl in
   Alcotest.(check bool) "sign-off" true (Flow.sign_off r);
   (match Sttc_attack.Sat_attack.run ~timeout_s:20. r.Flow.hybrid with
   | Sttc_attack.Sat_attack.Broken b ->
@@ -132,7 +138,7 @@ let test_baselines_smoke () =
      go 0)
 
 let test_runner_quick_rows () =
-  let rows = Runner.benchmark_rows ~quick:true () in
+  let rows = Runner.rows Runner.Config.(default |> with_quick true) in
   Alcotest.(check bool) "seven small benchmarks" true (List.length rows = 7);
   List.iter
     (fun row ->
@@ -143,6 +149,70 @@ let test_runner_quick_rows () =
   Alcotest.(check bool) "table1" true (String.length (Runner.table1 rows) > 0);
   Alcotest.(check bool) "table2" true (String.length (Runner.table2 rows) > 0);
   Alcotest.(check bool) "fig3" true (String.length (Runner.fig3 rows) > 0)
+
+(* Table I and Fig. 3 depend only on the seed, so a pool fan-out must
+   render them byte-identically to a serial run.  Table II carries wall
+   clock, so only its deterministic shape is compared. *)
+let test_parallel_rows_match_serial () =
+  let run jobs =
+    Runner.rows
+      Runner.Config.(
+        default |> with_only [ "s641"; "s820" ] |> with_jobs jobs)
+  in
+  let serial = run 1 and parallel = run 4 in
+  Alcotest.(check string) "Table I byte-identical" (Runner.table1 serial)
+    (Runner.table1 parallel);
+  Alcotest.(check string) "Fig. 3 byte-identical" (Runner.fig3 serial)
+    (Runner.fig3 parallel);
+  List.iter2
+    (fun s p ->
+      Alcotest.(check string) "circuit" s.Sttc_core.Report.circuit
+        p.Sttc_core.Report.circuit;
+      Alcotest.(check (list string))
+        "algorithm order"
+        (List.map fst s.Sttc_core.Report.results)
+        (List.map fst p.Sttc_core.Report.results))
+    serial parallel
+
+let test_parallel_events_complete () =
+  (* one Started and one Finished per benchmark, even when they fire
+     from worker domains *)
+  let started = Atomic.make 0 and finished = Atomic.make 0 in
+  let rows =
+    Runner.rows
+      Runner.Config.(
+        default
+        |> with_only [ "s641"; "s820" ]
+        |> with_jobs 3
+        |> with_on_event (function
+             | Runner.Started _ -> Atomic.incr started
+             | Runner.Finished _ -> Atomic.incr finished
+             | _ -> ()))
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  Alcotest.(check int) "two started" 2 (Atomic.get started);
+  Alcotest.(check int) "two finished" 2 (Atomic.get finished)
+
+let test_deprecated_benchmark_rows_wrapper () =
+  (* the one-PR migration alias must return the very rows of the new
+     entry point and keep rendering the classic progress strings *)
+  let lines = ref [] in
+  let legacy =
+    (Runner.benchmark_rows ~only:[ "s641" ]
+       ~progress:(fun l -> lines := l :: !lines)
+       () [@alert "-deprecated"])
+  in
+  let fresh = Runner.rows Runner.Config.(default |> with_only [ "s641" ]) in
+  Alcotest.(check string) "same Table I" (Runner.table1 fresh)
+    (Runner.table1 legacy);
+  Alcotest.(check bool) "classic protected line" true
+    (List.exists
+       (fun l ->
+         let needle = "protected s641" in
+         let n = String.length needle and h = String.length l in
+         let rec go i = i + n <= h && (String.sub l i n = needle || go (i + 1)) in
+         go 0)
+       !lines)
 
 let test_fig1_renders () =
   let s = Runner.fig1 () in
@@ -181,7 +251,7 @@ let test_hybrid_foundry_cannot_simulate () =
   (* the information barrier: a foundry-view netlist with missing gates
      cannot be simulated without the bitstream *)
   let nl = Profiles.build_by_name "s820" in
-  let r = Flow.protect ~seed:5 (Flow.Independent { count = 5 }) nl in
+  let r = protect ~seed:5 (Flow.Independent { count = 5 }) nl in
   Alcotest.(check bool) "unprogrammed rejected" true
     (try
        ignore (Sttc_sim.Simulator.create (Hybrid.foundry_view r.Flow.hybrid));
@@ -191,7 +261,7 @@ let test_hybrid_foundry_cannot_simulate () =
 let test_sta_hybrid_uses_lut_cells () =
   (* the STA of a hybrid accounts for the slower STT LUT cells *)
   let nl = Profiles.build_by_name "s820" in
-  let r = Flow.protect ~seed:6 Flow.Dependent nl in
+  let r = protect ~seed:6 Flow.Dependent nl in
   let base = Sttc_analysis.Sta.analyze lib nl in
   let hyb = Sttc_analysis.Sta.analyze lib (Hybrid.programmed r.Flow.hybrid) in
   Alcotest.(check bool) "hybrid slower or equal" true
@@ -224,6 +294,12 @@ let () =
       ( "experiments",
         [
           Alcotest.test_case "quick rows" `Slow test_runner_quick_rows;
+          Alcotest.test_case "parallel rows match serial" `Slow
+            test_parallel_rows_match_serial;
+          Alcotest.test_case "parallel events complete" `Slow
+            test_parallel_events_complete;
+          Alcotest.test_case "deprecated benchmark_rows wrapper" `Slow
+            test_deprecated_benchmark_rows_wrapper;
           Alcotest.test_case "fig1" `Quick test_fig1_renders;
           Alcotest.test_case "sweep" `Quick test_sweep_renders;
           Alcotest.test_case "attack campaign" `Slow test_attack_campaign_smoke;

@@ -13,6 +13,12 @@ module Generator = Sttc_netlist.Generator
 module Gate_fn = Sttc_logic.Gate_fn
 module Flow = Sttc_core.Flow
 
+(* strict single-attempt protection via the unified Flow.run entry point *)
+let protect ?seed ?fraction ?hardening alg nl =
+  (Flow.run ?seed ?fraction ?hardening ~policy:Flow.Strict alg nl)
+    .Flow.accepted
+
+
 let fires rule ds = List.exists (D.matches_rule rule) ds
 
 let check_fires name rule ds =
@@ -371,12 +377,14 @@ let lint_props =
                  match algorithm with
                  | Flow.Parametric _ -> true
                  | Flow.Independent _ | Flow.Dependent ->
-                     let r = Flow.protect ~seed ~fraction:0.1 algorithm nl in
+                     let r = protect ~seed ~fraction:0.1 algorithm nl in
                      D.errors (Flow.lint_security r) = 0
                      && D.errors r.Flow.lint = 0
                in
                let res =
-                 Flow.protect_resilient ~seed ~fraction:0.1 algorithm nl
+                 Flow.run ~seed ~fraction:0.1
+                   ~policy:(Flow.Resilient Flow.default_resilience) algorithm
+                   nl
                in
                let r = res.Flow.accepted in
                plain_clean

@@ -10,6 +10,12 @@ module Truth = Sttc_logic.Truth
 module Rng = Sttc_util.Rng
 module Lognum = Sttc_util.Lognum
 module Flow = Sttc_core.Flow
+
+(* strict single-attempt protection via the unified Flow.run entry point *)
+let protect ?seed ?fraction ?hardening alg nl =
+  (Flow.run ?seed ?fraction ?hardening ~policy:Flow.Strict alg nl)
+    .Flow.accepted
+
 module Hybrid = Sttc_core.Hybrid
 
 let gen_seed = QCheck2.Gen.int_range 0 100_000
@@ -42,7 +48,7 @@ let prop_protect_program_identity =
     (fun (seed, alg_idx) ->
       let nl = gen_netlist seed in
       let alg = List.nth Flow.default_algorithms alg_idx in
-      let r = Flow.protect ~seed alg nl in
+      let r = protect ~seed alg nl in
       equivalent nl (Hybrid.programmed r.Flow.hybrid))
 
 let prop_foundry_view_has_no_configs =
@@ -50,7 +56,7 @@ let prop_foundry_view_has_no_configs =
     ~count:12 gen_seed
     (fun seed ->
       let nl = gen_netlist seed in
-      let r = Flow.protect ~seed (Flow.Independent { count = 4 }) nl in
+      let r = protect ~seed (Flow.Independent { count = 4 }) nl in
       List.for_all
         (fun id ->
           match Netlist.kind (Hybrid.foundry_view r.Flow.hybrid) id with
@@ -66,7 +72,7 @@ let prop_hardening_preserves_function =
       let hardening =
         { Flow.extra_inputs_per_lut = extra; absorb_drivers = true }
       in
-      let r = Flow.protect ~seed ~hardening (Flow.Independent { count = 3 }) nl in
+      let r = protect ~seed ~hardening (Flow.Independent { count = 3 }) nl in
       equivalent nl (Hybrid.programmed r.Flow.hybrid))
 
 let prop_security_monotone =
@@ -178,7 +184,7 @@ let prop_provision_roundtrip =
     ~count:12 gen_seed
     (fun seed ->
       let nl = gen_netlist seed in
-      let r = Flow.protect ~seed (Flow.Independent { count = 3 }) nl in
+      let r = protect ~seed (Flow.Independent { count = 3 }) nl in
       let text =
         Sttc_core.Provision.to_string (Sttc_core.Provision.of_hybrid r.Flow.hybrid)
       in

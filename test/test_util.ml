@@ -258,6 +258,143 @@ let test_timing_time () =
   Alcotest.(check int) "result" 42 x;
   Alcotest.(check bool) "non-negative" true (dt >= 0.)
 
+let test_timing_nested_rejected () =
+  (* a nested with_timeout would clobber the single process timer; it
+     must be refused loudly instead of silently disarming the outer
+     budget *)
+  Alcotest.(check bool) "nested call raises Invalid_argument" true
+    (match
+       Timing.with_timeout ~seconds:5. (fun () ->
+           try
+             ignore (Timing.with_timeout ~seconds:1. (fun () -> 0));
+             false
+           with Invalid_argument _ -> true)
+     with
+    | Ok flagged -> flagged
+    | Error `Timeout -> false);
+  (* the guard is released on the way out: a fresh outer call works *)
+  match Timing.with_timeout ~seconds:5. (fun () -> 41 + 1) with
+  | Ok n -> Alcotest.(check int) "timer re-armable" 42 n
+  | Error `Timeout -> Alcotest.fail "trivial body timed out"
+
+(* ---------- Pool ---------- *)
+
+module Pool = Sttc_util.Pool
+
+let test_pool_map_orders_results () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let items = List.init 97 Fun.id in
+      let out = Pool.map_exn pool (fun x -> (2 * x) + 1) items in
+      Alcotest.(check (list int))
+        "submission order kept"
+        (List.map (fun x -> (2 * x) + 1) items)
+        out)
+
+let test_pool_single_worker_matches_serial () =
+  let items = List.init 23 (fun i -> i * i) in
+  let serial = List.map string_of_int items in
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check (list string))
+        "jobs=1 equals List.map" serial
+        (Pool.map_exn pool string_of_int items))
+
+let test_pool_zero_jobs_rejected () =
+  Alcotest.check_raises "jobs=0"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0 ()))
+
+let test_pool_captures_exceptions () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let out =
+        Pool.map pool
+          (fun x -> if x mod 10 = 3 then failwith "boom" else x)
+          (List.init 30 Fun.id)
+      in
+      let errors =
+        List.filter_map (function Error e -> Some e | Ok _ -> None) out
+      in
+      Alcotest.(check (list int))
+        "exactly the failing indices" [ 3; 13; 23 ]
+        (List.sort compare (List.map (fun e -> e.Pool.index) errors));
+      Alcotest.(check bool) "message captured" true
+        (List.for_all
+           (fun e ->
+             let n = String.length e.Pool.exn in
+             let rec has i =
+               i + 4 <= n && (String.sub e.Pool.exn i 4 = "boom" || has (i + 1))
+             in
+             has 0)
+           errors);
+      (* the successes around the failures are all intact *)
+      Alcotest.(check int) "27 successes" 27
+        (List.length (List.filter Result.is_ok out)))
+
+let test_pool_map_exn_raises_first_error () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match
+        Pool.map_exn pool
+          (fun x -> if x >= 5 then raise Exit else x)
+          (List.init 9 Fun.id)
+      with
+      | _ -> Alcotest.fail "must raise"
+      | exception Pool.Task_error e ->
+          Alcotest.(check int) "smallest failing index" 5 e.Pool.index)
+
+let test_pool_deadline_expires () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let out =
+        Pool.map ~deadline_s:0.005 pool
+          (fun slow ->
+            if slow then begin
+              let stop = Pool.now_s () +. 0.05 in
+              while Pool.now_s () < stop do
+                Pool.check_deadline ()
+              done;
+              "survived"
+            end
+            else "fast")
+          [ true; false ]
+      in
+      match out with
+      | [ Error e; Ok "fast" ] ->
+          Alcotest.(check bool) "deadline error" true
+            (e.Pool.exn = Printexc.to_string Pool.Deadline_exceeded)
+      | _ -> Alcotest.fail "slow task must expire, fast task must pass")
+
+let test_pool_deadline_noop_outside_tasks () =
+  (* polling from ordinary code (no armed deadline) must be harmless *)
+  Pool.check_deadline ();
+  Alcotest.(check (option (float 1.))) "no deadline armed" None
+    (Pool.remaining_s ())
+
+let test_pool_map_reduce_order_stable () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let words = List.init 26 (fun i -> String.make 1 (Char.chr (65 + i))) in
+      (* string concatenation is non-commutative: only a submission-order
+         reduction gives the alphabet back *)
+      let s =
+        Pool.map_reduce pool ~map:Fun.id ~reduce:( ^ ) ~init:"" words
+      in
+      Alcotest.(check string) "alphabet" "ABCDEFGHIJKLMNOPQRSTUVWXYZ" s)
+
+let test_pool_shutdown_refuses_new_work () =
+  let pool = Pool.create ~jobs:2 () in
+  Alcotest.(check (list int)) "works before shutdown" [ 2; 4 ]
+    (Pool.map_exn pool (fun x -> 2 * x) [ 1; 2 ]);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool Fun.id [ 1 ]))
+
+let test_pool_empty_and_chunked () =
+  Pool.with_pool ~chunk:2 ~jobs:3 (fun pool ->
+      Alcotest.(check (list int)) "empty bag" [] (Pool.map_exn pool Fun.id []);
+      Alcotest.(check (list int))
+        "chunked bag keeps order"
+        (List.init 11 Fun.id)
+        (Pool.map_exn pool Fun.id (List.init 11 Fun.id)))
+
 (* ---------- Table ---------- *)
 
 let test_table_render () =
@@ -326,6 +463,31 @@ let () =
         [
           Alcotest.test_case "format_min_sec" `Quick test_timing_format;
           Alcotest.test_case "time" `Quick test_timing_time;
+          Alcotest.test_case "nested timeout rejected" `Quick
+            test_timing_nested_rejected;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map keeps order" `Quick
+            test_pool_map_orders_results;
+          Alcotest.test_case "jobs=1 matches serial" `Quick
+            test_pool_single_worker_matches_serial;
+          Alcotest.test_case "jobs=0 rejected" `Quick
+            test_pool_zero_jobs_rejected;
+          Alcotest.test_case "exceptions captured per task" `Quick
+            test_pool_captures_exceptions;
+          Alcotest.test_case "map_exn raises first error" `Quick
+            test_pool_map_exn_raises_first_error;
+          Alcotest.test_case "cooperative deadline expires" `Quick
+            test_pool_deadline_expires;
+          Alcotest.test_case "deadline no-op outside tasks" `Quick
+            test_pool_deadline_noop_outside_tasks;
+          Alcotest.test_case "map_reduce order stable" `Quick
+            test_pool_map_reduce_order_stable;
+          Alcotest.test_case "shutdown refuses new work" `Quick
+            test_pool_shutdown_refuses_new_work;
+          Alcotest.test_case "empty and chunked bags" `Quick
+            test_pool_empty_and_chunked;
         ] );
       ( "table",
         [

@@ -18,6 +18,13 @@ if [ "${1:-}" = "--full" ]; then
   benches="$QUICK $FULL"
 fi
 
+echo "== deprecated-alias gate (lib/ must use the unified Flow.run / Runner.rows API)"
+if grep -rnE '\bFlow\.(protect|protect_resilient)\b|\bRunner\.benchmark_rows\b' \
+     lib --include='*.ml'; then
+  echo "DEPRECATED ALIAS USED IN lib/ (migrate to Flow.run / Runner.rows)" >&2
+  exit 1
+fi
+
 echo "== dune build"
 dune build
 
@@ -33,6 +40,14 @@ sttc() {
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
+
+echo "== parallel smoke (sttc table1 --quick -j 2 must match -j 1 byte for byte)"
+sttc table1 --quick -j 1 > "$tmpdir/table1.j1"
+sttc table1 --quick -j 2 > "$tmpdir/table1.j2"
+if ! diff -u "$tmpdir/table1.j1" "$tmpdir/table1.j2"; then
+  echo "PARALLEL MISMATCH: sttc table1 --quick differs between -j 1 and -j 2" >&2
+  exit 1
+fi
 
 status=0
 for b in $benches; do

@@ -127,6 +127,134 @@ let parallel ~jobs () =
     exit 1
   end
 
+(* ---------- incremental vs scratch SAT-attack record ---------- *)
+
+(* Runs the combinational SAT attack twice per benchmark x algorithm —
+   once rebuilding a scratch solver every iteration (the pre-incremental
+   cost profile) and once on a single persistent solver — checks that
+   verdicts and recovered keys are identical, and leaves the speedup and
+   per-mode solver statistics in BENCH_sat.json. *)
+let sat_bench () =
+  section "SAT attack - one persistent solver vs scratch per iteration";
+  let module Sat_attack = Sttc_attack.Sat_attack in
+  let module Hybrid = Sttc_core.Hybrid in
+  let gen name n_gates n_pi n_po levels =
+    Sttc_netlist.Generator.generate ~seed:11
+      {
+        Sttc_netlist.Generator.design_name = name;
+        n_pi;
+        n_po;
+        n_ff = 0;
+        n_gates;
+        levels;
+      }
+  in
+  let circuits =
+    [ gen "atk150" 150 10 8 7; gen "atk300" 300 12 10 8; gen "atk500" 500 14 10 9 ]
+  in
+  let algorithms =
+    [
+      ("independent", Flow.Independent { count = 10 });
+      ("dependent", Flow.Dependent);
+      ("parametric", Flow.Parametric Sttc_core.Algorithms.default_parametric);
+    ]
+  in
+  let key_string bitstream =
+    String.concat ";"
+      (List.map
+         (fun (id, t) -> Printf.sprintf "%d=%s" id (Sttc_logic.Truth.to_string t))
+         bitstream)
+  in
+  let attack mode hybrid =
+    let t0 = Unix.gettimeofday () in
+    let outcome = Sat_attack.run ~timeout_s:120. ~mode hybrid in
+    let seconds = Unix.gettimeofday () -. t0 in
+    match outcome with
+    | Sat_attack.Broken b ->
+        (seconds, "broken", key_string b.bitstream, b.iterations, b.stats)
+    | Sat_attack.Exhausted e ->
+        (seconds, "exhausted:" ^ e.reason, "", e.iterations, e.stats)
+  in
+  let rows =
+    List.concat_map
+      (fun nl ->
+        List.map
+          (fun (alg_name, alg) ->
+            let hybrid = (protect_strict ~seed:1 alg nl).Flow.hybrid in
+            let s_s, s_verdict, s_key, s_iters, s_stats =
+              attack Sat_attack.Scratch hybrid
+            in
+            let i_s, i_verdict, i_key, i_iters, i_stats =
+              attack Sat_attack.Incremental hybrid
+            in
+            let identical = s_verdict = i_verdict && s_key = i_key in
+            Printf.printf
+              "  %-8s %-12s scratch %6.2fs (%3d it)  incremental %6.2fs \
+               (%3d it)  %5.2fx  %s %s\n\
+               %!"
+              (Sttc_netlist.Netlist.design_name nl)
+              alg_name s_s s_iters i_s i_iters (s_s /. i_s) i_verdict
+              (if identical then "identical" else "MISMATCH");
+            ( Sttc_netlist.Netlist.design_name nl,
+              alg_name,
+              Sttc_core.Hybrid.lut_count hybrid,
+              (s_s, s_verdict, s_iters, s_stats),
+              (i_s, i_verdict, i_iters, i_stats),
+              identical ))
+          algorithms)
+      circuits
+  in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0. rows in
+  let scratch_total = total (fun (_, _, _, (s, _, _, _), _, _) -> s) in
+  let incr_total = total (fun (_, _, _, _, (s, _, _, _), _) -> s) in
+  let speedup = scratch_total /. incr_total in
+  let all_identical = List.for_all (fun (_, _, _, _, _, id) -> id) rows in
+  Printf.printf
+    "  total: scratch %.2fs, incremental %.2fs -> %.2fx; rows identical: %b\n"
+    scratch_total incr_total speedup all_identical;
+  let stats_json (s : Sttc_logic.Sat.stats) =
+    Printf.sprintf
+      "{\"decisions\": %d, \"propagations\": %d, \"conflicts\": %d, \
+       \"learned\": %d, \"kept\": %d, \"removed\": %d, \"restarts\": %d}"
+      s.decisions s.propagations s.conflicts s.learned s.kept s.removed
+      s.restarts
+  in
+  let row_json
+      ( circuit,
+        alg,
+        luts,
+        (s_s, s_verdict, s_iters, s_stats),
+        (i_s, i_verdict, i_iters, i_stats),
+        identical ) =
+    Printf.sprintf
+      "    {\"circuit\": \"%s\", \"algorithm\": \"%s\", \"luts\": %d,\n\
+      \     \"scratch\": {\"seconds\": %.3f, \"verdict\": \"%s\", \
+       \"iterations\": %d, \"stats\": %s},\n\
+      \     \"incremental\": {\"seconds\": %.3f, \"verdict\": \"%s\", \
+       \"iterations\": %d, \"stats\": %s},\n\
+      \     \"speedup\": %.3f, \"identical\": %b}"
+      circuit alg luts s_s s_verdict s_iters (stats_json s_stats) i_s
+      i_verdict i_iters (stats_json i_stats) (s_s /. i_s) identical
+  in
+  let oc = open_out "BENCH_sat.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"sat-attack-incremental\",\n\
+    \  \"scratch_total_s\": %.3f,\n\
+    \  \"incremental_total_s\": %.3f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"rows_identical\": %b,\n\
+    \  \"rows\": [\n%s\n  ]\n\
+     }\n"
+    scratch_total incr_total speedup all_identical
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Printf.printf "  wrote BENCH_sat.json\n";
+  if not all_identical then begin
+    Printf.printf "incremental verdicts/keys DIFFER from scratch baseline\n";
+    exit 1
+  end
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -223,5 +351,6 @@ let () =
   if want "ablation" then ablations ();
   if want "faults" then faults ~jobs ();
   if want "parallel" then parallel ~jobs ();
+  if want "sat" then sat_bench ();
   if want "micro" then micro ();
   Printf.printf "\nbench: done\n"

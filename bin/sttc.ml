@@ -450,27 +450,83 @@ let attack_cmd =
   let timeout =
     Arg.(value & opt float 15. & info [ "timeout" ] ~doc:"SAT attack timeout (s).")
   in
-  let run input alg seed timeout jobs =
+  let solver =
+    let mode =
+      Arg.enum
+        [
+          ("incremental", Sttc_attack.Sat_attack.Incremental);
+          ("scratch", Sttc_attack.Sat_attack.Scratch);
+        ]
+    in
+    Arg.(
+      value
+      & opt mode Sttc_attack.Sat_attack.Incremental
+      & info [ "solver" ]
+          ~doc:
+            "SAT engine discipline for the SAT attacks: $(b,incremental) \
+             keeps one persistent solver across all attack iterations; \
+             $(b,scratch) rebuilds the solver from the full formula on \
+             every call (the pre-incremental baseline).  Both recover the \
+             same key.")
+  in
+  let key_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "key-out" ] ~docv:"FILE"
+          ~doc:
+            "Run only the combinational SAT attack and write the recovered \
+             key to $(docv), one 'node-id truth-table' line per LUT.  CI \
+             diffs this file across --solver modes byte-for-byte.")
+  in
+  let run input alg seed timeout jobs solver key_out =
     exit_of_result
       (match read_netlist input with
       | Error m -> Error m
-      | Ok nl ->
+      | Ok nl -> (
           let r = protect_strict ~seed alg nl in
-          let campaign =
-            Sttc_attack.Harness.run ~sat_timeout_s:timeout
-              ~jobs:(resolve_jobs jobs)
-              ~circuit:(Sttc_netlist.Netlist.design_name nl)
-              ~algorithm:(Sttc_core.Flow.algorithm_name alg)
-              r.Sttc_core.Flow.hybrid
-          in
-          Format.printf "%a@." Sttc_attack.Harness.pp_campaign campaign;
-          Ok ())
+          let hybrid = r.Sttc_core.Flow.hybrid in
+          match key_out with
+          | Some path -> (
+              match
+                Sttc_attack.Sat_attack.run ~timeout_s:timeout ~mode:solver
+                  hybrid
+              with
+              | Sttc_attack.Sat_attack.Broken b ->
+                  let oc = open_out path in
+                  List.iter
+                    (fun (id, t) ->
+                      Printf.fprintf oc "%d %s\n" id
+                        (Sttc_logic.Truth.to_string t))
+                    b.bitstream;
+                  close_out oc;
+                  Printf.printf
+                    "sat attack: broken in %d iterations (%.2fs, %d \
+                     queries); key written to %s\n"
+                    b.iterations b.seconds b.queries path;
+                  Ok ()
+              | Sttc_attack.Sat_attack.Exhausted e ->
+                  Error
+                    (Printf.sprintf
+                       "sat attack exhausted (%s) after %d iterations"
+                       e.reason e.iterations))
+          | None ->
+              let campaign =
+                Sttc_attack.Harness.run ~sat_timeout_s:timeout
+                  ~jobs:(resolve_jobs jobs) ~solver_mode:solver
+                  ~circuit:(Sttc_netlist.Netlist.design_name nl)
+                  ~algorithm:(Sttc_core.Flow.algorithm_name alg)
+                  hybrid
+              in
+              Format.printf "%a@." Sttc_attack.Harness.pp_campaign campaign;
+              Ok ()))
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Protect a netlist, then run the reverse-engineering attack campaign against it.")
     Term.(
-      const run $ netlist_arg $ algorithm_arg $ seed_arg $ timeout $ jobs_arg)
+      const run $ netlist_arg $ algorithm_arg $ seed_arg $ timeout $ jobs_arg
+      $ solver $ key_out)
 
 (* ---------- experiments ---------- *)
 

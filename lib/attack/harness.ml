@@ -11,6 +11,7 @@ type entry = {
   seconds : float;
   oracle_queries : int;
   detail : string;
+  sat_stats : Sttc_logic.Sat.stats option;
 }
 
 type campaign = {
@@ -33,7 +34,14 @@ type campaign = {
    that polls [Pool.check_deadline] is interrupted at the poll. *)
 let budgeted ~budget attack f =
   let skip detail =
-    { attack; verdict = Resisted; seconds = 0.; oracle_queries = 0; detail }
+    {
+      attack;
+      verdict = Resisted;
+      seconds = 0.;
+      oracle_queries = 0;
+      detail;
+      sat_stats = None;
+    }
   in
   let exhausted () =
     {
@@ -55,7 +63,8 @@ let budgeted ~budget attack f =
 
 let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
     ?(guess_rounds = 8) ?(brute_max_bits = 16) ?(seq_frames = 4)
-    ?(seed = 0xcafe) ?(jobs = 1) ~circuit ~algorithm hybrid =
+    ?(seed = 0xcafe) ?(jobs = 1) ?(solver_mode = Sat_attack.Incremental)
+    ~circuit ~algorithm hybrid =
   let seq_timeout_s =
     match seq_timeout_s with Some s -> s | None -> sat_timeout_s
   in
@@ -67,8 +76,12 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
         seconds = 0.;
         oracle_queries = 0;
         detail = "zero budget";
+        sat_stats = None;
       }
-    else match Sat_attack.run ~timeout_s:sat_timeout_s hybrid with
+    else
+      match
+        Sat_attack.run ~timeout_s:sat_timeout_s ~mode:solver_mode hybrid
+      with
     | Sat_attack.Broken b ->
         {
           attack = "sat";
@@ -79,6 +92,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
           seconds = b.seconds;
           oracle_queries = b.queries;
           detail = Printf.sprintf "%d iterations" b.iterations;
+          sat_stats = Some b.stats;
         }
     | Sat_attack.Exhausted e ->
         {
@@ -87,6 +101,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
           seconds = e.seconds;
           oracle_queries = 0;
           detail = e.reason;
+          sat_stats = Some e.stats;
         }
   in
   let tt_entry () =
@@ -102,6 +117,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
           detail =
             Printf.sprintf "%d/%d LUTs fully resolved"
               r.Tt_attack.fully_resolved r.Tt_attack.lut_count;
+          sat_stats = None;
         })
   in
   let tt_atpg_entry () =
@@ -121,6 +137,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
             Printf.sprintf "%.0f%% functional (%.0f%% raw)"
               (100. *. r.Tt_attack.functional_resolution)
               (100. *. r.Tt_attack.resolution);
+          sat_stats = None;
         })
   in
   let guess_entry () =
@@ -136,6 +153,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
           detail =
             Printf.sprintf "%.1f%% probe agreement"
               (100. *. r.Guess_attack.agreement);
+          sat_stats = None;
         })
   in
   let brute_entry () =
@@ -150,6 +168,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
               detail =
                 Printf.sprintf "%s candidates tested"
                   (Lognum.to_string b.candidates_tested);
+              sat_stats = None;
             }
         | Brute_force.Infeasible i ->
             {
@@ -162,6 +181,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
                   (Lognum.to_string i.search_space)
                   (Lognum.to_string i.projected_years)
                   i.tested_rate_per_s;
+              sat_stats = None;
             })
   in
   let seq_entry () =
@@ -172,11 +192,12 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
         seconds = 0.;
         oracle_queries = 0;
         detail = "zero budget";
+        sat_stats = None;
       }
     else
       match
         Sat_attack.run_sequential ~frames:seq_frames ~timeout_s:seq_timeout_s
-          hybrid
+          ~mode:solver_mode hybrid
       with
       | Sat_attack.Broken b ->
           {
@@ -187,6 +208,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
             detail =
               Printf.sprintf "%d iterations, %d-cycle sequences" b.iterations
                 seq_frames;
+            sat_stats = Some b.stats;
           }
       | Sat_attack.Exhausted e ->
           {
@@ -195,6 +217,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
             seconds = e.seconds;
             oracle_queries = 0;
             detail = e.reason;
+            sat_stats = Some e.stats;
           }
   in
   let attacks =
@@ -231,8 +254,16 @@ let pp_campaign fmt c =
   Format.fprintf fmt "%s / %s (%d LUTs):@\n" c.circuit c.algorithm c.lut_count;
   List.iter
     (fun e ->
-      Format.fprintf fmt "  %-12s %-14s %6.2fs %8d queries  %s@\n" e.attack
-        (verdict_string e.verdict) e.seconds e.oracle_queries e.detail)
+      Format.fprintf fmt "  %-12s %-14s %6.2fs %8d queries  %s" e.attack
+        (verdict_string e.verdict) e.seconds e.oracle_queries e.detail;
+      (match e.sat_stats with
+      | Some s ->
+          Format.fprintf fmt
+            " [%d decisions, %d conflicts, %d learned, %d kept]"
+            s.Sttc_logic.Sat.decisions s.Sttc_logic.Sat.conflicts
+            s.Sttc_logic.Sat.learned s.Sttc_logic.Sat.kept
+      | None -> ());
+      Format.fprintf fmt "@\n")
     c.entries
 
 let to_table campaigns =

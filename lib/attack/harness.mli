@@ -13,6 +13,9 @@ type entry = {
   seconds : float;
   oracle_queries : int;
   detail : string;
+  sat_stats : Sttc_logic.Sat.stats option;
+      (** accumulated solver statistics — [Some] for the two SAT-based
+          attacks, [None] for the rest *)
 }
 
 type campaign = {
@@ -31,6 +34,7 @@ val run :
   ?seq_frames:int ->
   ?seed:int ->
   ?jobs:int ->
+  ?solver_mode:Sat_attack.solver_mode ->
   circuit:string ->
   algorithm:string ->
   Sttc_core.Hybrid.t ->
@@ -48,6 +52,11 @@ val run :
     so the combinational budget is usually too tight); it defaults to
     [sat_timeout_s].  A zero or negative budget skips the attack
     entirely and reports [Resisted] with detail ["zero budget"].
+
+    [solver_mode] selects the SAT engine discipline for both SAT
+    attacks: one persistent incremental solver per attack (the default,
+    [Sat_attack.Incremental]) or a scratch solver per iteration
+    ([Sat_attack.Scratch], the benchmark baseline).
 
     [jobs > 1] runs the six attacks concurrently on a
     {!Sttc_util.Pool}; every attack is seeded from [seed] alone, so the

@@ -3,18 +3,95 @@ module Cnf = Sttc_logic.Cnf
 module Sat = Sttc_logic.Sat
 module Hybrid = Sttc_core.Hybrid
 
+type solver_mode = Incremental | Scratch
+
 type outcome =
   | Broken of {
       bitstream : (Netlist.node_id * Sttc_logic.Truth.t) list;
       queries : int;
       iterations : int;
       seconds : float;
+      stats : Sat.stats;
     }
   | Exhausted of {
       iterations : int;
       seconds : float;
       reason : string;
+      stats : Sat.stats;
     }
+
+let add_stats (a : Sat.stats) (b : Sat.stats) : Sat.stats =
+  {
+    decisions = a.decisions + b.decisions;
+    propagations = a.propagations + b.propagations;
+    conflicts = a.conflicts + b.conflicts;
+    learned = a.learned + b.learned;
+    kept = b.kept;
+    removed = a.removed + b.removed;
+    restarts = a.restarts + b.restarts;
+  }
+
+(* The whole attack talks to the solver through one closure.
+   Incremental: a single live solver accumulates every clause of [cnf]
+   (via the sync cursor) together with everything it learns, and each
+   call just pulls in the new clauses.  Scratch: every call rebuilds a
+   throwaway solver from the full formula — the pre-incremental cost
+   profile, kept as the benchmark baseline.  Either way the answers are
+   exact, so both modes agree on every SAT/UNSAT question. *)
+let make_solver mode cnf =
+  let stats = ref Sat.zero_stats in
+  let live =
+    match mode with
+    | Incremental -> Some (Sat.Solver.create ())
+    | Scratch -> None
+  in
+  let solve ?assumptions ?max_conflicts () =
+    let r =
+      match live with
+      | Some s ->
+          Sat.Solver.sync s cnf;
+          Sat.Solver.solve ?assumptions ?max_conflicts s
+      | None -> Sat.Solver.solve ?assumptions ?max_conflicts (Sat.Solver.of_cnf cnf)
+    in
+    stats := add_stats !stats (Sat.last_stats ());
+    r
+  in
+  (solve, fun () -> !stats)
+
+(* Canonical key extraction: the lexicographically minimal key (in key
+   declaration order, preferring 0 bits) consistent with the accumulated
+   constraints, found by fixing one bit at a time under assumptions.
+   After the DIP loop terminates, the consistent keys are exactly the
+   functionally correct ones, a set independent of solver history — so
+   Incremental and Scratch recover byte-identical bitstreams.  The
+   cached model always satisfies every fixed assumption (a bit is only
+   fixed to 1 when the model already agrees, or to 0 after a witnessing
+   solve), which skips the solve for every bit the current model already
+   has at 0 and makes the final model the canonical one. *)
+let canonical_key
+    (solve :
+      ?assumptions:Cnf.lit list -> ?max_conflicts:int -> unit -> Sat.result)
+    keys ~act =
+  match solve ~assumptions:[ -act ] () with
+  | Sat.Unsat | Sat.Unknown _ -> None
+  | Sat.Sat m0 ->
+      let model = ref m0 in
+      let fixed = ref [ -act ] in
+      List.iter
+        (fun (_, key) ->
+          Array.iter
+            (fun l ->
+              if not (Sat.model_value !model l) then fixed := -l :: !fixed
+              else
+                match solve ~assumptions:(-l :: !fixed) () with
+                | Sat.Sat m ->
+                    model := m;
+                    fixed := -l :: !fixed
+                | Sat.Unsat -> fixed := l :: !fixed
+                | Sat.Unknown _ -> () (* unbudgeted: cannot happen *))
+            key)
+        keys;
+      Some !model
 
 (* One-hot candidate restriction: the keyed LUT must implement one of the
    listed truth tables. *)
@@ -42,7 +119,7 @@ let restrict_keys cnf keys candidates =
     keys
 
 let run ?(max_iterations = 2000) ?(max_conflicts_per_call = 200_000)
-    ?(timeout_s = 60.) ?(candidates = []) hybrid =
+    ?(timeout_s = 60.) ?(candidates = []) ?(mode = Incremental) hybrid =
   let t0 = Unix.gettimeofday () in
   let foundry = Hybrid.foundry_view hybrid in
   let oracle = Oracle.create hybrid in
@@ -54,7 +131,9 @@ let run ?(max_iterations = 2000) ?(max_conflicts_per_call = 200_000)
   let cnf = c1.Encode.cnf in
   restrict_keys cnf c1.Encode.keys candidates;
   restrict_keys cnf c2.Encode.keys candidates;
-  (* Miter: some output differs. *)
+  (* Miter: some output differs — but only under the activation literal,
+     so the DIP search (assumption [act]) and the final key extraction
+     (assumption [-act]) run on the same solver and the same clauses. *)
   let diffs =
     List.map2
       (fun (_, l1) (_, l2) ->
@@ -63,14 +142,15 @@ let run ?(max_iterations = 2000) ?(max_conflicts_per_call = 200_000)
         d)
       c1.Encode.outputs c2.Encode.outputs
   in
-  Cnf.add_clause cnf diffs;
+  let act = Cnf.fresh_var cnf in
+  Cnf.add_clause cnf (-act :: diffs);
+  let solve, stats = make_solver mode cnf in
   (* Constrain both key copies with an observed I/O pair.  The miter's
      inputs must stay free, so each observation gets fresh circuit copies
-     sharing only the key variables. *)
+     sharing only the key variables; the incremental solver just absorbs
+     the new clauses, keeping everything it has learned. *)
   let constrain_io input_bits output_bits =
-    let fresh1 =
-      Encode.encode ~cnf ~share_keys:c1.Encode.keys foundry
-    in
+    let fresh1 = Encode.encode ~cnf ~share_keys:c1.Encode.keys foundry in
     let fresh2 =
       Encode.encode ~cnf ~share_inputs:fresh1.Encode.inputs
         ~share_keys:c2.Encode.keys foundry
@@ -89,72 +169,65 @@ let run ?(max_iterations = 2000) ?(max_conflicts_per_call = 200_000)
       fresh2.Encode.outputs
   in
   let input_count = List.length c1.Encode.inputs in
-  let recorded = ref [] in
   let rec loop iteration =
     let elapsed = Unix.gettimeofday () -. t0 in
     if iteration > max_iterations then
-      Exhausted { iterations = iteration - 1; seconds = elapsed; reason = "iteration limit" }
+      Exhausted
+        {
+          iterations = iteration - 1;
+          seconds = elapsed;
+          reason = "iteration limit";
+          stats = stats ();
+        }
     else if elapsed > timeout_s then
-      Exhausted { iterations = iteration - 1; seconds = elapsed; reason = "timeout" }
+      Exhausted
+        {
+          iterations = iteration - 1;
+          seconds = elapsed;
+          reason = "timeout";
+          stats = stats ();
+        }
     else
-      match Sat.solve ~max_conflicts:max_conflicts_per_call cnf with
-      | None ->
+      match
+        solve ~assumptions:[ act ] ~max_conflicts:max_conflicts_per_call ()
+      with
+      | Sat.Unknown _ ->
           Exhausted
             {
               iterations = iteration - 1;
               seconds = Unix.gettimeofday () -. t0;
               reason = "conflict budget";
+              stats = stats ();
             }
-      | Some Sat.Unsat ->
-          (* No distinguishing input: find any key consistent with the
-             recorded I/O pairs. *)
-          let final_cnf = Cnf.create () in
-          let final =
-            Encode.encode ~cnf:final_cnf foundry
-          in
-          restrict_keys final_cnf final.Encode.keys candidates;
-          (* replay recorded I/O constraints *)
-          List.iter
-            (fun (inp, out) ->
-              let copy =
-                Encode.encode ~cnf:final_cnf ~share_keys:final.Encode.keys
-                  foundry
-              in
-              List.iteri
-                (fun i (_, l) ->
-                  Cnf.add_clause final_cnf [ (if inp.(i) then l else -l) ])
-                copy.Encode.inputs;
-              List.iteri
-                (fun i (_, l) ->
-                  Cnf.add_clause final_cnf [ (if out.(i) then l else -l) ])
-                copy.Encode.outputs)
-            !recorded;
-          (match Sat.solve final_cnf with
-          | Some (Sat.Sat model) ->
+      | Sat.Unsat -> (
+          (* No distinguishing input: every key consistent with the
+             recorded I/O pairs is functionally correct; extract the
+             canonical one under the deactivated miter. *)
+          match canonical_key solve c1.Encode.keys ~act with
+          | Some model ->
               Broken
                 {
-                  bitstream = Encode.key_of_model final model;
+                  bitstream = Encode.key_of_model c1 model;
                   queries = Oracle.queries oracle;
                   iterations = iteration - 1;
                   seconds = Unix.gettimeofday () -. t0;
+                  stats = stats ();
                 }
-          | Some Sat.Unsat | None ->
+          | None ->
               Exhausted
                 {
                   iterations = iteration - 1;
                   seconds = Unix.gettimeofday () -. t0;
                   reason = "no consistent key (internal error)";
+                  stats = stats ();
                 })
-      | Some (Sat.Sat model) ->
+      | Sat.Sat model ->
           (* distinguishing input from the model *)
-          let input_bits =
-            Array.make input_count false
-          in
+          let input_bits = Array.make input_count false in
           List.iteri
             (fun i (_, l) -> input_bits.(i) <- Sat.model_value model l)
             c1.Encode.inputs;
           let output_bits = Oracle.query oracle input_bits in
-          recorded := (input_bits, output_bits) :: !recorded;
           constrain_io input_bits output_bits;
           loop (iteration + 1)
   in
@@ -162,14 +235,13 @@ let run ?(max_iterations = 2000) ?(max_conflicts_per_call = 200_000)
 
 let verify_break hybrid bitstream =
   let candidate = Hybrid.program_with hybrid bitstream in
-  match
-    Sttc_sim.Equiv.check_sat (Hybrid.programmed hybrid) candidate
-  with
+  match Sttc_sim.Equiv.check_sat (Hybrid.programmed hybrid) candidate with
   | Sttc_sim.Equiv.Equivalent -> true
   | _ -> false
 
 let run_sequential ?(frames = 5) ?(max_iterations = 500)
-    ?(max_conflicts_per_call = 200_000) ?(timeout_s = 60.) hybrid =
+    ?(max_conflicts_per_call = 200_000) ?(timeout_s = 60.)
+    ?(mode = Incremental) hybrid =
   let t0 = Unix.gettimeofday () in
   let foundry = Hybrid.foundry_view hybrid in
   let oracle = Oracle.create hybrid in
@@ -179,7 +251,7 @@ let run_sequential ?(frames = 5) ?(max_iterations = 500)
     Encode.encode_unrolled ~cnf ~share_frame_pis:c1.Encode.frame_pis ~frames
       foundry
   in
-  (* miter: some primary output differs in some frame *)
+  (* miter: some primary output differs in some frame, under [act] *)
   let diffs = ref [] in
   Array.iteri
     (fun frame pos1 ->
@@ -191,11 +263,14 @@ let run_sequential ?(frames = 5) ?(max_iterations = 500)
         pos1
         c2.Encode.frame_pos.(frame))
     c1.Encode.frame_pos;
-  Cnf.add_clause cnf !diffs;
-  let recorded = ref [] in
+  let act = Cnf.fresh_var cnf in
+  Cnf.add_clause cnf (-act :: !diffs);
+  let solve, stats = make_solver mode cnf in
   (* pin an observed sequence into fresh unrolled copies of both keys *)
   let constrain_io pi_seq po_seq =
-    let fresh1 = Encode.encode_unrolled ~cnf ~share_keys:c1.Encode.u_keys ~frames foundry in
+    let fresh1 =
+      Encode.encode_unrolled ~cnf ~share_keys:c1.Encode.u_keys ~frames foundry
+    in
     let fresh2 =
       Encode.encode_unrolled ~cnf ~share_keys:c2.Encode.u_keys
         ~share_frame_pis:fresh1.Encode.frame_pis ~frames foundry
@@ -203,8 +278,7 @@ let run_sequential ?(frames = 5) ?(max_iterations = 500)
     List.iteri
       (fun frame pis ->
         List.iteri
-          (fun i (_, l) ->
-            Cnf.add_clause cnf [ (if pis.(i) then l else -l) ])
+          (fun i (_, l) -> Cnf.add_clause cnf [ (if pis.(i) then l else -l) ])
           fresh1.Encode.frame_pis.(frame);
         let pos = List.nth po_seq frame in
         List.iteri
@@ -220,53 +294,43 @@ let run_sequential ?(frames = 5) ?(max_iterations = 500)
     let elapsed = Unix.gettimeofday () -. t0 in
     if iteration > max_iterations then
       Exhausted
-        { iterations = iteration - 1; seconds = elapsed; reason = "iteration limit" }
+        {
+          iterations = iteration - 1;
+          seconds = elapsed;
+          reason = "iteration limit";
+          stats = stats ();
+        }
     else if elapsed > timeout_s then
       Exhausted
-        { iterations = iteration - 1; seconds = elapsed; reason = "timeout" }
+        {
+          iterations = iteration - 1;
+          seconds = elapsed;
+          reason = "timeout";
+          stats = stats ();
+        }
     else
-      match Sat.solve ~max_conflicts:max_conflicts_per_call cnf with
-      | None ->
+      match
+        solve ~assumptions:[ act ] ~max_conflicts:max_conflicts_per_call ()
+      with
+      | Sat.Unknown _ ->
           Exhausted
             {
               iterations = iteration - 1;
               seconds = Unix.gettimeofday () -. t0;
               reason = "conflict budget";
+              stats = stats ();
             }
-      | Some Sat.Unsat -> (
-          (* no distinguishing sequence of this length remains; pick any
-             consistent key and verify it *)
-          let final_cnf = Cnf.create () in
-          let final = Encode.encode_unrolled ~cnf:final_cnf ~frames foundry in
-          List.iter
-            (fun (pi_seq, po_seq) ->
-              let copy =
-                Encode.encode_unrolled ~cnf:final_cnf
-                  ~share_keys:final.Encode.u_keys ~frames foundry
-              in
-              List.iteri
-                (fun frame pis ->
-                  List.iteri
-                    (fun i (_, l) ->
-                      Cnf.add_clause final_cnf
-                        [ (if pis.(i) then l else -l) ])
-                    copy.Encode.frame_pis.(frame);
-                  let pos = List.nth po_seq frame in
-                  List.iteri
-                    (fun i (_, l) ->
-                      Cnf.add_clause final_cnf
-                        [ (if pos.(i) then l else -l) ])
-                    copy.Encode.frame_pos.(frame))
-                pi_seq)
-            !recorded;
-          match Sat.solve final_cnf with
-          | Some (Sat.Sat model) ->
+      | Sat.Unsat -> (
+          (* no distinguishing sequence of this length remains; extract
+             the canonical consistent key and verify it *)
+          match canonical_key solve c1.Encode.u_keys ~act with
+          | Some model ->
               let fake_keyed =
                 {
-                  Encode.cnf = final_cnf;
+                  Encode.cnf;
                   inputs = [];
                   outputs = [];
-                  keys = final.Encode.u_keys;
+                  keys = c1.Encode.u_keys;
                   node_lits = [||];
                 }
               in
@@ -278,6 +342,7 @@ let run_sequential ?(frames = 5) ?(max_iterations = 500)
                     queries = Oracle.queries oracle;
                     iterations = iteration - 1;
                     seconds = Unix.gettimeofday () -. t0;
+                    stats = stats ();
                   }
               else
                 Exhausted
@@ -285,15 +350,17 @@ let run_sequential ?(frames = 5) ?(max_iterations = 500)
                     iterations = iteration - 1;
                     seconds = Unix.gettimeofday () -. t0;
                     reason = "sequence-length limit";
+                    stats = stats ();
                   }
-          | Some Sat.Unsat | None ->
+          | None ->
               Exhausted
                 {
                   iterations = iteration - 1;
                   seconds = Unix.gettimeofday () -. t0;
                   reason = "no consistent key (internal error)";
+                  stats = stats ();
                 })
-      | Some (Sat.Sat model) ->
+      | Sat.Sat model ->
           (* distinguishing sequence from the model *)
           let pi_seq =
             List.init frames (fun frame ->
@@ -304,7 +371,6 @@ let run_sequential ?(frames = 5) ?(max_iterations = 500)
                 bits)
           in
           let po_seq = Oracle.query_sequence oracle pi_seq in
-          recorded := (pi_seq, po_seq) :: !recorded;
           constrain_io pi_seq po_seq;
           loop (iteration + 1)
   in

@@ -6,7 +6,22 @@
     independent symbolic keys; a satisfying assignment where the copies
     disagree yields a {e distinguishing input}, whose oracle response
     prunes all keys inconsistent with it.  When no distinguishing input
-    remains, any surviving key is functionally correct. *)
+    remains, any surviving key is functionally correct.
+
+    The attack holds {e one} [Sat.Solver] for its whole run: the miter
+    clause sits behind an activation literal, each distinguishing input
+    appends two oracle-constrained circuit copies to the live solver, and
+    the final key extraction solves under assumptions on the same solver
+    — nothing the solver learned is ever thrown away. *)
+
+type solver_mode =
+  | Incremental
+      (** One persistent solver across all iterations (the default). *)
+  | Scratch
+      (** Rebuild a throwaway solver from the full CNF on every call —
+          the pre-incremental cost profile, kept as the benchmark
+          baseline.  Recovers the same key and verdict as
+          [Incremental]. *)
 
 type outcome =
   | Broken of {
@@ -14,27 +29,34 @@ type outcome =
       queries : int;  (** distinguishing patterns applied to the oracle *)
       iterations : int;
       seconds : float;
+      stats : Sttc_logic.Sat.stats;  (** accumulated over all solver calls *)
     }
       (** A functionally correct configuration was recovered (it may
-          differ syntactically from the secret one). *)
+          differ syntactically from the secret one).  The bitstream is
+          canonical — the lexicographically minimal consistent key — so
+          both solver modes recover the identical one. *)
   | Exhausted of {
       iterations : int;
       seconds : float;
       reason : string;
+      stats : Sttc_logic.Sat.stats;
     }
-      (** Resource limit hit before convergence. *)
+      (** Resource limit hit before convergence.  A conflict-budget
+          exhaustion surfaces here (via [Sat.Unknown]) — it is never
+          conflated with a proven UNSAT. *)
 
 val run :
   ?max_iterations:int ->
   ?max_conflicts_per_call:int ->
   ?timeout_s:float ->
   ?candidates:(Sttc_netlist.Netlist.node_id * Sttc_logic.Truth.t list) list ->
+  ?mode:solver_mode ->
   Sttc_core.Hybrid.t ->
   outcome
-(** Defaults: 2000 iterations, 200k conflicts per solver call, 60 s.
-    The oracle is constructed internally from the hybrid's secret
-    programmed view — the attacker code only ever touches the foundry
-    view and the oracle interface.
+(** Defaults: 2000 iterations, 200k conflicts per solver call, 60 s,
+    [Incremental].  The oracle is constructed internally from the
+    hybrid's secret programmed view — the attacker code only ever
+    touches the foundry view and the oracle interface.
 
     [candidates] restricts the key space of specific LUTs to an explicit
     candidate list — the attacker model against {e camouflaged} cells,
@@ -53,6 +75,7 @@ val run_sequential :
   ?max_iterations:int ->
   ?max_conflicts_per_call:int ->
   ?timeout_s:float ->
+  ?mode:solver_mode ->
   Sttc_core.Hybrid.t ->
   outcome
 (** The scan-disabled variant — the access model the paper assumes for

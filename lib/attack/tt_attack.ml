@@ -166,8 +166,8 @@ let run ?(budget_patterns = 20_000) ?(targeted = false) ?(target_attempts = 4)
             [ (if (row lsr k) land 1 = 1 then l else -l) ])
         (Netlist.fanins foundry id);
       match Sttc_logic.Sat.solve ~max_conflicts:50_000 c.Encode.cnf with
-      | Some Sttc_logic.Sat.Unsat -> false
-      | Some (Sttc_logic.Sat.Sat _) | None -> true
+      | Sttc_logic.Sat.Unsat -> false
+      | Sttc_logic.Sat.Sat _ | Sttc_logic.Sat.Unknown _ -> true
     in
     let resolve_row id row =
       let table = Hashtbl.find resolved id in
@@ -216,15 +216,15 @@ let run ?(budget_patterns = 20_000) ?(targeted = false) ?(target_attempts = 4)
                    c1.Encode.inputs))
             !blocked;
           match Sat.solve ~max_conflicts:50_000 cnf with
-          | Some Sat.Unsat when !blocked = [] ->
+          | Sat.Unsat when !blocked = [] ->
               (* justifiable but never observable: the configuration bit
                  cannot influence any observation point under any key of
                  the other missing gates, so it is as functionally
                  irrelevant as an unreachable row *)
               (Hashtbl.find unreachable id).(row) <- true;
               attempt := target_attempts
-          | None | Some Sat.Unsat -> attempt := target_attempts
-          | Some (Sat.Sat model) ->
+          | Sat.Unknown _ | Sat.Unsat -> attempt := target_attempts
+          | Sat.Sat model ->
               let bits =
                 Array.of_list
                   (List.map

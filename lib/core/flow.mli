@@ -114,35 +114,6 @@ val meets_timing : algorithm -> result -> (unit, string) Stdlib.result
 
 val pp_resilient : Format.formatter -> resilient -> unit
 
-(** {1 Deprecated aliases}
-
-    The pre-[run] entry points, kept for one PR so out-of-tree callers
-    can migrate.  [protect ~seed alg nl] is
-    [(run ~seed ~policy:Strict alg nl).accepted];
-    [protect_resilient ~max_reseeds] is
-    [run ~policy:(Resilient { max_reseeds })]. *)
-
-val protect :
-  ?seed:int ->
-  ?library:Sttc_tech.Library.t ->
-  ?fraction:float ->
-  ?hardening:hardening ->
-  algorithm ->
-  Sttc_netlist.Netlist.t ->
-  result
-[@@ocaml.deprecated "use Flow.run ~policy:Strict"]
-
-val protect_resilient :
-  ?seed:int ->
-  ?library:Sttc_tech.Library.t ->
-  ?fraction:float ->
-  ?hardening:hardening ->
-  ?max_reseeds:int ->
-  algorithm ->
-  Sttc_netlist.Netlist.t ->
-  resilient
-[@@ocaml.deprecated "use Flow.run ~policy:(Resilient resilience)"]
-
 val lint_view :
   ?library:Sttc_tech.Library.t -> result -> Sttc_lint.Security_rules.view
 (** The security-lint view of a protect result: foundry netlist, LUT

@@ -344,24 +344,26 @@ let rows (cfg : Config.t) =
     | Some p -> load_checkpoint p cfg.Config.seed
     | None -> []
   in
-  if cfg.Config.jobs = 1 then rows_serial ~cfg infos completed
-  else rows_parallel ~cfg infos completed
-
-let benchmark_rows ?(quick = false) ?(seed = master_seed)
-    ?(progress = fun _ -> ()) ?only ?timeout_s ?(isolate = false)
-    ?checkpoint () =
-  rows
-    {
-      Config.quick;
-      seed;
-      only;
-      timeout_s;
-      isolate;
-      checkpoint;
-      jobs = 1;
-      on_event =
-        (function Started _ -> () | ev -> progress (string_of_event ev));
-    }
+  (* Work left after checkpoint restore, in gate-level units: protect +
+     re-simulate cost scales with circuit size times the algorithm
+     count.  Small bags (the quick Table I set is ~9k units) lose more
+     to domain spawning than they gain, so they run serially even when
+     the caller asked for workers. *)
+  let pending =
+    List.filter
+      (fun i -> not (List.mem_assoc i.Profiles.name completed))
+      infos
+  in
+  let work =
+    float_of_int
+      (List.fold_left (fun acc i -> acc + i.Profiles.n_gates) 0 pending
+      * List.length Flow.default_algorithms)
+  in
+  if
+    Pool.worthwhile ~min_work:30_000. ~jobs:cfg.Config.jobs
+      ~tasks:(List.length pending) ~work ()
+  then rows_parallel ~cfg infos completed
+  else rows_serial ~cfg infos completed
 
 let fig1 () = Report.fig1 ()
 let table1 rows = Report.table1 rows

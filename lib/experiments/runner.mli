@@ -107,23 +107,6 @@ val rows : Config.t -> Sttc_core.Report.benchmark_row list
     - without [isolate], a crashing stage surfaces as
       {!Sttc_util.Pool.Task_error} instead of the original exception. *)
 
-val benchmark_rows :
-  ?quick:bool ->
-  ?seed:int ->
-  ?progress:(string -> unit) ->
-  ?only:string list ->
-  ?timeout_s:float ->
-  ?isolate:bool ->
-  ?checkpoint:string ->
-  unit ->
-  Sttc_core.Report.benchmark_row list
-[@@ocaml.deprecated
-  "use Runner.rows with a Runner.Config.t (progress strings become \
-   Config.on_event + Runner.string_of_event)"]
-(** Deprecated pre-{!Config} entry point; one optional argument per
-    knob.  [progress] receives {!string_of_event} renderings of every
-    event except [Started]. *)
-
 val fig1 : unit -> string
 val table1 : Sttc_core.Report.benchmark_row list -> string
 val table2 : Sttc_core.Report.benchmark_row list -> string

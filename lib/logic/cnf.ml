@@ -27,6 +27,7 @@ let add_clause_a t c =
 let add_clause t lits = add_clause_a t (Array.of_list lits)
 
 let clauses t = Sttc_util.Growable.to_list t.clauses
+let clause t i = Sttc_util.Growable.get t.clauses i
 let iter_clauses f t = Sttc_util.Growable.iter f t.clauses
 
 let encode_buf t out a =

@@ -29,6 +29,12 @@ val add_clause_a : t -> clause -> unit
 val clauses : t -> clause list
 (** In insertion order. *)
 
+val clause : t -> int -> clause
+(** [clause t i] is the [i]th clause added (0-based).  The returned array
+    is the stored clause: callers must not mutate it.  This is the cursor
+    interface [Sat.Solver.sync] uses to consume a growing formula
+    incrementally.  Raises [Invalid_argument] when out of range. *)
+
 val iter_clauses : (clause -> unit) -> t -> unit
 
 (* --- Tseitin gate encodings: the output literal is constrained to equal

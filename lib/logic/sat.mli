@@ -1,43 +1,103 @@
 (** A CDCL SAT solver: two-watched literals, first-UIP clause learning,
     VSIDS-style activity ordering, phase saving and Luby restarts.
 
-    This is the engine behind the oracle-guided SAT attack of
-    [Sttc_attack.Sat_attack] and the miter-based equivalence check of
-    [Sttc_sim.Equiv].  Scale target: the formulas arising from circuits of
-    a few thousand gates. *)
+    The engine is a {e persistent, incremental} solver ({!Solver}):
+    clauses can be appended after construction, and each
+    {!Solver.solve} call runs under a set of assumption literals while
+    retaining learned clauses, variable activities and saved phases
+    from previous calls.  Learned-clause retention is kept in check by
+    LBD-based clause-database reduction.  This is the engine behind the
+    oracle-guided SAT attack of [Sttc_attack.Sat_attack] and the
+    miter-based equivalence check of [Sttc_sim.Equiv].  Scale target:
+    the formulas arising from circuits of a few thousand gates. *)
 
 type result =
   | Sat of bool array
       (** [Sat model]: [model.(v)] is the value of variable [v]
           (index 0 unused). *)
   | Unsat
+      (** Unsatisfiable — under the given assumptions if any were
+          passed, unconditionally otherwise. *)
+  | Unknown of string
+      (** The solve was cut short ([max_conflicts] exhausted); the
+          payload names the spent budget.  Never returned by an
+          unbudgeted call.  Distinct from {!Unsat} so resource
+          exhaustion cannot masquerade as proven unsatisfiability. *)
 
 type stats = {
   decisions : int;
   propagations : int;
   conflicts : int;
-  learned : int;
+  learned : int;  (** clauses learned (total, including later removed) *)
+  kept : int;  (** learned clauses currently retained in the database *)
+  removed : int;  (** learned clauses deleted by LBD-based reduction *)
   restarts : int;
 }
 
-val solve :
-  ?assumptions:Cnf.lit list ->
-  ?max_conflicts:int ->
-  Cnf.t ->
-  result option
-(** [solve cnf] decides satisfiability.  [assumptions] are literals forced
-    at decision level 0 for this call only.  [None] is returned when
-    [max_conflicts] is exhausted (resource-limited attacks). *)
+val zero_stats : stats
 
-val solve_exn : ?assumptions:Cnf.lit list -> Cnf.t -> result
-(** Like {!solve} without a conflict budget. *)
+(** {1 The persistent incremental solver} *)
+
+module Solver : sig
+  type t
+  (** A stateful solver handle.  Not thread-safe; use one handle per
+      domain. *)
+
+  val create : ?reduce_limit:int -> unit -> t
+  (** A solver over the empty formula.  [reduce_limit] is the retained
+      learned-clause count that first triggers database reduction
+      (default 2000; tests lower it to exercise reduction). *)
+
+  val of_cnf : ?reduce_limit:int -> Cnf.t -> t
+  (** [create] followed by {!sync}. *)
+
+  val sync : t -> Cnf.t -> unit
+  (** Append the clauses added to [cnf] since the last [sync] of this
+      solver (a cursor over [cnf]'s clause list), together with any new
+      variables.  A solver tracks one growing formula: always [sync]
+      against the same [Cnf.t]. *)
+
+  val add_clause : t -> Cnf.lit list -> unit
+  (** Append one clause directly (variables are allocated on demand).
+      Like [sync], this may backtrack the solver to decision level 0. *)
+
+  val ensure_vars : t -> int -> unit
+  (** Make variables [1..n] available. *)
+
+  val nvars : t -> int
+
+  val solve : ?assumptions:Cnf.lit list -> ?max_conflicts:int -> t -> result
+  (** Decide satisfiability of the accumulated clauses under
+      [assumptions], MiniSat-style: assumptions are decided (not
+      asserted), so everything learned during the call is implied by
+      the clauses alone and remains valid for later calls with
+      different assumptions.  [Unsat] with assumptions means
+      "unsatisfiable under these assumptions"; once [Unsat] is derived
+      with no assumptions the solver is permanently unsatisfiable.
+      [max_conflicts] bounds this call's conflicts; exhaustion returns
+      {!Unknown}. *)
+
+  val stats : t -> stats
+  (** Cumulative statistics over the solver's lifetime; [kept] is the
+      current retained learned-clause count. *)
+end
+
+(** {1 One-shot convenience wrappers}
+
+    Each call builds a fresh throwaway {!Solver.t} — the scratch
+    baseline the incremental interface is benchmarked against. *)
+
+val solve :
+  ?assumptions:Cnf.lit list -> ?max_conflicts:int -> Cnf.t -> result
+(** [solve cnf] decides satisfiability of a formula from scratch. *)
 
 val last_stats : unit -> stats
-(** Statistics of the most recent {!solve} call on the current domain
-    (domain-local, so parallel solver tasks do not race). *)
+(** Statistics of the most recent solve call on the current domain —
+    per-call deltas, domain-local so parallel solver tasks do not
+    race. *)
 
 val is_satisfiable : Cnf.t -> bool
-(** Convenience wrapper. *)
+(** Convenience wrapper (unbudgeted, so never {!Unknown}). *)
 
 val model_value : bool array -> int -> bool
 (** [model_value model v] reads variable [v] from a {!Sat} model. *)

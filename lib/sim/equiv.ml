@@ -224,10 +224,11 @@ let check_sat ?(max_conflicts = max_int) a b =
                 ffs_a
           in
           Cnf.add_clause cnf (List.map snd diffs);
-          (match Sat.solve ~max_conflicts cnf with
-          | None -> Inconclusive "SAT conflict budget exhausted"
-          | Some Sat.Unsat -> Equivalent
-          | Some (Sat.Sat model) ->
+          let solver = Sat.Solver.of_cnf cnf in
+          (match Sat.Solver.solve ~max_conflicts solver with
+          | Sat.Unknown _ -> Inconclusive "SAT conflict budget exhausted"
+          | Sat.Unsat -> Equivalent
+          | Sat.Sat model ->
               let witness =
                 Hashtbl.fold
                   (fun name v acc -> (name, Sat.model_value model v) :: acc)

@@ -46,6 +46,15 @@ type t = {
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Spawning and joining a domain costs on the order of a millisecond
+   each, and the quick experiment fan-outs finish in well under that
+   budget per task — a pool over a tiny bag is strictly slower than a
+   serial loop.  Callers estimate the bag's total work in arbitrary
+   units and declare what one unit of fan-out overhead costs in the
+   same units via [min_work]. *)
+let worthwhile ?(min_work = 1.) ~jobs ~tasks ~work () =
+  jobs > 1 && tasks > 1 && work >= min_work
+
 let worker_loop t =
   let rec next () =
     (* drain queued work even when stopping: shutdown is graceful *)

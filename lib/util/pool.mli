@@ -46,6 +46,17 @@ val jobs : t -> int
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [-j 0] resolves to. *)
 
+val worthwhile :
+  ?min_work:float -> jobs:int -> tasks:int -> work:float -> unit -> bool
+(** [worthwhile ~jobs ~tasks ~work ()] — should this bag be fanned out
+    at all?  Spawning and joining worker domains costs real time, so a
+    pool over a small bag loses to a plain serial loop.  Returns [true]
+    only when [jobs > 1], there is more than one task, and the caller's
+    estimate of total work ([work], arbitrary units) reaches [min_work]
+    (default [1.], i.e. the caller pre-scaled the estimate).  Callers
+    that can't estimate work should pass [work = infinity] and rely on
+    the task count alone. *)
+
 val map : ?deadline_s:float -> t -> ('a -> 'b) -> 'a list -> ('b, error) result list
 (** [map t f items] applies [f] to every item on the worker domains and
     returns the outcomes in submission order.  Exceptions (including

@@ -127,8 +127,9 @@ let test_encode_correct_key_is_consistent () =
       Sttc_logic.Cnf.add_clause cnf [ (if inputs.(i) then l else -l) ])
     keyed.Encode.inputs;
   let expected = Oracle.query o inputs in
-  match Sttc_logic.Sat.solve_exn cnf with
+  match Sttc_logic.Sat.solve cnf with
   | Sttc_logic.Sat.Unsat -> Alcotest.fail "true key must satisfy"
+  | Sttc_logic.Sat.Unknown r -> Alcotest.fail ("unexpected Unknown: " ^ r)
   | Sttc_logic.Sat.Sat model ->
       List.iteri
         (fun i (name, l) ->
@@ -171,6 +172,97 @@ let test_sat_attack_respects_limits () =
       Alcotest.(check bool) "at most 1 iteration" true (b.iterations <= 1)
   | Sat_attack.Exhausted e ->
       Alcotest.(check string) "iteration limit" "iteration limit" e.reason
+
+let test_sat_attack_modes_agree () =
+  (* the persistent-solver attack must recover exactly the bitstream the
+     scratch-per-iteration baseline does, and reach the same verdict *)
+  let nl = small_circuit 9 in
+  let h = protect_n nl 3 9 in
+  match
+    ( Sat_attack.run ~timeout_s:30. ~mode:Sat_attack.Scratch h,
+      Sat_attack.run ~timeout_s:30. ~mode:Sat_attack.Incremental h )
+  with
+  | Sat_attack.Broken s, Sat_attack.Broken i ->
+      Alcotest.(check int) "same number of keyed LUTs"
+        (List.length s.bitstream) (List.length i.bitstream);
+      List.iter2
+        (fun (id_s, t_s) (id_i, t_i) ->
+          Alcotest.(check int) "same LUT" id_s id_i;
+          Alcotest.(check string) "same configuration" (Truth.to_string t_s)
+            (Truth.to_string t_i))
+        s.bitstream i.bitstream
+  | Sat_attack.Exhausted s, Sat_attack.Exhausted i ->
+      Alcotest.(check string) "same reason" s.reason i.reason
+  | _ -> Alcotest.fail "solver modes reached different verdicts"
+
+(* Property (satellite of the incremental-solver rework): on random
+   netlist miters — the exact formula shape the SAT attack feeds the
+   solver — [solve ~assumptions] on one persistent solver agrees with a
+   throwaway solve of the same CNF with the assumptions as unit
+   clauses. *)
+let incremental_miter_props =
+  let module Cnf = Sttc_logic.Cnf in
+  let module Sat = Sttc_logic.Sat in
+  let build_miter seed =
+    let nl = small_circuit seed in
+    let h = protect_n nl 2 seed in
+    let fv = Hybrid.foundry_view h in
+    let cnf = Cnf.create () in
+    let c1 = Encode.encode ~cnf fv in
+    let c2 = Encode.encode ~cnf ~share_inputs:c1.Encode.inputs fv in
+    let diffs =
+      List.map2
+        (fun (_, l1) (_, l2) ->
+          let d = Cnf.fresh_var cnf in
+          Cnf.encode_xor cnf d l1 l2;
+          d)
+        c1.Encode.outputs c2.Encode.outputs
+    in
+    let act = Cnf.fresh_var cnf in
+    Cnf.add_clause cnf (-act :: diffs);
+    let _, key0 = List.hd c1.Encode.keys in
+    (cnf, act, key0.(0))
+  in
+  let satisfies model cnf =
+    List.for_all
+      (fun clause ->
+        Array.exists
+          (fun l ->
+            if l > 0 then Sat.model_value model l
+            else not (Sat.model_value model (-l)))
+          clause)
+      (Cnf.clauses cnf)
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"persistent solve = scratch solve on miters"
+         ~count:20
+         QCheck2.Gen.(int_range 0 1_000_000)
+         (fun seed ->
+           let cnf, act, k0 = build_miter seed in
+           let solver = Sat.Solver.create () in
+           Sat.Solver.sync solver cnf;
+           List.for_all
+             (fun assumptions ->
+               let scratch_cnf, _, _ = build_miter seed in
+               List.iter
+                 (fun l -> Cnf.add_clause scratch_cnf [ l ])
+                 assumptions;
+               match
+                 ( Sat.Solver.solve ~assumptions solver,
+                   Sat.solve scratch_cnf )
+               with
+               | Sat.Unsat, Sat.Unsat -> true
+               | Sat.Sat model, Sat.Sat _ ->
+                   satisfies model cnf
+                   && List.for_all
+                        (fun l ->
+                          if l > 0 then Sat.model_value model l
+                          else not (Sat.model_value model (-l)))
+                        assumptions
+               | _ -> false)
+             [ [ act ]; [ -act ]; [ act; k0 ]; [ -act; -k0 ] ]));
+  ]
 
 (* ---------- truth-table attack ---------- *)
 
@@ -346,8 +438,9 @@ let test_encode_unrolled_true_key_matches_oracle () =
     pi_seq;
   let o = Oracle.create h in
   let po_seq = Oracle.query_sequence o pi_seq in
-  (match Sttc_logic.Sat.solve_exn cnf with
+  (match Sttc_logic.Sat.solve cnf with
   | Sttc_logic.Sat.Unsat -> Alcotest.fail "true key must satisfy unrolling"
+  | Sttc_logic.Sat.Unknown r -> Alcotest.fail ("unexpected Unknown: " ^ r)
   | Sttc_logic.Sat.Sat model ->
       List.iteri
         (fun frame pos ->
@@ -552,7 +645,10 @@ let () =
           Alcotest.test_case "breaks dependent (small)" `Slow
             test_sat_attack_breaks_dependent_small;
           Alcotest.test_case "respects limits" `Quick test_sat_attack_respects_limits;
-        ] );
+          Alcotest.test_case "solver modes agree" `Quick
+            test_sat_attack_modes_agree;
+        ]
+        @ incremental_miter_props );
       ( "tt_attack",
         [
           Alcotest.test_case "resolves independent" `Slow

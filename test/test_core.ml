@@ -368,34 +368,6 @@ let test_flow_seed_identical_artifacts () =
       Alcotest.(check string) (name ^ " lint identical") l1 l2)
     Flow.default_algorithms
 
-(* The one-PR deprecated aliases must stay behaviourally identical to
-   Flow.run so out-of-tree callers can migrate at leisure. *)
-let test_deprecated_aliases_match_run () =
-  let nl = medium_circuit 31 in
-  let via_run = protect ~seed:7 Flow.Dependent nl in
-  let via_alias =
-    (Flow.protect ~seed:7 Flow.Dependent nl [@alert "-deprecated"])
-  in
-  Alcotest.(check (list int))
-    "protect alias: same selection"
-    (Hybrid.lut_ids via_run.Flow.hybrid)
-    (Hybrid.lut_ids via_alias.Flow.hybrid);
-  let r_run =
-    Flow.run ~seed:7
-      ~policy:(Flow.Resilient { Flow.max_reseeds = 2 })
-      Flow.Dependent nl
-  in
-  let r_alias =
-    (Flow.protect_resilient ~seed:7 ~max_reseeds:2 Flow.Dependent nl
-     [@alert "-deprecated"])
-  in
-  Alcotest.(check (list int))
-    "resilient alias: same selection"
-    (Hybrid.lut_ids r_run.Flow.accepted.Flow.hybrid)
-    (Hybrid.lut_ids r_alias.Flow.accepted.Flow.hybrid);
-  Alcotest.(check bool) "resilient alias: same degraded flag"
-    r_run.Flow.degraded r_alias.Flow.degraded
-
 let test_protect_resilient_passthrough () =
   let nl = medium_circuit 24 in
   let r =
@@ -728,8 +700,6 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_flow_deterministic;
           Alcotest.test_case "seed-identical artifacts" `Quick
             test_flow_seed_identical_artifacts;
-          Alcotest.test_case "deprecated aliases match run" `Quick
-            test_deprecated_aliases_match_run;
           Alcotest.test_case "resilient passthrough" `Quick
             test_protect_resilient_passthrough;
           Alcotest.test_case "resilient degradation" `Quick

@@ -193,27 +193,6 @@ let test_parallel_events_complete () =
   Alcotest.(check int) "two started" 2 (Atomic.get started);
   Alcotest.(check int) "two finished" 2 (Atomic.get finished)
 
-let test_deprecated_benchmark_rows_wrapper () =
-  (* the one-PR migration alias must return the very rows of the new
-     entry point and keep rendering the classic progress strings *)
-  let lines = ref [] in
-  let legacy =
-    (Runner.benchmark_rows ~only:[ "s641" ]
-       ~progress:(fun l -> lines := l :: !lines)
-       () [@alert "-deprecated"])
-  in
-  let fresh = Runner.rows Runner.Config.(default |> with_only [ "s641" ]) in
-  Alcotest.(check string) "same Table I" (Runner.table1 fresh)
-    (Runner.table1 legacy);
-  Alcotest.(check bool) "classic protected line" true
-    (List.exists
-       (fun l ->
-         let needle = "protected s641" in
-         let n = String.length needle and h = String.length l in
-         let rec go i = i + n <= h && (String.sub l i n = needle || go (i + 1)) in
-         go 0)
-       !lines)
-
 let test_fig1_renders () =
   let s = Runner.fig1 () in
   Alcotest.(check bool) "six gates x five metrics" true
@@ -298,8 +277,6 @@ let () =
             test_parallel_rows_match_serial;
           Alcotest.test_case "parallel events complete" `Slow
             test_parallel_events_complete;
-          Alcotest.test_case "deprecated benchmark_rows wrapper" `Slow
-            test_deprecated_benchmark_rows_wrapper;
           Alcotest.test_case "fig1" `Quick test_fig1_renders;
           Alcotest.test_case "sweep" `Quick test_sweep_renders;
           Alcotest.test_case "attack campaign" `Slow test_attack_campaign_smoke;

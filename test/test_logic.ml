@@ -334,9 +334,10 @@ let bdd_props =
 (* ---------- Cnf / Sat ---------- *)
 
 let solve_value cnf =
-  match Sat.solve_exn cnf with
+  match Sat.solve cnf with
   | Sat.Sat model -> Some model
   | Sat.Unsat -> None
+  | Sat.Unknown r -> Alcotest.failf "unbudgeted solve returned Unknown %s" r
 
 let test_sat_trivial () =
   let cnf = Cnf.create () in
@@ -369,13 +370,13 @@ let test_sat_assumptions () =
   let a = Cnf.fresh_var cnf and b = Cnf.fresh_var cnf in
   Cnf.add_clause cnf [ a; b ];
   Alcotest.(check bool) "sat under a" true
-    (match Sat.solve_exn ~assumptions:[ a ] cnf with
+    (match Sat.solve ~assumptions:[ a ] cnf with
     | Sat.Sat _ -> true
-    | Sat.Unsat -> false);
+    | Sat.Unsat | Sat.Unknown _ -> false);
   Cnf.add_clause cnf [ -a ];
   Alcotest.(check bool) "unsat under a" true
-    (match Sat.solve_exn ~assumptions:[ a ] cnf with
-    | Sat.Sat _ -> false
+    (match Sat.solve ~assumptions:[ a ] cnf with
+    | Sat.Sat _ | Sat.Unknown _ -> false
     | Sat.Unsat -> true);
   Alcotest.(check bool) "still sat without assumption" true
     (Sat.is_satisfiable cnf)
@@ -426,29 +427,42 @@ let test_sat_symbolic_lut () =
       Alcotest.(check bool) "key row 1 forced true" true
         (Sat.model_value model key.(1)))
 
+(* random 3-CNF generator shared by the direct CDCL properties and the
+   incremental-interface properties below *)
+let gen_cnf =
+  QCheck2.Gen.(
+    let* nvars = int_range 3 8 in
+    let* nclauses = int_range 3 24 in
+    let* seeds = list_size (return (nclauses * 3)) (int_range 0 1_000_000) in
+    return (nvars, nclauses, seeds))
+
+let build_cnf (nvars, nclauses, seeds) =
+  let cnf = Cnf.create () in
+  Cnf.reserve cnf nvars;
+  let seeds = Array.of_list seeds in
+  for c = 0 to nclauses - 1 do
+    let lit k =
+      let s = seeds.((3 * c) + k) in
+      let v = (s mod nvars) + 1 in
+      if s / nvars mod 2 = 0 then v else -v
+    in
+    Cnf.add_clause cnf [ lit 0; lit 1; lit 2 ]
+  done;
+  cnf
+
+let model_satisfies model cnf =
+  List.for_all
+    (fun clause ->
+      Array.exists
+        (fun l ->
+          if l > 0 then Sat.model_value model l
+          else not (Sat.model_value model (-l)))
+        clause)
+    (Cnf.clauses cnf)
+
 let sat_props =
   (* random 3-CNF solved by our CDCL vs brute force *)
-  let gen_cnf =
-    QCheck2.Gen.(
-      let* nvars = int_range 3 8 in
-      let* nclauses = int_range 3 24 in
-      let* seeds = list_size (return (nclauses * 3)) (int_range 0 1_000_000) in
-      return (nvars, nclauses, seeds))
-  in
-  let build (nvars, nclauses, seeds) =
-    let cnf = Cnf.create () in
-    Cnf.reserve cnf nvars;
-    let seeds = Array.of_list seeds in
-    for c = 0 to nclauses - 1 do
-      let lit k =
-        let s = seeds.((3 * c) + k) in
-        let v = (s mod nvars) + 1 in
-        if s / nvars mod 2 = 0 then v else -v
-      in
-      Cnf.add_clause cnf [ lit 0; lit 1; lit 2 ]
-    done;
-    cnf
-  in
+  let build = build_cnf in
   let brute_sat cnf =
     let n = Cnf.nvars cnf in
     let clauses = Cnf.clauses cnf in
@@ -479,18 +493,142 @@ let sat_props =
       (QCheck2.Test.make ~name:"models really satisfy" ~count:150 gen_cnf
          (fun params ->
            let cnf = build params in
-           match Sat.solve_exn cnf with
+           match Sat.solve cnf with
            | Sat.Unsat -> true
-           | Sat.Sat model ->
-               List.for_all
-                 (fun clause ->
-                   Array.exists
-                     (fun l ->
-                       if l > 0 then Sat.model_value model l
-                       else not (Sat.model_value model (-l)))
-                     clause)
-                 (Cnf.clauses cnf)));
+           | Sat.Unknown _ -> false
+           | Sat.Sat model -> model_satisfies model cnf));
   ]
+
+(* ---------- incremental interface ---------- *)
+
+(* [solve ~assumptions] on a persistent solver — which keeps learned
+   clauses, activities and saved phases from every earlier call — must
+   agree with a throwaway solve of the same CNF with the assumptions
+   added as unit clauses. *)
+let incremental_props =
+  let gen =
+    QCheck2.Gen.(
+      let* params = gen_cnf in
+      let* assum_seeds = list_size (return 9) (int_range 0 1_000_000) in
+      return (params, assum_seeds))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"persistent solve ~assumptions = scratch solve with units"
+         ~count:150 gen
+         (fun (params, assum_seeds) ->
+           let nvars, _, _ = params in
+           let cnf = build_cnf params in
+           let solver = Sat.Solver.create () in
+           Sat.Solver.sync solver cnf;
+           let seeds = Array.of_list assum_seeds in
+           List.for_all
+             (fun round ->
+               (* rounds reuse the same solver with 1..3 assumption lits *)
+               let assumptions =
+                 List.init (round + 1) (fun k ->
+                     let s = seeds.((3 * round) + k) in
+                     let v = (s mod nvars) + 1 in
+                     if s / nvars mod 2 = 0 then v else -v)
+               in
+               let scratch_cnf = build_cnf params in
+               List.iter (fun l -> Cnf.add_clause scratch_cnf [ l ]) assumptions;
+               match
+                 (Sat.Solver.solve ~assumptions solver, Sat.solve scratch_cnf)
+               with
+               | Sat.Unsat, Sat.Unsat -> true
+               | Sat.Sat model, Sat.Sat _ ->
+                   model_satisfies model cnf
+                   && List.for_all
+                        (fun l ->
+                          if l > 0 then Sat.model_value model l
+                          else not (Sat.model_value model (-l)))
+                        assumptions
+               | _ -> false)
+             [ 0; 1; 2 ]));
+  ]
+
+(* Clause-database reduction must be invisible to callers: a solver
+   reused across several solve calls with a reduction limit low enough
+   to actually trigger still returns correct models, and the statistics
+   confirm learned clauses really were discarded. *)
+let test_sat_reuse_after_reduction () =
+  (* deterministic random 3-CNF near the phase transition: hard enough
+     for hundreds of conflicts, so Luby restarts and DB reductions fire *)
+  let lcg = ref 0x2545F49 in
+  let next () =
+    lcg := (!lcg * 1103515245) + 12345;
+    (!lcg lsr 7) land 0xFFFFFF
+  in
+  (* one CNF, two faces: a pigeonhole principle PHP(9,8) relaxed by a
+     fresh literal [r] (assuming [-r] makes it the classic hard UNSAT
+     instance; [r] switches it off), plus a planted-SAT random 3-CNF on
+     separate variables for the model-returning calls *)
+  let holes = 8 in
+  let pigeons = holes + 1 in
+  let r = 1 in
+  let pvar p h = 2 + (p * holes) + h in
+  let base = 1 + (pigeons * holes) in
+  let nvars2 = 40 in
+  let plant = Array.init (nvars2 + 1) (fun _ -> next () land 1 = 1) in
+  let cnf = Cnf.create () in
+  Cnf.reserve cnf (base + nvars2);
+  for p = 0 to pigeons - 1 do
+    Cnf.add_clause cnf (r :: List.init holes (fun h -> pvar p h))
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to pigeons - 1 do
+      for q = p + 1 to pigeons - 1 do
+        Cnf.add_clause cnf [ r; -pvar p h; -pvar q h ]
+      done
+    done
+  done;
+  for _ = 1 to 160 do
+    let lit () =
+      let v = (next () mod nvars2) + 1 in
+      if next () land 1 = 0 then base + v else -(base + v)
+    in
+    let sat_under_plant l =
+      if l > 0 then plant.(l - base) else not plant.(-l - base)
+    in
+    let c = [| lit (); lit (); lit () |] in
+    if not (Array.exists sat_under_plant c) then begin
+      let k = next () mod 3 in
+      c.(k) <- -c.(k)
+    end;
+    Cnf.add_clause cnf (Array.to_list c)
+  done;
+  let solver = Sat.Solver.of_cnf ~reduce_limit:50 cnf in
+  (* call 1: the hard UNSAT face — thousands of conflicts, so Luby
+     restarts and clause-DB reductions fire before it refutes *)
+  (match Sat.Solver.solve ~assumptions:[ -r ] solver with
+  | Sat.Unsat -> ()
+  | Sat.Sat _ -> Alcotest.fail "relaxed pigeonhole: bogus model"
+  | Sat.Unknown reason -> Alcotest.failf "pigeonhole call unknown: %s" reason);
+  Alcotest.(check bool) "reduction actually fired (removed > 0)" true
+    ((Sat.Solver.stats solver).Sat.removed > 0);
+  (* calls 2..4: SAT faces on the same solver — the surviving learned
+     clauses and rewritten clause DB must still yield correct models *)
+  for call = 2 to 4 do
+    let v = (call * 13 mod nvars2) + 1 in
+    let lit = if plant.(v) then base + v else -(base + v) in
+    match Sat.Solver.solve ~assumptions:[ r; lit ] solver with
+    | Sat.Sat model ->
+        Alcotest.(check bool)
+          (Printf.sprintf "call %d model satisfies" call)
+          true (model_satisfies model cnf);
+        Alcotest.(check bool)
+          (Printf.sprintf "call %d assumption honoured" call)
+          true
+          (if lit > 0 then Sat.model_value model lit
+           else not (Sat.model_value model (-lit)))
+    | Sat.Unsat -> Alcotest.failf "call %d unexpectedly unsat" call
+    | Sat.Unknown reason -> Alcotest.failf "call %d unknown: %s" call reason
+  done;
+  let stats = Sat.Solver.stats solver in
+  Alcotest.(check bool) "solver retained clauses (kept > 0)" true
+    (stats.Sat.kept > 0)
 
 (* ---------- Dimacs ---------- *)
 
@@ -522,6 +660,64 @@ let test_dimacs_errors () =
        ignore (Dimacs.parse_string "p cnf 1 1\n1\n");
        false
      with Failure _ -> true)
+
+let test_dimacs_corpus () =
+  (* every .cnf under test/dimacs/ declares its expected satisfiability
+     in a leading "c expect sat|unsat" comment; parse and solve each *)
+  (* the corpus is staged next to the test binary by the dune deps rule;
+     resolve it relative to the executable so `dune exec` from the
+     project root finds it too *)
+  let dir =
+    if Sys.file_exists "dimacs" then "dimacs"
+    else Filename.concat (Filename.dirname Sys.executable_name) "dimacs"
+  in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cnf")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "corpus present" true (List.length files >= 5);
+  List.iter
+    (fun file ->
+      let path = Filename.concat dir file in
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      let expected =
+        if String.length text >= 13 && String.sub text 0 13 = "c expect sat\n"
+        then true
+        else if
+          String.length text >= 15 && String.sub text 0 15 = "c expect unsat\n"
+        then false
+        else Alcotest.failf "%s: missing 'c expect sat|unsat' header" file
+      in
+      let cnf = Dimacs.parse_string text in
+      (match Sat.solve cnf with
+      | Sat.Sat model ->
+          Alcotest.(check bool) (file ^ ": expected satisfiable") true expected;
+          Alcotest.(check bool)
+            (file ^ ": model satisfies")
+            true
+            (model_satisfies model cnf)
+      | Sat.Unsat ->
+          Alcotest.(check bool) (file ^ ": expected unsat") false expected
+      | Sat.Unknown r -> Alcotest.failf "%s: unknown: %s" file r);
+      (* same answer through the incremental interface on a reused solver *)
+      let solver = Sat.Solver.create () in
+      Sat.Solver.sync solver cnf;
+      let first = Sat.Solver.solve solver in
+      let second = Sat.Solver.solve solver in
+      let decided = function
+        | Sat.Sat _ -> true
+        | Sat.Unsat -> false
+        | Sat.Unknown r -> Alcotest.failf "%s: incremental unknown: %s" file r
+      in
+      Alcotest.(check bool) (file ^ ": incremental agrees") expected
+        (decided first);
+      Alcotest.(check bool) (file ^ ": repeat solve agrees") expected
+        (decided second))
+    files
 
 let () =
   Alcotest.run "sttc_logic"
@@ -569,12 +765,15 @@ let () =
           Alcotest.test_case "assumptions" `Quick test_sat_assumptions;
           Alcotest.test_case "gate encodings" `Quick test_sat_gate_encodings;
           Alcotest.test_case "symbolic LUT" `Quick test_sat_symbolic_lut;
+          Alcotest.test_case "reuse across clause-DB reduction" `Quick
+            test_sat_reuse_after_reduction;
         ]
-        @ sat_props );
+        @ sat_props @ incremental_props );
       ( "dimacs",
         [
           Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "comments" `Quick test_dimacs_comments;
           Alcotest.test_case "errors" `Quick test_dimacs_errors;
+          Alcotest.test_case "regression corpus" `Quick test_dimacs_corpus;
         ] );
     ]

@@ -18,13 +18,6 @@ if [ "${1:-}" = "--full" ]; then
   benches="$QUICK $FULL"
 fi
 
-echo "== deprecated-alias gate (lib/ must use the unified Flow.run / Runner.rows API)"
-if grep -rnE '\bFlow\.(protect|protect_resilient)\b|\bRunner\.benchmark_rows\b' \
-     lib --include='*.ml'; then
-  echo "DEPRECATED ALIAS USED IN lib/ (migrate to Flow.run / Runner.rows)" >&2
-  exit 1
-fi
-
 echo "== dune build"
 dune build
 
@@ -48,6 +41,19 @@ if ! diff -u "$tmpdir/table1.j1" "$tmpdir/table1.j2"; then
   echo "PARALLEL MISMATCH: sttc table1 --quick differs between -j 1 and -j 2" >&2
   exit 1
 fi
+
+echo "== incremental-solver smoke (sttc attack keys must match the scratch baseline byte for byte)"
+sttc gen -b custom --gates 200 --pis 10 --pos 8 --ffs 0 -o "$tmpdir/atk.bench"
+for alg in independent dependent; do
+  sttc attack -i "$tmpdir/atk.bench" -a "$alg" --solver scratch \
+    --key-out "$tmpdir/key.$alg.scratch" > /dev/null
+  sttc attack -i "$tmpdir/atk.bench" -a "$alg" --solver incremental \
+    --key-out "$tmpdir/key.$alg.incremental" > /dev/null
+  if ! diff -u "$tmpdir/key.$alg.scratch" "$tmpdir/key.$alg.incremental"; then
+    echo "SOLVER MISMATCH: $alg keys differ between --solver scratch and incremental" >&2
+    exit 1
+  fi
+done
 
 status=0
 for b in $benches; do

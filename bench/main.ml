@@ -9,7 +9,9 @@
      dune exec bench/main.exe -- table1 table2 fig3 attacks faults micro
      dune exec bench/main.exe -- quick table1   # small-benchmark subset
      dune exec bench/main.exe -- -j 4 table1    # 4 worker domains
-     dune exec bench/main.exe -- parallel       # serial-vs-parallel record *)
+     dune exec bench/main.exe -- parallel       # serial-vs-parallel record
+     dune exec bench/main.exe -- --trace t.json --metrics m.json quick table1
+                                           # record observability output *)
 
 module Runner = Sttc_experiments.Runner
 module Flow = Sttc_core.Flow
@@ -323,17 +325,25 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let jobs = ref 1 in
-  let rec strip_jobs = function
+  let trace = ref None in
+  let metrics = ref None in
+  let rec strip = function
     | [] -> []
     | "-j" :: n :: rest ->
         jobs := int_of_string n;
-        strip_jobs rest
+        strip rest
     | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
         jobs := int_of_string (String.sub a 2 (String.length a - 2));
-        strip_jobs rest
-    | a :: rest -> a :: strip_jobs rest
+        strip rest
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        strip rest
+    | "--metrics" :: path :: rest ->
+        metrics := Some path;
+        strip rest
+    | a :: rest -> a :: strip rest
   in
-  let args = strip_jobs args in
+  let args = strip args in
   let jobs =
     if !jobs <= 0 then Sttc_util.Pool.default_jobs () else !jobs
   in
@@ -341,6 +351,7 @@ let () =
   let args = List.filter (fun a -> a <> "quick") args in
   let all = args = [] in
   let want name = all || List.mem name args in
+  Sttc_obs.Obs.with_run ?trace:!trace ?metrics:!metrics @@ fun () ->
   if want "fig1" then fig1 ();
   if want "table1" then table1 ~quick ~jobs ();
   if want "table2" then table2 ~quick ~jobs ();

@@ -32,6 +32,22 @@ let jobs_arg =
 
 let resolve_jobs j = if j <= 0 then Sttc_util.Pool.default_jobs () else j
 
+(* ---------- observability flags ---------- *)
+
+let trace_arg =
+  let doc =
+    "Record tracing spans during the run and write them to $(docv) as \
+     Chrome trace_event JSON (open in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Record metrics (counters, gauges, histograms) during the run and \
+     write the merged snapshot to $(docv) as JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 (* the CLI always wants the hard-failure semantics of the flow *)
 let protect_strict ~seed ?hardening alg nl =
   (Sttc_core.Flow.run ~seed ?hardening ~policy:Sttc_core.Flow.Strict alg nl)
@@ -479,7 +495,8 @@ let attack_cmd =
              key to $(docv), one 'node-id truth-table' line per LUT.  CI \
              diffs this file across --solver modes byte-for-byte.")
   in
-  let run input alg seed timeout jobs solver key_out =
+  let run input alg seed timeout jobs solver key_out trace metrics =
+    Sttc_obs.Obs.with_run ?trace ?metrics @@ fun () ->
     exit_of_result
       (match read_netlist input with
       | Error m -> Error m
@@ -526,7 +543,7 @@ let attack_cmd =
        ~doc:"Protect a netlist, then run the reverse-engineering attack campaign against it.")
     Term.(
       const run $ netlist_arg $ algorithm_arg $ seed_arg $ timeout $ jobs_arg
-      $ solver $ key_out)
+      $ solver $ key_out $ trace_arg $ metrics_arg)
 
 (* ---------- experiments ---------- *)
 
@@ -556,7 +573,8 @@ let isolate_arg =
   Arg.(value & flag & info [ "isolate" ] ~doc)
 
 let experiment_cmd name doc render =
-  let run quick seed checkpoint timeout isolate jobs =
+  let run quick seed checkpoint timeout isolate jobs trace metrics =
+    Sttc_obs.Obs.with_run ?trace ?metrics @@ fun () ->
     let module R = Sttc_experiments.Runner in
     let cfg =
       {
@@ -579,7 +597,7 @@ let experiment_cmd name doc render =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const run $ quick_arg $ seed_arg $ checkpoint_arg $ timeout_arg
-      $ isolate_arg $ jobs_arg)
+      $ isolate_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let fig1_cmd =
   Cmd.v
@@ -650,7 +668,8 @@ let faults_cmd =
          & info [ "resume-check" ]
              ~doc:"Run the checkpoint/resume self-test instead of the sweep.")
   in
-  let run bench rates stuck dies retries seed resume_check jobs =
+  let run bench rates stuck dies retries seed resume_check jobs trace metrics =
+    Sttc_obs.Obs.with_run ?trace ?metrics @@ fun () ->
     exit_of_result
       (if resume_check then
          match Sttc_experiments.Runner.resume_selftest ~seed () with
@@ -680,7 +699,7 @@ let faults_cmd =
           repair cost and post-repair equivalence of the provisioned part.")
     Term.(
       const run $ bench $ rates $ stuck $ dies $ retries $ seed_arg
-      $ resume_check $ jobs_arg)
+      $ resume_check $ jobs_arg $ trace_arg $ metrics_arg)
 
 let ablation_cmd =
   string_cmd "ablation"
@@ -692,9 +711,71 @@ let ablation_cmd =
       ^ "\n"
       ^ Sttc_experiments.Runner.ablation_constants ~seed ())
 
+(* ---------- version / obs-check ---------- *)
+
+let version_cmd =
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print build and version information (the same metadata stamped \
+          into --trace/--metrics headers).")
+    Term.(
+      const (fun () ->
+          print_string (Sttc_obs.Build_info.to_text ());
+          0)
+      $ const ())
+
+let obs_check_cmd =
+  let trace =
+    Arg.(value & opt (some file) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Chrome-trace JSON file to validate.")
+  in
+  let metrics =
+    Arg.(value & opt (some file) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Metrics JSON file to validate.")
+  in
+  let min_series =
+    Arg.(value & opt int 0
+         & info [ "min-series" ]
+             ~doc:"Fail unless the metrics file has at least this many series.")
+  in
+  let run trace metrics min_series =
+    exit_of_result
+      (if trace = None && metrics = None then
+         Error "obs-check needs --trace and/or --metrics"
+       else
+         Result.bind
+           (match trace with
+           | None -> Ok ()
+           | Some p -> (
+               match Sttc_obs.Obs.validate_trace_file p with
+               | Ok n ->
+                   Printf.printf "trace %s: OK (%d spans)\n" p n;
+                   Ok ()
+               | Error e -> Error (Printf.sprintf "trace %s: %s" p e)))
+           (fun () ->
+             match metrics with
+             | None -> Ok ()
+             | Some p -> (
+                 match Sttc_obs.Obs.validate_metrics_file ~min_series p with
+                 | Ok n ->
+                     Printf.printf "metrics %s: OK (%d series)\n" p n;
+                     Ok ()
+                 | Error e -> Error (Printf.sprintf "metrics %s: %s" p e))))
+  in
+  Cmd.v
+    (Cmd.info "obs-check"
+       ~doc:
+         "Validate observability output files: the trace must parse as \
+          Chrome trace_event JSON with well-nested spans, the metrics file \
+          must carry typed series and a provenance header.")
+    Term.(const run $ trace $ metrics $ min_series)
+
 let () =
   let doc = "Hybrid STT-CMOS designs for reverse-engineering prevention." in
-  let info = Cmd.info "sttc" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "sttc" ~version:Sttc_obs.Build_info.version ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
@@ -714,4 +795,6 @@ let () =
             baseline_cmd;
             ablation_cmd;
             faults_cmd;
+            version_cmd;
+            obs_check_cmd;
           ]))

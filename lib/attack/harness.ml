@@ -11,8 +11,25 @@ type entry = {
   seconds : float;
   oracle_queries : int;
   detail : string;
-  sat_stats : Sttc_logic.Sat.stats option;
+  sat_stats : Sttc_obs.Metrics.snapshot option;
 }
+
+(* Solver telemetry now has one representation: the harness converts the
+   solver's raw per-attack stats into the same snapshot shape the
+   metrics registry exports, under the same series names.  Sorted by
+   name, like every snapshot. *)
+let snapshot_of_sat_stats (s : Sttc_logic.Sat.stats) : Sttc_obs.Metrics.snapshot
+    =
+  let open Sttc_obs.Metrics in
+  [
+    ("sat.conflicts", Counter s.Sttc_logic.Sat.conflicts);
+    ("sat.decisions", Counter s.Sttc_logic.Sat.decisions);
+    ("sat.kept_clauses", Gauge (float_of_int s.Sttc_logic.Sat.kept));
+    ("sat.learned", Counter s.Sttc_logic.Sat.learned);
+    ("sat.propagations", Counter s.Sttc_logic.Sat.propagations);
+    ("sat.removed", Counter s.Sttc_logic.Sat.removed);
+    ("sat.restarts", Counter s.Sttc_logic.Sat.restarts);
+  ]
 
 type campaign = {
   circuit : string;
@@ -92,7 +109,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
           seconds = b.seconds;
           oracle_queries = b.queries;
           detail = Printf.sprintf "%d iterations" b.iterations;
-          sat_stats = Some b.stats;
+          sat_stats = Some (snapshot_of_sat_stats b.stats);
         }
     | Sat_attack.Exhausted e ->
         {
@@ -101,7 +118,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
           seconds = e.seconds;
           oracle_queries = 0;
           detail = e.reason;
-          sat_stats = Some e.stats;
+          sat_stats = Some (snapshot_of_sat_stats e.stats);
         }
   in
   let tt_entry () =
@@ -208,7 +225,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
             detail =
               Printf.sprintf "%d iterations, %d-cycle sequences" b.iterations
                 seq_frames;
-            sat_stats = Some b.stats;
+            sat_stats = Some (snapshot_of_sat_stats b.stats);
           }
       | Sat_attack.Exhausted e ->
           {
@@ -217,11 +234,29 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
             seconds = e.seconds;
             oracle_queries = 0;
             detail = e.reason;
-            sat_stats = Some e.stats;
+            sat_stats = Some (snapshot_of_sat_stats e.stats);
           }
   in
+  let instrumented name f () =
+    Sttc_obs.Span.with_ "harness.attack" ~cat:"attack"
+      ~attrs:[ ("attack", name); ("circuit", circuit) ]
+      (fun () ->
+        let e = f () in
+        Sttc_obs.Metrics.(
+          incr "harness.attacks";
+          incr ~by:e.oracle_queries "harness.oracle_queries";
+          observe "harness.attack_seconds" e.seconds);
+        e)
+  in
   let attacks =
-    [ sat_entry; seq_entry; tt_entry; tt_atpg_entry; guess_entry; brute_entry ]
+    [
+      instrumented "sat" sat_entry;
+      instrumented "sat-seq" seq_entry;
+      instrumented "truth-table" tt_entry;
+      instrumented "tt-atpg" tt_atpg_entry;
+      instrumented "hill-climb" guess_entry;
+      instrumented "brute-force" brute_entry;
+    ]
   in
   let entries =
     if jobs <= 1 then List.map (fun f -> f ()) attacks
@@ -257,11 +292,16 @@ let pp_campaign fmt c =
       Format.fprintf fmt "  %-12s %-14s %6.2fs %8d queries  %s" e.attack
         (verdict_string e.verdict) e.seconds e.oracle_queries e.detail;
       (match e.sat_stats with
-      | Some s ->
+      | Some snap ->
+          let c = Sttc_obs.Metrics.counter_value snap in
+          let kept =
+            match Sttc_obs.Metrics.find snap "sat.kept_clauses" with
+            | Some (Sttc_obs.Metrics.Gauge v) -> int_of_float v
+            | _ -> 0
+          in
           Format.fprintf fmt
             " [%d decisions, %d conflicts, %d learned, %d kept]"
-            s.Sttc_logic.Sat.decisions s.Sttc_logic.Sat.conflicts
-            s.Sttc_logic.Sat.learned s.Sttc_logic.Sat.kept
+            (c "sat.decisions") (c "sat.conflicts") (c "sat.learned") kept
       | None -> ());
       Format.fprintf fmt "@\n")
     c.entries

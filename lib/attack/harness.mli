@@ -13,9 +13,13 @@ type entry = {
   seconds : float;
   oracle_queries : int;
   detail : string;
-  sat_stats : Sttc_logic.Sat.stats option;
-      (** accumulated solver statistics — [Some] for the two SAT-based
-          attacks, [None] for the rest *)
+  sat_stats : Sttc_obs.Metrics.snapshot option;
+      (** accumulated solver statistics as a metrics snapshot
+          ([sat.decisions], [sat.conflicts], ... counters and the
+          [sat.kept_clauses] gauge) — [Some] for the two SAT-based
+          attacks, [None] for the rest.  The same series names the
+          metrics exporter writes, so solver telemetry has one
+          representation end to end. *)
 }
 
 type campaign = {

@@ -189,7 +189,10 @@ let run ?(max_iterations = 2000) ?(max_conflicts_per_call = 200_000)
         }
     else
       match
-        solve ~assumptions:[ act ] ~max_conflicts:max_conflicts_per_call ()
+        Sttc_obs.Span.with_ "sat.dip_iteration" ~cat:"attack"
+          ~attrs:[ ("iteration", string_of_int iteration) ]
+          (fun () ->
+            solve ~assumptions:[ act ] ~max_conflicts:max_conflicts_per_call ())
       with
       | Sat.Unknown _ ->
           Exhausted
@@ -310,7 +313,10 @@ let run_sequential ?(frames = 5) ?(max_iterations = 500)
         }
     else
       match
-        solve ~assumptions:[ act ] ~max_conflicts:max_conflicts_per_call ()
+        Sttc_obs.Span.with_ "sat.dip_iteration" ~cat:"attack"
+          ~attrs:[ ("iteration", string_of_int iteration) ]
+          (fun () ->
+            solve ~assumptions:[ act ] ~max_conflicts:max_conflicts_per_call ())
       with
       | Sat.Unknown _ ->
           Exhausted

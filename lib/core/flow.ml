@@ -37,6 +37,13 @@ let no_hardening = { extra_inputs_per_lut = 0; absorb_drivers = false }
 
 let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
     ?(fraction = 0.02) ?(hardening = no_hardening) algorithm netlist =
+  Sttc_obs.Span.with_ "flow.protect" ~cat:"core"
+    ~attrs:
+      [
+        ("algorithm", algorithm_name algorithm);
+        ("design", Netlist.design_name netlist);
+      ]
+  @@ fun () ->
   if Netlist.gates netlist = [] then
     invalid_arg "Flow.run: netlist has no CMOS gates";
   let rng = Rng.make (seed lxor Hashtbl.hash (algorithm_name algorithm)) in
@@ -90,6 +97,23 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
         in
         (Hybrid.make ~extra_inputs ~absorb netlist gates, meta))
   in
+  Sttc_obs.Metrics.(
+    incr "flow.protects";
+    observe "flow.selection_seconds" selection_seconds);
+  let obs_result r =
+    Sttc_obs.Metrics.(
+      incr ~by:(Netlist.gate_count netlist) "flow.gates";
+      incr ~by:(Hybrid.lut_count r.hybrid) "flow.luts";
+      incr ~by:(List.length r.lint) "flow.lint_diagnostics";
+      incr ~by:r.security.Security.missing_gates "flow.missing_gates";
+      incr ~by:r.security.Security.total_config_bits "flow.config_bits";
+      observe "flow.area_overhead_pct" r.overhead.Ppa.area_pct;
+      observe "flow.power_overhead_pct" r.overhead.Ppa.power_pct;
+      observe "flow.delay_overhead_pct" r.overhead.Ppa.performance_pct;
+      peak_gauge "flow.bf_keyspace_log10"
+        (Sttc_util.Lognum.log10 r.security.Security.n_bf));
+    r
+  in
   (* Every protect run is statically checked: a malformed hybrid would
      silently produce wrong security numbers downstream. *)
   let lint =
@@ -111,15 +135,16 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
   let overhead =
     Ppa.evaluate library ~base:netlist ~hybrid:(Hybrid.programmed hybrid)
   in
-  {
-    algorithm;
-    hybrid;
-    security;
-    overhead;
-    selection_seconds;
-    lint;
-    parametric_meta = meta;
-  }
+  obs_result
+    {
+      algorithm;
+      hybrid;
+      security;
+      overhead;
+      selection_seconds;
+      lint;
+      parametric_meta = meta;
+    }
 
 (* ---------- resilient protection ---------- *)
 
@@ -210,6 +235,14 @@ let default_resilience = { max_reseeds = 2 }
 type policy = Strict | Resilient of resilience
 
 let run ?seed ?library ?fraction ?hardening ~policy algorithm netlist =
+  Sttc_obs.Span.with_ "flow.run" ~cat:"core"
+    ~attrs:
+      [
+        ("algorithm", algorithm_name algorithm);
+        ( "policy",
+          match policy with Strict -> "strict" | Resilient _ -> "resilient" );
+      ]
+  @@ fun () ->
   match policy with
   | Strict ->
       let accepted = protect ?seed ?library ?fraction ?hardening algorithm netlist in

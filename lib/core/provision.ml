@@ -220,6 +220,18 @@ let structural_check nl entries =
           else Some (Unconfigured (List.rev unconfigured)))
 
 let program ?(resilience = no_resilience) ~channel nl entries =
+  Sttc_obs.Span.with_ "provision.program" ~cat:"core"
+    ~attrs:[ ("luts", string_of_int (List.length entries)) ]
+  @@ fun () ->
+  let record r =
+    Sttc_obs.Metrics.(
+      incr "provision.programs";
+      incr ~by:r.retried_bits "provision.retried_bits";
+      incr ~by:r.corrected_bits "provision.corrected_bits";
+      incr ~by:r.spared_bits "provision.spared_bits";
+      incr ~by:r.write_attempts "provision.write_attempts");
+    r
+  in
   let attempts0 = Mtj.attempts channel in
   let energy0 = Mtj.energy_units channel in
   let verify0 = Mtj.verify_reads channel in
@@ -237,16 +249,17 @@ let program ?(resilience = no_resilience) ~channel nl entries =
   in
   match structural_check nl entries with
   | Some cause ->
-      {
-        outcome = Failed cause;
-        view = None;
-        retried_bits = 0;
-        corrected_bits = 0;
-        spared_bits = 0;
-        failed_bits = [];
-        write_attempts = 0;
-        cost = cost 0;
-      }
+      record
+        {
+          outcome = Failed cause;
+          view = None;
+          retried_bits = 0;
+          corrected_bits = 0;
+          spared_bits = 0;
+          failed_bits = [];
+          write_attempts = 0;
+          cost = cost 0;
+        }
   | None ->
       let retried = ref 0
       and corrected = ref 0
@@ -334,16 +347,17 @@ let program ?(resilience = no_resilience) ~channel nl entries =
           Degraded { corrected_bits = !corrected; spared_bits = !spared }
         else Programmed
       in
-      {
-        outcome;
-        view = Some view;
-        retried_bits = !retried;
-        corrected_bits = !corrected;
-        spared_bits = !spared;
-        failed_bits;
-        write_attempts = Mtj.attempts channel - attempts0;
-        cost = cost !cells;
-      }
+      record
+        {
+          outcome;
+          view = Some view;
+          retried_bits = !retried;
+          corrected_bits = !corrected;
+          spared_bits = !spared;
+          failed_bits;
+          write_attempts = Mtj.attempts channel - attempts0;
+          cost = cost !cells;
+        }
 
 let pp_program_report fmt r =
   let outcome =

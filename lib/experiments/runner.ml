@@ -113,7 +113,10 @@ let save_checkpoint path seed rows =
   let oc = open_out_bin tmp in
   Marshal.to_channel oc (checkpoint_magic, seed, rows) [];
   close_out oc;
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  Sttc_obs.Metrics.incr "runner.checkpoint_saves";
+  Sttc_obs.Span.instant "runner.checkpoint_save" ~cat:"experiments"
+    ~attrs:[ ("rows", string_of_int (List.length rows)) ]
 
 let exn_reason = function
   | Invalid_argument m | Failure m -> m
@@ -189,19 +192,46 @@ let assemble_row info outcomes =
 
 let protect_outcome ~guard ~emit ~seed ~name nl alg =
   let alg_name = Flow.algorithm_name alg in
-  match guard.guard (fun () -> strict ~seed alg nl) with
+  let t0 = Pool.now_s () in
+  let outcome =
+    Sttc_obs.Span.with_ "runner.protect" ~cat:"experiments"
+      ~attrs:[ ("benchmark", name); ("algorithm", alg_name) ]
+      (fun () -> guard.guard (fun () -> strict ~seed alg nl))
+  in
+  Sttc_obs.Metrics.observe "runner.protect_seconds" (Pool.now_s () -. t0);
+  match outcome with
   | `Ok r -> Ok (alg_name, r)
   | (`Timeout _ | `Crash _) as a ->
       emit_attempt emit ~benchmark:name ~stage:(Protect alg_name) a;
       Error (alg_name, attempt_reason "protect" a)
 
+let guarded_build ~guard info =
+  let name = info.Profiles.name in
+  let t0 = Pool.now_s () in
+  let b =
+    Sttc_obs.Span.with_ "runner.build" ~cat:"experiments"
+      ~attrs:[ ("benchmark", name) ]
+      (fun () -> guard.guard (fun () -> Profiles.build info))
+  in
+  Sttc_obs.Metrics.observe "runner.build_seconds" (Pool.now_s () -. t0);
+  b
+
 let run_benchmark_serial ~guard ~emit ~seed info =
   let name = info.Profiles.name in
   emit (Started name);
-  match guard.guard (fun () -> Profiles.build info) with
+  Sttc_obs.Metrics.incr "runner.benchmarks";
+  Sttc_obs.Span.with_ "runner.row" ~cat:"experiments"
+    ~attrs:[ ("benchmark", name) ]
+  @@ fun () ->
+  let t0 = Pool.now_s () in
+  let finish row =
+    Sttc_obs.Metrics.observe "runner.row_seconds" (Pool.now_s () -. t0);
+    row
+  in
+  match guarded_build ~guard info with
   | (`Timeout _ | `Crash _) as a ->
       emit_attempt emit ~benchmark:name ~stage:Build a;
-      build_failed_row info (attempt_reason "build" a)
+      finish (build_failed_row info (attempt_reason "build" a))
   | `Ok nl ->
       let outcomes =
         List.map (protect_outcome ~guard ~emit ~seed ~name nl)
@@ -209,7 +239,8 @@ let run_benchmark_serial ~guard ~emit ~seed info =
       in
       let row = assemble_row info outcomes in
       emit (Finished row);
-      row
+      Sttc_obs.Metrics.incr "runner.rows";
+      finish row
 
 (* Serial: benchmarks run one after the other, incrementally
    checkpointed — byte-for-byte the historical behaviour. *)
@@ -265,7 +296,8 @@ let rows_parallel ~cfg infos completed0 =
             (fun info ->
               let name = info.Profiles.name in
               emit (Started name);
-              match guard.guard (fun () -> Profiles.build info) with
+              Sttc_obs.Metrics.incr "runner.benchmarks";
+              match guarded_build ~guard info with
               | `Ok nl ->
                   (* force the lazy topology caches while the netlist is
                      still private to this task: the protect tasks read
@@ -307,6 +339,7 @@ let rows_parallel ~cfg infos completed0 =
                 in
                 let row = assemble_row info outcomes in
                 emit (Finished row);
+                Sttc_obs.Metrics.incr "runner.rows";
                 (name, row))
           builds)
   in
@@ -344,6 +377,11 @@ let rows (cfg : Config.t) =
     | Some p -> load_checkpoint p cfg.Config.seed
     | None -> []
   in
+  if completed <> [] then begin
+    Sttc_obs.Metrics.incr "runner.checkpoint_restores";
+    Sttc_obs.Span.instant "runner.checkpoint_restore" ~cat:"experiments"
+      ~attrs:[ ("rows", string_of_int (List.length completed)) ]
+  end;
   (* Work left after checkpoint restore, in gate-level units: protect +
      re-simulate cost scales with circuit size times the algorithm
      count.  Small bags (the quick Table I set is ~9k units) lose more
@@ -384,6 +422,9 @@ let attack_campaign ?(seed = master_seed) ?(sat_timeout_s = 15.) ?(jobs = 1)
   in
   let nl = Sttc_netlist.Generator.generate ~seed:11 spec in
   let campaign alg =
+    Sttc_obs.Span.with_ "runner.campaign" ~cat:"experiments"
+      ~attrs:[ ("algorithm", Flow.algorithm_name alg) ]
+    @@ fun () ->
     let r = strict ~seed alg nl in
     Sttc_attack.Harness.run ~sat_timeout_s ~tt_budget:3000 ~guess_rounds:6
       ~circuit:spec.Sttc_netlist.Generator.design_name
@@ -691,6 +732,9 @@ let fault_sweep ?(seed = master_seed) ?(bench = "s641")
     ?(algorithm = Flow.Dependent) ?(rates = [ 1e-4; 1e-3; 1e-2; 5e-2 ])
     ?(stuck_rate = 0.) ?(dies = 12)
     ?(resilience = Provision.default_resilience) ?(jobs = 1) () =
+  Sttc_obs.Span.with_ "runner.fault_sweep" ~cat:"experiments"
+    ~attrs:[ ("bench", bench) ]
+  @@ fun () ->
   let nl = Profiles.build_by_name bench in
   let r = strict ~seed algorithm nl in
   let hybrid = r.Flow.hybrid in

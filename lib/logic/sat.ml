@@ -565,16 +565,30 @@ module Solver = struct
     let at_entry = stats s in
     let finish r =
       let now = stats s in
-      Domain.DLS.get stats_key
-      := {
-           decisions = now.decisions - at_entry.decisions;
-           propagations = now.propagations - at_entry.propagations;
-           conflicts = now.conflicts - at_entry.conflicts;
-           learned = now.learned - at_entry.learned;
-           kept = now.kept;
-           removed = now.removed - at_entry.removed;
-           restarts = now.restarts - at_entry.restarts;
-         };
+      let d =
+        {
+          decisions = now.decisions - at_entry.decisions;
+          propagations = now.propagations - at_entry.propagations;
+          conflicts = now.conflicts - at_entry.conflicts;
+          learned = now.learned - at_entry.learned;
+          kept = now.kept;
+          removed = now.removed - at_entry.removed;
+          restarts = now.restarts - at_entry.restarts;
+        }
+      in
+      Domain.DLS.get stats_key := d;
+      (* per-call deltas only: the search loop itself stays untouched,
+         so tracing cost is per solve call, not per propagation *)
+      if Sttc_obs.Obs.enabled () then
+        Sttc_obs.Metrics.(
+          incr "sat.solve_calls";
+          incr ~by:d.decisions "sat.decisions";
+          incr ~by:d.propagations "sat.propagations";
+          incr ~by:d.conflicts "sat.conflicts";
+          incr ~by:d.learned "sat.learned";
+          incr ~by:d.removed "sat.removed";
+          incr ~by:d.restarts "sat.restarts";
+          peak_gauge "sat.kept_clauses" (float_of_int d.kept));
       r
     in
     if s.unsat then finish Unsat
@@ -623,6 +637,9 @@ module Solver = struct
                   raise (Done Unsat)
                 end;
                 reduce_db s;
+                Sttc_obs.Metrics.incr "sat.reduce_events";
+                Sttc_obs.Span.instant "sat.reduce_db" ~cat:"sat"
+                  ~attrs:[ ("live", string_of_int s.learnt_live) ];
                 s.reduce_limit <- s.reduce_limit + reduce_step
               end
             end

@@ -1,0 +1,28 @@
+let version = "1.0.0"
+
+let commit () =
+  match Sys.getenv_opt "STTC_COMMIT" with
+  | Some c when String.trim c <> "" -> String.trim c
+  | Some _ | None -> "unknown"
+
+let to_fields () =
+  [
+    ("tool", Json.String "sttc");
+    ("version", Json.String version);
+    ("commit", Json.String (commit ()));
+    ("ocaml", Json.String Sys.ocaml_version);
+    ("os", Json.String Sys.os_type);
+    ("word_size", Json.Int Sys.word_size);
+  ]
+
+let to_text () =
+  let field (k, v) =
+    let s =
+      match v with
+      | Json.String s -> s
+      | Json.Int i -> string_of_int i
+      | v -> Json.to_string ~minify:true v
+    in
+    Printf.sprintf "%-10s %s" (k ^ ":") s
+  in
+  String.concat "\n" (List.map field (to_fields ())) ^ "\n"

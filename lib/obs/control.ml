@@ -1,0 +1,21 @@
+let flag = Atomic.make false
+
+(* ns on the process monotonic clock at the first enable; 0 = unset *)
+let origin_ns = Atomic.make 0L
+
+let enabled () = Atomic.get flag
+
+let enable () =
+  if Atomic.get origin_ns = 0L then
+    ignore
+      (Atomic.compare_and_set origin_ns 0L (Monotonic_clock.now ()));
+  Atomic.set flag true
+
+let disable () = Atomic.set flag false
+
+let now_us () =
+  let o = Atomic.get origin_ns in
+  if o = 0L then 0.
+  else Int64.to_float (Int64.sub (Monotonic_clock.now ()) o) /. 1e3
+
+let reset_origin () = Atomic.set origin_ns 0L

@@ -1,0 +1,28 @@
+(** The observability master switch and the trace clock.
+
+    Everything in [Sttc_obs] funnels its "should I record at all?"
+    question through {!enabled}: one atomic load and a branch, so an
+    uninstrumented binary and an instrumented-but-disabled run execute
+    the same benchmark code and produce byte-identical output.
+
+    The clock is the process monotonic clock re-based to the moment
+    observability was first enabled, so trace timestamps start near
+    zero and are comparable across domains (the monotonic clock is
+    per-process, not per-domain). *)
+
+val enabled : unit -> bool
+(** Fast path: a single [Atomic.get]. *)
+
+val enable : unit -> unit
+(** Turn recording on; the first call fixes the trace clock origin. *)
+
+val disable : unit -> unit
+(** Turn recording off.  Already-buffered data stays until {!reset}. *)
+
+val now_us : unit -> float
+(** Microseconds since the clock origin (0. before the first
+    {!enable}). *)
+
+val reset_origin : unit -> unit
+(** Forget the clock origin so the next {!enable} re-bases; used by the
+    full [Obs.reset]. *)

@@ -1,0 +1,265 @@
+let ( let* ) = Result.bind
+
+(* ---------- rendering ---------- *)
+
+let tid_of = function
+  | Span.Complete { tid; _ } | Span.Instant { tid; _ } -> tid
+
+let track_name tid = if tid = 0 then "main" else Printf.sprintf "domain-%d" tid
+
+let thread_meta tid =
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String (track_name tid)) ]);
+    ]
+
+let attr_fields attrs = List.map (fun (k, v) -> (k, Json.String v)) attrs
+
+let event_json = function
+  | Span.Complete { name; cat; ts_us; dur_us; tid; depth; parent; attrs } ->
+      let args =
+        attr_fields attrs
+        @ [ ("depth", Json.Int depth) ]
+        @ (match parent with
+          | None -> []
+          | Some p -> [ ("parent", Json.String p) ])
+      in
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("cat", Json.String cat);
+          ("ph", Json.String "X");
+          ("ts", Json.Float ts_us);
+          ("dur", Json.Float dur_us);
+          ("pid", Json.Int 1);
+          ("tid", Json.Int tid);
+          ("args", Json.Obj args);
+        ]
+  | Span.Instant { name; cat; ts_us; tid; attrs } ->
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("cat", Json.String cat);
+          ("ph", Json.String "i");
+          ("s", Json.String "t");
+          ("ts", Json.Float ts_us);
+          ("pid", Json.Int 1);
+          ("tid", Json.Int tid);
+          ("args", Json.Obj (attr_fields attrs));
+        ]
+
+let trace_json () =
+  let evs = Span.events () in
+  let tids = List.sort_uniq compare (List.map tid_of evs) in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (List.map thread_meta tids @ List.map event_json evs) );
+      ( "otherData",
+        Json.Obj
+          (Build_info.to_fields ()
+          @ [ ("dropped_events", Json.Int (Span.dropped ())) ]) );
+    ]
+
+let metrics_json () =
+  Json.Obj
+    [
+      ("meta", Json.Obj (Build_info.to_fields ()));
+      ("metrics", Metrics.to_json (Metrics.snapshot ()));
+    ]
+
+let write_file path j =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string j);
+      output_char oc '\n');
+  Sys.rename tmp path
+
+(* ---------- validation ---------- *)
+
+let need msg = function Some x -> Ok x | None -> Error msg
+
+let str_field ctx k j =
+  need
+    (Printf.sprintf "%s: missing or non-string field %S" ctx k)
+    (Option.bind (Json.member k j) Json.to_string_opt)
+
+let int_field ctx k j =
+  need
+    (Printf.sprintf "%s: missing or non-integer field %S" ctx k)
+    (Option.bind (Json.member k j) Json.to_int_opt)
+
+let num_field ctx k j =
+  need
+    (Printf.sprintf "%s: missing or non-numeric field %S" ctx k)
+    (Option.bind (Json.member k j) Json.to_float_opt)
+
+let check_meta ctx j =
+  let* _ = str_field ctx "version" j in
+  let* _ = str_field ctx "commit" j in
+  let* _ = str_field ctx "tool" j in
+  Ok ()
+
+(* Span containment tolerance: timestamps round-trip through a %.12g
+   float representation, so parent/child boundaries can disagree by a
+   few nanoseconds without anything being wrong. *)
+let eps = 0.005
+
+(* One domain's complete events must nest: sweeping in start order, a
+   span starting inside a still-open span must also end inside it. *)
+let check_nesting tid spans =
+  let sorted =
+    List.sort
+      (fun (t1, d1, _) (t2, d2, _) ->
+        match Float.compare t1 t2 with
+        | 0 -> Float.compare d2 d1 (* enclosing span first on ties *)
+        | c -> c)
+      spans
+  in
+  let rec pop_finished ts = function
+    | (e, _) :: tl when e <= ts +. eps -> pop_finished ts tl
+    | stack -> stack
+  in
+  let rec sweep stack = function
+    | [] -> Ok ()
+    | (ts, dur, name) :: rest -> (
+        let stack = pop_finished ts stack in
+        match stack with
+        | (pend, pname) :: _ when ts +. dur > pend +. eps ->
+            Error
+              (Printf.sprintf
+                 "tid %d: span %S [%g, %g] overlaps but does not nest in \
+                  open span %S (ends %g)"
+                 tid name ts (ts +. dur) pname pend)
+        | _ -> sweep ((ts +. dur, name) :: stack) rest)
+  in
+  sweep [] sorted
+
+let validate_trace j =
+  let* events =
+    need "traceEvents: missing or not a list"
+      (Option.bind (Json.member "traceEvents" j) Json.to_list_opt)
+  in
+  let* other = need "otherData: missing" (Json.member "otherData" j) in
+  let* () = check_meta "otherData" other in
+  let by_tid : (int, (float * float * string) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let spans = ref 0 in
+  let rec check_events i = function
+    | [] -> Ok ()
+    | ev :: rest ->
+        let ctx = Printf.sprintf "event %d" i in
+        let* name = str_field ctx "name" ev in
+        let* ph = str_field ctx "ph" ev in
+        let* _pid = int_field ctx "pid" ev in
+        let* tid = int_field ctx "tid" ev in
+        let ctx = Printf.sprintf "event %d (%s)" i name in
+        let* () =
+          if ph = "M" then Ok ()
+          else
+            let* ts = num_field ctx "ts" ev in
+            let* () =
+              if ts < 0. then Error (ctx ^ ": negative ts") else Ok ()
+            in
+            match ph with
+            | "X" ->
+                let* dur = num_field ctx "dur" ev in
+                if dur < 0. then Error (ctx ^ ": negative dur")
+                else begin
+                  incr spans;
+                  let cell =
+                    match Hashtbl.find_opt by_tid tid with
+                    | Some r -> r
+                    | None ->
+                        let r = ref [] in
+                        Hashtbl.add by_tid tid r;
+                        r
+                  in
+                  cell := (ts, dur, name) :: !cell;
+                  Ok ()
+                end
+            | "i" -> Ok ()
+            | _ -> Error (Printf.sprintf "%s: unsupported ph %S" ctx ph)
+        in
+        check_events (i + 1) rest
+  in
+  let* () = check_events 0 events in
+  let* () =
+    Hashtbl.fold
+      (fun tid cell acc ->
+        let* () = acc in
+        check_nesting tid !cell)
+      by_tid (Ok ())
+  in
+  Ok !spans
+
+let check_series (name, v) =
+  let ctx = Printf.sprintf "series %s" name in
+  let* ty = str_field ctx "type" v in
+  match ty with
+  | "counter" ->
+      let* value = int_field ctx "value" v in
+      if value < 0 then Error (ctx ^ ": negative counter") else Ok ()
+  | "gauge" ->
+      let* _ = num_field ctx "value" v in
+      Ok ()
+  | "histogram" ->
+      let* count = int_field ctx "count" v in
+      let* _sum = num_field ctx "sum" v in
+      let* _min = num_field ctx "min" v in
+      let* _max = num_field ctx "max" v in
+      let* overflow = int_field ctx "overflow" v in
+      let* buckets =
+        need
+          (ctx ^ ": missing or non-list field \"buckets\"")
+          (Option.bind (Json.member "buckets" v) Json.to_list_opt)
+      in
+      let rec walk prev_le total = function
+        | [] -> Ok total
+        | b :: rest ->
+            let* le = num_field ctx "le" b in
+            let* c = int_field ctx "count" b in
+            if le <= prev_le then
+              Error (ctx ^ ": bucket bounds not strictly increasing")
+            else if c <= 0 then
+              Error (ctx ^ ": bucket with non-positive count")
+            else walk le (total + c) rest
+      in
+      let* in_buckets = walk neg_infinity 0 buckets in
+      if count < 0 then Error (ctx ^ ": negative count")
+      else if overflow < 0 then Error (ctx ^ ": negative overflow")
+      else if in_buckets + overflow <> count then
+        Error
+          (Printf.sprintf "%s: bucket counts (%d) + overflow (%d) <> count (%d)"
+             ctx in_buckets overflow count)
+      else Ok ()
+  | other -> Error (Printf.sprintf "%s: unknown type %S" ctx other)
+
+let validate_metrics ?(min_series = 0) j =
+  let* meta = need "meta: missing" (Json.member "meta" j) in
+  let* () = check_meta "meta" meta in
+  let* series =
+    need "metrics: missing or not an object"
+      (match Json.member "metrics" j with
+      | Some (Json.Obj fields) -> Some fields
+      | _ -> None)
+  in
+  let rec each = function
+    | [] -> Ok ()
+    | s :: rest ->
+        let* () = check_series s in
+        each rest
+  in
+  let* () = each series in
+  let n = List.length series in
+  if n < min_series then
+    Error (Printf.sprintf "only %d metric series, need at least %d" n min_series)
+  else Ok n

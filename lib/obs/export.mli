@@ -1,0 +1,35 @@
+(** Exporters and validators for the two observability file formats.
+
+    - {!trace_json} — Chrome [trace_event] JSON (the ["traceEvents"]
+      object form), loadable in [chrome://tracing] and Perfetto.  Every
+      span becomes a complete ("ph":"X") event on its recording
+      domain's track; instants become "ph":"i" events; one metadata
+      event per domain names its track.
+    - {!metrics_json} — [{"meta": ..., "metrics": ...}] with one field
+      per series.
+
+    Both embed the {!Build_info} metadata block, so a file can always
+    be tied back to the build that wrote it.
+
+    The validators re-read a file through {!Json.of_string} and check
+    the structural contract the CI gate relies on: required keys,
+    typed fields, and — for traces — that the spans of each domain
+    nest properly (no partially overlapping intervals).  They validate
+    files this build did {e not} write, too; that is the point. *)
+
+val trace_json : unit -> Json.t
+(** Snapshot of all recorded span/instant events. *)
+
+val metrics_json : unit -> Json.t
+(** Snapshot of all metric series. *)
+
+val write_file : string -> Json.t -> unit
+(** Write atomically (temp file + rename), so a crash mid-export never
+    leaves a torn half-JSON behind. *)
+
+val validate_trace : Json.t -> (int, string) result
+(** [Ok n] with [n] the number of complete span events. *)
+
+val validate_metrics : ?min_series:int -> Json.t -> (int, string) result
+(** [Ok n] with [n] the number of series; [min_series] (default 0)
+    additionally requires at least that many. *)

@@ -1,0 +1,39 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability exporters need to {e write} Chrome-trace and
+    metrics JSON, and the CI gate needs to {e read} them back to prove
+    they are well formed — with no JSON library in the toolchain, both
+    directions live here.  The dialect is plain RFC 8259 minus the
+    corner cases the exporters never produce: numbers are OCaml [int]s
+    or finite [float]s, strings are UTF-8 carried verbatim (with
+    [\uXXXX] escapes decoded on input). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Render; [minify:false] (default) pretty-prints with two-space
+    indentation, the format the CI gate diffs and humans read.  Floats
+    must be finite: NaN or infinities raise [Invalid_argument] rather
+    than emit invalid JSON. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; the error is ["offset N: message"].
+    Trailing non-whitespace input is an error. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] — field lookup; [None] on missing key or
+    non-object. *)
+
+val to_list_opt : t -> t list option
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** Accepts both [Int] and [Float] nodes. *)
+
+val to_string_opt : t -> string option

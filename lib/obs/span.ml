@@ -1,0 +1,109 @@
+type event =
+  | Complete of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      dur_us : float;
+      tid : int;
+      depth : int;
+      parent : string option;
+      attrs : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      tid : int;
+      attrs : (string * string) list;
+    }
+
+let max_events = 200_000
+
+type buffer = {
+  tid : int;
+  mutable events : event list; (* newest first *)
+  mutable n : int;
+  mutable dropped : int;
+  mutable stack : string list; (* open span names, innermost first *)
+}
+
+let registry_mutex = Mutex.create ()
+let registry : buffer list ref = ref []
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          tid = (Domain.self () :> int);
+          events = [];
+          n = 0;
+          dropped = 0;
+          stack = [];
+        }
+      in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let record b ev =
+  if b.n >= max_events then b.dropped <- b.dropped + 1
+  else begin
+    b.events <- ev :: b.events;
+    b.n <- b.n + 1
+  end
+
+let with_ ?(cat = "sttc") ?(attrs = []) name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let b = Domain.DLS.get buffer_key in
+    let parent = match b.stack with p :: _ -> Some p | [] -> None in
+    let depth = List.length b.stack in
+    b.stack <- name :: b.stack;
+    let ts_us = Control.now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur_us = Control.now_us () -. ts_us in
+        (match b.stack with
+        | _ :: rest -> b.stack <- rest
+        | [] -> () (* unbalanced reset mid-span; drop silently *));
+        if Control.enabled () then
+          record b (Complete { name; cat; ts_us; dur_us; tid = b.tid; depth; parent; attrs }))
+      f
+  end
+
+let instant ?(cat = "sttc") ?(attrs = []) name =
+  if Control.enabled () then begin
+    let b = Domain.DLS.get buffer_key in
+    record b
+      (Instant { name; cat; ts_us = Control.now_us (); tid = b.tid; attrs })
+  end
+
+let ts = function Complete { ts_us; _ } | Instant { ts_us; _ } -> ts_us
+
+let events () =
+  let buffers =
+    Mutex.lock registry_mutex;
+    let b = !registry in
+    Mutex.unlock registry_mutex;
+    b
+  in
+  List.concat_map (fun b -> List.rev b.events) buffers
+  |> List.stable_sort (fun a b -> Float.compare (ts a) (ts b))
+
+let dropped () =
+  Mutex.lock registry_mutex;
+  let n = List.fold_left (fun acc b -> acc + b.dropped) 0 !registry in
+  Mutex.unlock registry_mutex;
+  n
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun b ->
+      b.events <- [];
+      b.n <- 0;
+      b.dropped <- 0;
+      b.stack <- [])
+    !registry;
+  Mutex.unlock registry_mutex

@@ -31,6 +31,22 @@ let check_deadline () =
 let remaining_s () =
   Option.map (fun d -> d -. now_s ()) !(Domain.DLS.get deadline_key)
 
+(* ---------- instrumentation probe ---------- *)
+
+(* The pool sits below the observability library in the dependency
+   order, so it cannot record spans or metrics itself; instead it
+   exposes one hook that an observer installs at startup.  Absent a
+   probe the cost is one [Atomic.get] per [map] call. *)
+
+type probe = {
+  on_submit : tasks:int -> chunks:int -> unit;
+  around_chunk : size:int -> (unit -> unit) -> unit;
+}
+
+let probe : probe option Atomic.t = Atomic.make None
+
+let set_probe p = Atomic.set probe p
+
 (* ---------- the pool ---------- *)
 
 type t = {
@@ -155,6 +171,10 @@ let map ?deadline_s t f items =
       if !pending = 0 then Condition.broadcast t.done_cond;
       Mutex.unlock t.mutex
     in
+    let probe = Atomic.get probe in
+    (match probe with
+    | Some p -> p.on_submit ~tasks:n ~chunks:nchunks
+    | None -> ());
     Mutex.lock t.mutex;
     if t.stop then begin
       Mutex.unlock t.mutex;
@@ -163,7 +183,13 @@ let map ?deadline_s t f items =
     for c = 0 to nchunks - 1 do
       let lo = c * chunk in
       let hi = min (n - 1) (lo + chunk - 1) in
-      Queue.add (fun () -> run_range lo hi) t.queue
+      let body () = run_range lo hi in
+      let task =
+        match probe with
+        | Some p -> fun () -> p.around_chunk ~size:(hi - lo + 1) body
+        | None -> body
+      in
+      Queue.add task t.queue
     done;
     Condition.broadcast t.work_cond;
     while !pending > 0 do

@@ -93,6 +93,27 @@ val with_pool : ?chunk:int -> jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down on
     the way out, exceptions included. *)
 
+(** {1 Instrumentation probe}
+
+    The pool sits below the observability layer in the dependency
+    order, so rather than record anything itself it exposes one hook.
+    [Sttc_obs.Obs.attach_pool] installs a probe that turns these
+    callbacks into spans and metrics; without one, the overhead is a
+    single atomic load per {!map} call. *)
+
+type probe = {
+  on_submit : tasks:int -> chunks:int -> unit;
+      (** called once per {!map} submission, on the calling domain,
+          before any work is enqueued *)
+  around_chunk : size:int -> (unit -> unit) -> unit;
+      (** wraps each chunk's execution on its worker domain; must call
+          the thunk exactly once ([size] = tasks in the chunk) *)
+}
+
+val set_probe : probe option -> unit
+(** Install or remove the global probe.  Affects subsequent {!map}
+    calls; intended for process startup, not mid-run toggling. *)
+
 (** {1 Cooperative deadlines}
 
     Available to task code regardless of which pool runs it. *)

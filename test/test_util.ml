@@ -277,6 +277,23 @@ let test_timing_nested_rejected () =
   | Ok n -> Alcotest.(check int) "timer re-armable" 42 n
   | Error `Timeout -> Alcotest.fail "trivial body timed out"
 
+let test_timing_off_main_domain_rejected () =
+  (* SIGALRM timers are per-process: arming one from a worker domain
+     would race the main domain's budget, so it must be refused *)
+  let raised =
+    Domain.spawn (fun () ->
+        try
+          ignore (Timing.with_timeout ~seconds:1. (fun () -> 0));
+          false
+        with Invalid_argument _ -> true)
+    |> Domain.join
+  in
+  Alcotest.(check bool) "non-main domain raises" true raised;
+  (* the refusal leaves the main domain's timer usable *)
+  match Timing.with_timeout ~seconds:5. (fun () -> 6 * 7) with
+  | Ok n -> Alcotest.(check int) "main domain still works" 42 n
+  | Error `Timeout -> Alcotest.fail "trivial body timed out"
+
 (* ---------- Pool ---------- *)
 
 module Pool = Sttc_util.Pool
@@ -395,6 +412,23 @@ let test_pool_empty_and_chunked () =
         (List.init 11 Fun.id)
         (Pool.map_exn pool Fun.id (List.init 11 Fun.id)))
 
+let test_pool_worthwhile () =
+  (* one worker or one task can never beat the serial loop *)
+  Alcotest.(check bool) "jobs=1" false
+    (Pool.worthwhile ~jobs:1 ~tasks:100 ~work:infinity ());
+  Alcotest.(check bool) "single task" false
+    (Pool.worthwhile ~jobs:4 ~tasks:1 ~work:infinity ());
+  (* the work estimate gates fan-out at min_work *)
+  Alcotest.(check bool) "below min_work" false
+    (Pool.worthwhile ~min_work:10. ~jobs:4 ~tasks:8 ~work:9.99 ());
+  Alcotest.(check bool) "at min_work" true
+    (Pool.worthwhile ~min_work:10. ~jobs:4 ~tasks:8 ~work:10. ());
+  Alcotest.(check bool) "default min_work" true
+    (Pool.worthwhile ~jobs:2 ~tasks:2 ~work:1. ());
+  (* callers with no estimate pass infinity and rely on the task count *)
+  Alcotest.(check bool) "unknown work fans out" true
+    (Pool.worthwhile ~jobs:2 ~tasks:2 ~work:infinity ())
+
 (* ---------- Table ---------- *)
 
 let test_table_render () =
@@ -465,6 +499,8 @@ let () =
           Alcotest.test_case "time" `Quick test_timing_time;
           Alcotest.test_case "nested timeout rejected" `Quick
             test_timing_nested_rejected;
+          Alcotest.test_case "off-main-domain timeout rejected" `Quick
+            test_timing_off_main_domain_rejected;
         ] );
       ( "pool",
         [
@@ -488,6 +524,8 @@ let () =
             test_pool_shutdown_refuses_new_work;
           Alcotest.test_case "empty and chunked bags" `Quick
             test_pool_empty_and_chunked;
+          Alcotest.test_case "worthwhile heuristic" `Quick
+            test_pool_worthwhile;
         ] );
       ( "table",
         [

@@ -42,6 +42,16 @@ if ! diff -u "$tmpdir/table1.j1" "$tmpdir/table1.j2"; then
   exit 1
 fi
 
+echo "== observability smoke (traced run must validate and leave the table unchanged)"
+sttc table1 --quick -j 2 --trace "$tmpdir/table1.trace.json" \
+  --metrics "$tmpdir/table1.metrics.json" > "$tmpdir/table1.traced"
+sttc obs-check --trace "$tmpdir/table1.trace.json" \
+  --metrics "$tmpdir/table1.metrics.json" --min-series 15
+if ! diff -u "$tmpdir/table1.j2" "$tmpdir/table1.traced"; then
+  echo "OBSERVABILITY PERTURBED OUTPUT: traced sttc table1 --quick differs from the untraced run" >&2
+  exit 1
+fi
+
 echo "== incremental-solver smoke (sttc attack keys must match the scratch baseline byte for byte)"
 sttc gen -b custom --gates 200 --pis 10 --pos 8 --ffs 0 -o "$tmpdir/atk.bench"
 for alg in independent dependent; do

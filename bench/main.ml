@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- quick table1   # small-benchmark subset
      dune exec bench/main.exe -- -j 4 table1    # 4 worker domains
      dune exec bench/main.exe -- parallel       # serial-vs-parallel record
+     dune exec bench/main.exe -- lint           # semantic-lint record
      dune exec bench/main.exe -- --trace t.json --metrics m.json quick table1
                                            # record observability output *)
 
@@ -257,6 +258,95 @@ let sat_bench () =
     exit 1
   end
 
+(* ---------- semantic lint record ---------- *)
+
+(* Protects each ISCAS'89 profile with independent selection, runs the
+   full semantic (SEM) pack — the Eq. 1 prover included — on the foundry
+   view with the true bitstream, and records wall-clock, SAT query
+   counts and findings per profile in BENCH_lint.json. *)
+let lint_bench () =
+  section "Semantic lint - Eq. 1 prover across the ISCAS'89 profiles";
+  let module J = Sttc_obs.Json in
+  let module Metrics = Sttc_obs.Metrics in
+  let module D = Sttc_lint.Diagnostic in
+  let module Sem = Sttc_lint.Semantic_rules in
+  let profiles =
+    [ "s641"; "s820"; "s832"; "s953"; "s1196"; "s1238"; "s1488";
+      "s5378a"; "s9234a" ]
+  in
+  let counters snap =
+    (* conflicts land in one histogram per query label
+       (lint.sem.<label>.solver_conflicts); sum them all *)
+    let conflicts =
+      List.fold_left
+        (fun acc (name, p) ->
+          match p with
+          | Metrics.Histogram s
+            when String.starts_with ~prefix:"lint.sem." name
+                 && String.ends_with ~suffix:".solver_conflicts" name ->
+              acc + int_of_float s.Metrics.sum
+          | _ -> acc)
+        0 snap
+    in
+    ( Metrics.counter_value snap "lint.sem.queries",
+      Metrics.counter_value snap "lint.sem.cutoffs",
+      conflicts )
+  in
+  (* the prover reports its query counts through the metrics registry,
+     which records only while observability is on; switch it on for this
+     section unless a --metrics/--trace run already did *)
+  let was_enabled = Sttc_obs.Control.enabled () in
+  if not was_enabled then Sttc_obs.Control.enable ();
+  let rows =
+    List.map
+      (fun name ->
+        let nl = Profiles.build_by_name name in
+        let r = protect_strict ~seed:1 (Flow.Independent { count = 5 }) nl in
+        let h = r.Flow.hybrid in
+        let q0, c0, k0 = counters (Metrics.snapshot ()) in
+        let t0 = Unix.gettimeofday () in
+        let ds =
+          Sem.run
+            (Sem.view
+               ~luts:(Sttc_core.Hybrid.lut_ids h)
+               ~configs:(Sttc_core.Hybrid.bitstream h)
+               (Sttc_core.Hybrid.foundry_view h))
+        in
+        let seconds = Unix.gettimeofday () -. t0 in
+        let q1, c1, k1 = counters (Metrics.snapshot ()) in
+        let errors = D.errors ds and total = List.length ds in
+        Printf.printf
+          "  %-8s %6.2fs  %5d queries  %3d cutoffs  %6d conflicts  %3d findings (%d errors)\n%!"
+          name seconds (q1 - q0) (c1 - c0) (k1 - k0) total errors;
+        ( name,
+          J.Obj
+            [
+              ("benchmark", J.String name);
+              ("seconds", J.Float seconds);
+              ("queries", J.Int (q1 - q0));
+              ("cutoffs", J.Int (c1 - c0));
+              ("conflicts", J.Int (k1 - k0));
+              ("findings", J.Int total);
+              ("errors", J.Int errors);
+            ] ))
+      profiles
+  in
+  if not was_enabled then Sttc_obs.Control.disable ();
+  let doc =
+    J.Obj
+      [
+        ("experiment", J.String "semantic-lint");
+        ("algorithm", J.String "independent");
+        ("seed", J.Int 1);
+        ("rows", J.List (List.map snd rows));
+      ]
+  in
+  let oc = open_out "BENCH_lint.json" in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_lint.json\n"
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -363,5 +453,6 @@ let () =
   if want "faults" then faults ~jobs ();
   if want "parallel" then parallel ~jobs ();
   if want "sat" then sat_bench ();
+  if want "lint" then lint_bench ();
   if want "micro" then micro ();
   Printf.printf "\nbench: done\n"

@@ -49,8 +49,9 @@ let metrics_arg =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
 (* the CLI always wants the hard-failure semantics of the flow *)
-let protect_strict ~seed ?hardening alg nl =
-  (Sttc_core.Flow.run ~seed ?hardening ~policy:Sttc_core.Flow.Strict alg nl)
+let protect_strict ~seed ?fraction ?hardening alg nl =
+  (Sttc_core.Flow.run ~seed ?fraction ?hardening ~policy:Sttc_core.Flow.Strict
+     alg nl)
     .Sttc_core.Flow.accepted
 
 let exit_of_result = function
@@ -91,7 +92,14 @@ let gen_cmd =
                  n_gates = gates;
                  levels;
                }
-           else Sttc_netlist.Iscas_profiles.build_by_name ~seed bench
+           else
+             try Sttc_netlist.Iscas_profiles.build_by_name ~seed bench
+             with Invalid_argument _ -> (
+               (* small real benchmarks (s27, c17) live in Iscas_data,
+                  not the profile generator *)
+               match List.assoc_opt bench Sttc_netlist.Iscas_data.all with
+               | Some build -> build ()
+               | None -> invalid_arg ("unknown benchmark " ^ bench))
          in
          let text = Sttc_netlist.Bench_io.to_string nl in
          (match output with
@@ -324,6 +332,41 @@ let lint_cmd =
     in
     Arg.(value & opt (conv (parse, print)) [] & info [ "a"; "algorithm" ] ~doc)
   in
+  let semantic =
+    let doc =
+      "Also run the semantic (SEM) rule pack: dataflow- and SAT-proved \
+       findings, including the Eq. 1 independent-testability prover.  On \
+       the plain netlist when no algorithm is selected; on each hybrid's \
+       foundry view (with the true bitstream driving the SEM008 closure) \
+       otherwise."
+    in
+    Arg.(value & flag & info [ "semantic" ] ~doc)
+  in
+  let count =
+    let doc = "LUT count for independent selection (paper: 5)." in
+    Arg.(value & opt int 5 & info [ "count" ] ~doc)
+  in
+  let fraction =
+    let doc = "Fraction of gates considered for selection (default 0.02)." in
+    Arg.(value & opt (some float) None & info [ "fraction" ] ~doc)
+  in
+  let clock_factor =
+    let doc =
+      "Timing budget for parametric selection as a multiple of the \
+       baseline critical delay (paper: 1.08)."
+    in
+    Arg.(value & opt float 1.08 & info [ "clock-factor" ] ~doc)
+  in
+  let budget =
+    let doc =
+      "Conflict budget per semantic SAT query; exhausted queries degrade \
+       to the SEM006 warning instead of hanging or erring."
+    in
+    Arg.(
+      value
+      & opt int Sttc_lint.Semantic_rules.default_budget
+      & info [ "budget" ] ~doc)
+  in
   let rules =
     let doc = "Comma-separated rule IDs or aliases to run (default: all)." in
     Arg.(value & opt (list string) [] & info [ "rules" ] ~doc)
@@ -357,8 +400,18 @@ let lint_cmd =
     let doc = "Input gate-level netlist in ISCAS'89 .bench format." in
     Arg.(value & opt (some file) None & info [ "i"; "input" ] ~doc)
   in
-  let run input algorithms seed rules suppress format baseline update_baseline
-      list_rules =
+  let run input algorithms seed semantic count fraction clock_factor budget
+      rules suppress format baseline update_baseline list_rules =
+    let algorithms =
+      List.map
+        (function
+          | Sttc_core.Flow.Independent _ -> Sttc_core.Flow.Independent { count }
+          | Sttc_core.Flow.Parametric options ->
+              Sttc_core.Flow.Parametric
+                { options with Sttc_core.Algorithms.clock_factor }
+          | alg -> alg)
+        algorithms
+    in
     if list_rules then begin
       print_string (Sttc_lint.Lint.catalog_text ());
       0
@@ -387,24 +440,42 @@ let lint_cmd =
           | Ok nl -> (
               try
                 let structural = Sttc_lint.Lint.structural nl in
+                let plain_semantic =
+                  if semantic && algorithms = [] then
+                    Sttc_lint.Lint.semantic
+                      (Sttc_lint.Semantic_rules.view ~budget nl)
+                  else []
+                in
                 let hybrids =
                   List.concat_map
                     (fun alg ->
-                      let r = protect_strict ~seed alg nl in
-                      List.map
-                        (fun d ->
-                          {
-                            d with
-                            Sttc_lint.Diagnostic.detail =
-                              Printf.sprintf "[%s] %s"
-                                (Sttc_core.Flow.algorithm_name alg)
-                                d.Sttc_lint.Diagnostic.detail;
-                          })
-                        (* structural findings of the hybrid mirror the
-                           base netlist's (replacement is slot-for-slot),
-                           so only the security pack is reported per
-                           algorithm *)
-                        (Sttc_core.Flow.lint_security r))
+                      let r = protect_strict ~seed ?fraction alg nl in
+                      let tag d =
+                        {
+                          d with
+                          Sttc_lint.Diagnostic.detail =
+                            Printf.sprintf "[%s] %s"
+                              (Sttc_core.Flow.algorithm_name alg)
+                              d.Sttc_lint.Diagnostic.detail;
+                        }
+                      in
+                      (* structural findings of the hybrid mirror the
+                         base netlist's (replacement is slot-for-slot),
+                         so only the security pack is reported per
+                         algorithm *)
+                      let sec = Sttc_core.Flow.lint_security r in
+                      let sem =
+                        if not semantic then []
+                        else
+                          let h = r.Sttc_core.Flow.hybrid in
+                          Sttc_lint.Lint.semantic
+                            (Sttc_lint.Semantic_rules.view
+                               ~luts:(Sttc_core.Hybrid.lut_ids h)
+                               ~configs:(Sttc_core.Hybrid.bitstream h)
+                               ~budget
+                               (Sttc_core.Hybrid.foundry_view h))
+                      in
+                      List.map tag (sec @ sem))
                     algorithms
                 in
                 let base =
@@ -420,7 +491,7 @@ let lint_cmd =
                 in
                 let ds =
                   Sttc_lint.Lint.apply ~only:rules ~suppress
-                    (structural @ hybrids)
+                    (structural @ plain_semantic @ hybrids)
                 in
                 match (update_baseline, baseline) with
                 | true, Some path ->
@@ -454,11 +525,12 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Statically analyze a netlist (and optionally its hybrid designs) \
-          against the structural and security rule packs; exits nonzero on \
-          error-severity findings.")
+          against the structural, security and semantic rule packs; exits \
+          nonzero on error-severity findings.")
     Term.(
-      const run $ input $ algorithms $ seed_arg $ rules $ suppress $ format
-      $ baseline $ update_baseline $ list_rules)
+      const run $ input $ algorithms $ seed_arg $ semantic $ count $ fraction
+      $ clock_factor $ budget $ rules $ suppress $ format $ baseline
+      $ update_baseline $ list_rules)
 
 (* ---------- attack ---------- *)
 

@@ -36,7 +36,8 @@ type hardening = {
 let no_hardening = { extra_inputs_per_lut = 0; absorb_drivers = false }
 
 let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
-    ?(fraction = 0.02) ?(hardening = no_hardening) algorithm netlist =
+    ?(fraction = 0.02) ?(hardening = no_hardening) ?(semantic = false)
+    algorithm netlist =
   Sttc_obs.Span.with_ "flow.protect" ~cat:"core"
     ~attrs:
       [
@@ -129,6 +130,34 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
       invalid_arg
         ("Flow.run: hybrid fails structural lint: "
         ^ Sttc_lint.Diagnostic.to_text d));
+  (* Opt-in semantic gate: the Eq. 1 prover and its companions on the
+     foundry view, with the true bitstream enabling the closure.  An
+     error here means the protection is statically defeatable (all
+     missing gates independently testable, or a keyspace collapse). *)
+  let lint =
+    if not semantic then lint
+    else begin
+      let sem =
+        Sttc_lint.Semantic_rules.run
+          (Sttc_lint.Semantic_rules.view
+             ~luts:(Hybrid.lut_ids hybrid)
+             ~configs:(Hybrid.bitstream hybrid)
+             (Hybrid.foundry_view hybrid))
+      in
+      (match
+         List.filter
+           (fun d ->
+             d.Sttc_lint.Diagnostic.severity = Sttc_lint.Diagnostic.Error)
+           sem
+       with
+      | [] -> ()
+      | d :: _ ->
+          invalid_arg
+            ("Flow.run: hybrid fails semantic lint: "
+            ^ Sttc_lint.Diagnostic.to_text d));
+      lint @ sem
+    end
+  in
   let security =
     Security.evaluate (Hybrid.foundry_view hybrid) ~luts:(Hybrid.lut_ids hybrid)
   in
@@ -177,14 +206,17 @@ let degradation_chain = function
   | Dependent -> [ Dependent; Independent { count = 5 } ]
   | Independent _ as i -> [ i ]
 
-let protect_resilient ?(seed = 1) ?library ?fraction ?hardening
+let protect_resilient ?(seed = 1) ?library ?fraction ?hardening ?semantic
     ?(max_reseeds = 2) algorithm netlist =
   let rejections = ref [] in
   let reject attempted attempt_seed reason =
     rejections := { attempted; attempt_seed; reason } :: !rejections
   in
   let try_once alg attempt_seed =
-    match protect ~seed:attempt_seed ?library ?fraction ?hardening alg netlist with
+    match
+      protect ~seed:attempt_seed ?library ?fraction ?hardening ?semantic alg
+        netlist
+    with
     | r -> (
         match meets_timing alg r with
         | Ok () -> Some r
@@ -234,7 +266,8 @@ let default_resilience = { max_reseeds = 2 }
 
 type policy = Strict | Resilient of resilience
 
-let run ?seed ?library ?fraction ?hardening ~policy algorithm netlist =
+let run ?seed ?library ?fraction ?hardening ?semantic ~policy algorithm netlist
+    =
   Sttc_obs.Span.with_ "flow.run" ~cat:"core"
     ~attrs:
       [
@@ -245,11 +278,13 @@ let run ?seed ?library ?fraction ?hardening ~policy algorithm netlist =
   @@ fun () ->
   match policy with
   | Strict ->
-      let accepted = protect ?seed ?library ?fraction ?hardening algorithm netlist in
+      let accepted =
+        protect ?seed ?library ?fraction ?hardening ?semantic algorithm netlist
+      in
       { accepted; requested = algorithm; rejections = []; degraded = false }
   | Resilient { max_reseeds } ->
-      protect_resilient ?seed ?library ?fraction ?hardening ~max_reseeds
-        algorithm netlist
+      protect_resilient ?seed ?library ?fraction ?hardening ?semantic
+        ~max_reseeds algorithm netlist
 
 let lint_view ?(library = Sttc_tech.Library.cmos90) r =
   let algorithm =

@@ -90,12 +90,22 @@ val run :
   ?library:Sttc_tech.Library.t ->
   ?fraction:float ->
   ?hardening:hardening ->
+  ?semantic:bool ->
   policy:policy ->
   algorithm ->
   Sttc_netlist.Netlist.t ->
   resilient
 (** Run the full selection-and-replacement stage and the evaluation
     around it.  Deterministic for a fixed seed at either policy.
+
+    [semantic] (default [false]) additionally gates every attempt on the
+    {!Sttc_lint.Semantic_rules} pack run against the foundry view with
+    the true bitstream: an error-severity finding — the Eq. 1 prover
+    showing every missing gate independently testable, or a keyspace
+    collapse — fails the attempt exactly like a structural error.  Under
+    [Strict] that raises; under [Resilient] it lands in the rejection
+    list and the flow reseeds or degrades.  The semantic diagnostics
+    (warnings included) are appended to the result's [lint] field.
 
     [Strict]: a single attempt at [seed]; any failure raises
     [Invalid_argument].

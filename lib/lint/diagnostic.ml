@@ -102,41 +102,27 @@ let render_text ~design ds =
        (count Error ds) (count Warning ds) (count Info ds));
   Buffer.contents buf
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 let render_json ~design ds =
   let ds = List.sort compare ds in
+  let module J = Sttc_obs.Json in
   let entry d =
-    Printf.sprintf
-      "    { \"rule\": \"%s\", \"alias\": \"%s\", \"severity\": \"%s\", \
-       \"node\": %s, \"detail\": \"%s\" }"
-      (json_escape d.rule) (json_escape d.alias)
-      (severity_name d.severity)
-      (match d.node with
-      | Some n -> Printf.sprintf "\"%s\"" (json_escape n)
-      | None -> "null")
-      (json_escape d.detail)
+    J.Obj
+      [
+        ("rule", J.String d.rule);
+        ("alias", J.String d.alias);
+        ("severity", J.String (severity_name d.severity));
+        ("node", match d.node with Some n -> J.String n | None -> J.Null);
+        ("detail", J.String d.detail);
+      ]
   in
-  let body =
-    if ds = [] then "[]"
-    else
-      Printf.sprintf "[\n%s\n  ]" (String.concat ",\n" (List.map entry ds))
+  let doc =
+    J.Obj
+      [
+        ("design", J.String design);
+        ("diagnostics", J.List (List.map entry ds));
+        ("errors", J.Int (count Error ds));
+        ("warnings", J.Int (count Warning ds));
+        ("infos", J.Int (count Info ds));
+      ]
   in
-  Printf.sprintf
-    "{\n  \"design\": \"%s\",\n  \"diagnostics\": %s,\n  \"errors\": %d,\n  \
-     \"warnings\": %d,\n  \"infos\": %d\n}\n"
-    (json_escape design) body (count Error ds) (count Warning ds)
-    (count Info ds)
+  J.to_string doc ^ "\n"

@@ -1,4 +1,4 @@
-let catalog = Structural.rules @ Security_rules.rules
+let catalog = Structural.rules @ Security_rules.rules @ Semantic_rules.rules
 
 let find_rule name =
   let name = String.lowercase_ascii name in
@@ -8,17 +8,28 @@ let find_rule name =
       || String.lowercase_ascii r.Structural.alias = name)
     catalog
 
+let packs =
+  [
+    ("STR", "structural: netlist well-formedness", Structural.rules);
+    ("SEC", "security: selection invariants (Eqs. 1-3)", Security_rules.rules);
+    ("SEM", "semantic: dataflow + SAT-proved findings", Semantic_rules.rules);
+  ]
+
 let catalog_text () =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "rule catalog:\n";
   List.iter
-    (fun (r : Structural.rule) ->
-      Buffer.add_string buf
-        (Printf.sprintf "  %s  %-18s %-8s %s\n" r.Structural.id
-           r.Structural.alias
-           (Diagnostic.severity_name r.Structural.severity)
-           r.Structural.doc))
-    catalog;
+    (fun (_, heading, rules) ->
+      Buffer.add_string buf (Printf.sprintf "\n%s\n" heading);
+      List.iter
+        (fun (r : Structural.rule) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s  %-24s %-8s %s\n" r.Structural.id
+               r.Structural.alias
+               (Diagnostic.severity_name r.Structural.severity)
+               r.Structural.doc))
+        rules)
+    packs;
   Buffer.contents buf
 
 let structural ?only ?library nl = Structural.check ?only ?library nl
@@ -27,6 +38,8 @@ let hybrid ?only view =
   Structural.check ?only ~library:view.Security_rules.library
     view.Security_rules.foundry
   @ Security_rules.run ?only view
+
+let semantic ?only view = Semantic_rules.run ?only view
 
 let apply ?(only = []) ?(suppress = []) ?baseline ds =
   let ds = Diagnostic.filter_rules ~only ds in

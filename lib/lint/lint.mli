@@ -9,13 +9,15 @@
     ]} *)
 
 val catalog : Structural.rule list
-(** Every rule of both packs, structural first, in ID order. *)
+(** Every rule of all three packs — structural, security, semantic — in
+    ID order within each pack. *)
 
 val find_rule : string -> Structural.rule option
-(** Look up by ID or alias, case-insensitively. *)
+(** Look up by ID or alias, case-insensitively; covers STR, SEC and SEM
+    rules alike. *)
 
 val catalog_text : unit -> string
-(** Human-readable rule listing for [--list-rules]. *)
+(** Human-readable rule listing for [--list-rules], grouped by pack. *)
 
 val structural :
   ?only:string list ->
@@ -28,6 +30,11 @@ val hybrid :
   ?only:string list -> Security_rules.view -> Diagnostic.t list
 (** Both packs on a hybrid: structural rules on the foundry view plus
     the security pack on the view. *)
+
+val semantic :
+  ?only:string list -> Semantic_rules.view -> Diagnostic.t list
+(** The semantic pack ({!Semantic_rules.run}): dataflow- and SAT-backed
+    findings, including the Eq. 1 independent-testability prover. *)
 
 val apply :
   ?only:string list ->

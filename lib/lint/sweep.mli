@@ -1,0 +1,35 @@
+(** SAT sweeping: optimization with the semantic pack's prover.
+
+    {!Sttc_netlist.Opt.optimize} is purely local — it folds constants and
+    buffers it can see one node at a time.  The SEM rules routinely prove
+    {e deeper} facts: nets stuck at a value through reconvergence
+    (SEM001), logic whose value can never reach a primary output
+    (SEM002), and structurally different but functionally identical nets
+    (SEM004).  [run] closes that gap by rewriting what the analyses
+    prove — constants become [Const] nodes, dead cones (flip-flops
+    included) are pinned to 0, duplicates become buffers onto their
+    earliest equivalent — and re-optimizing, to a fixpoint.
+
+    The result is functionally equivalent (every rewrite is SAT-proved)
+    and SEM001/SEM004-silent at the given budget: the property the test
+    suite checks on generated netlists. *)
+
+type stats = {
+  rounds : int;  (** rewrite rounds until fixpoint (0 = already clean) *)
+  constants : int;  (** nets replaced by [Const] across all rounds *)
+  duplicates : int;  (** nets re-routed onto an equivalent across all rounds *)
+  dead : int;  (** provably unobservable nodes pinned across all rounds *)
+}
+
+val run :
+  ?budget:int ->
+  ?seed:int ->
+  ?max_rounds:int ->
+  Sttc_netlist.Netlist.t ->
+  Sttc_netlist.Netlist.t * stats
+(** [run nl] is [Opt.optimize nl] plus prover-backed rewriting.  [budget]
+    (default 50_000 conflicts) bounds each SAT query — a query that hits
+    the budget simply leaves its node alone; [seed] feeds the sampling
+    pre-filter; [max_rounds] (default 4) bounds the rewrite loop.
+    Equivalence candidates are capped per pass, so a pathological
+    netlist converges over rounds rather than exploding in one. *)

@@ -150,6 +150,117 @@ let sequential_depth_to_po t =
   drain ();
   dist
 
+(* ---------- per-node cone summaries ---------- *)
+
+type cone_summary = {
+  support : int array;
+  support_hash : int array;
+  obs_points : int array;
+}
+
+(* Dense bitset rows over a small universe (sources or observation
+   points), one row per node.  [w] words of 63 bits each keep the row a
+   flat int array — no boxing, and the union in the transfer function is
+   a word-wise [lor]. *)
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let cone_summary t =
+  let n = Netlist.node_count t in
+  (* -- forward pass: which sources (PIs, constants, DFF outputs) feed
+        each node's combinational fanin cone -- *)
+  let src_index = Array.make n (-1) in
+  let nsrc = ref 0 in
+  Netlist.iter
+    (fun id node ->
+      if not (Netlist.is_combinational node.Netlist.kind) then begin
+        src_index.(id) <- !nsrc;
+        incr nsrc
+      end)
+    t;
+  let w = (!nsrc + 62) / 63 in
+  let w = max w 1 in
+  let rows = Array.make (n * w) 0 in
+  let order = Netlist.topo_order t in
+  Array.iter
+    (fun id ->
+      let base = id * w in
+      if src_index.(id) >= 0 then begin
+        let b = src_index.(id) in
+        rows.(base + (b / 63)) <- 1 lsl (b mod 63)
+      end
+      else
+        Array.iter
+          (fun src ->
+            let sbase = src * w in
+            for k = 0 to w - 1 do
+              rows.(base + k) <- rows.(base + k) lor rows.(sbase + k)
+            done)
+          (Netlist.fanins t id))
+    order;
+  let support = Array.make n 0 in
+  let support_hash = Array.make n 0 in
+  for id = 0 to n - 1 do
+    let base = id * w in
+    let count = ref 0 and h = ref 0 in
+    for k = 0 to w - 1 do
+      let word = rows.(base + k) in
+      count := !count + popcount word;
+      (* order-independent only across rows with identical word layout,
+         which is all we need: equal sets produce equal hashes *)
+      h := (!h * 1000003) lxor word
+    done;
+    support.(id) <- !count;
+    support_hash.(id) <- !h
+  done;
+  (* -- reverse pass: which observation points (primary outputs,
+        flip-flop D inputs) each node reaches combinationally -- *)
+  let obs_index = Array.make n (-1) in
+  let nobs = ref 0 in
+  let mark id =
+    if obs_index.(id) < 0 then begin
+      obs_index.(id) <- !nobs;
+      incr nobs
+    end
+  in
+  List.iter mark (Netlist.pos t);
+  (* a flip-flop is an observation point for its D-input cone *)
+  List.iter mark (Netlist.dffs t);
+  let ow = max ((!nobs + 62) / 63) 1 in
+  let orows = Array.make (n * ow) 0 in
+  let set_bit base b = orows.(base + (b / 63)) <- orows.(base + (b / 63)) lor (1 lsl (b mod 63)) in
+  for i = Array.length order - 1 downto 0 do
+    let id = order.(i) in
+    let obase = id * ow in
+    if obs_index.(id) >= 0 then
+      (* PO drivers observe themselves; a DFF observes its own D input,
+         which is accounted on the fanin side below *)
+      (match Netlist.kind t id with
+      | Netlist.Dff -> ()
+      | _ -> set_bit obase obs_index.(id));
+    List.iter
+      (fun reader ->
+        match Netlist.kind t reader with
+        | Netlist.Dff -> set_bit obase obs_index.(reader)
+        | _ ->
+            let rbase = reader * ow in
+            for k = 0 to ow - 1 do
+              orows.(obase + k) <- orows.(obase + k) lor orows.(rbase + k)
+            done)
+      (Netlist.fanouts t id)
+  done;
+  let obs_points = Array.make n 0 in
+  for id = 0 to n - 1 do
+    let base = id * ow in
+    let count = ref 0 in
+    for k = 0 to ow - 1 do
+      count := !count + popcount orows.(base + k)
+    done;
+    obs_points.(id) <- !count
+  done;
+  { support; support_hash; obs_points }
+
 let connected_lut_pairs t ids =
   (* One BFS per source (instead of one per pair): collect every member of
      [ids] combinationally reachable from each source. *)

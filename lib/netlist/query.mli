@@ -41,6 +41,26 @@ val sequential_depth_to_po : Netlist.t -> int array
     cycles are needed to propagate the node's value to an observation
     point).  Nodes that reach no output get [max_int]. *)
 
+type cone_summary = {
+  support : int array;
+      (** distinct sources (PIs, constants, DFF outputs) in the node's
+          combinational fanin cone — the attacker-controllable inputs
+          [I] of Eq. (3), per node *)
+  support_hash : int array;
+      (** hash of the fanin-cone source {e set}: equal sets yield equal
+          hashes, so it pre-filters candidate pairs for semantic
+          equivalence checks *)
+  obs_points : int array;
+      (** number of observation points (primary outputs, flip-flop D
+          inputs) the node reaches combinationally; 0 means structurally
+          unobservable in this clock cycle *)
+}
+
+val cone_summary : Netlist.t -> cone_summary
+(** All three per-node summaries in two bitset sweeps (one forward, one
+    reverse topological pass) — computed once per analysis run and shared
+    across lint rules instead of per-rule cone walks. *)
+
 val connected_lut_pairs :
   Netlist.t -> Netlist.node_id list -> (Netlist.node_id * Netlist.node_id) list
 (** Pairs [(a, b)] from the given set where [b] is combinationally

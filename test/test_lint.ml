@@ -12,10 +12,12 @@ module Transform = Sttc_netlist.Transform
 module Generator = Sttc_netlist.Generator
 module Gate_fn = Sttc_logic.Gate_fn
 module Flow = Sttc_core.Flow
+module Sem = Sttc_lint.Semantic_rules
+module Sweep = Sttc_lint.Sweep
 
 (* strict single-attempt protection via the unified Flow.run entry point *)
-let protect ?seed ?fraction ?hardening alg nl =
-  (Flow.run ?seed ?fraction ?hardening ~policy:Flow.Strict alg nl)
+let protect ?seed ?fraction ?hardening ?semantic alg nl =
+  (Flow.run ?seed ?fraction ?hardening ?semantic ~policy:Flow.Strict alg nl)
     .Flow.accepted
 
 
@@ -81,16 +83,32 @@ let test_diag_render () =
      go 0)
 
 let test_catalog () =
-  Alcotest.(check int) "14 rules" 14 (List.length Lint.catalog);
+  Alcotest.(check int) "22 rules" 22 (List.length Lint.catalog);
   (match Lint.find_rule "comb-loop" with
   | Some r -> Alcotest.(check string) "alias lookup" "STR001" r.Structural.id
   | None -> Alcotest.fail "comb-loop not found");
   (match Lint.find_rule "SEC004" with
   | Some r -> Alcotest.(check string) "id lookup" "unobservable-lut" r.Structural.alias
   | None -> Alcotest.fail "SEC004 not found");
+  (match Lint.find_rule "const-net" with
+  | Some r -> Alcotest.(check string) "SEM alias lookup" "SEM001" r.Structural.id
+  | None -> Alcotest.fail "const-net not found");
+  (match Lint.find_rule "SEM008" with
+  | Some r ->
+      Alcotest.(check string) "SEM id lookup" "independent-testability"
+        r.Structural.alias
+  | None -> Alcotest.fail "SEM008 not found");
   Alcotest.(check bool) "unknown" true (Lint.find_rule "XYZ999" = None);
-  Alcotest.(check bool) "catalog text" true
-    (String.length (Lint.catalog_text ()) > 100)
+  let text = Lint.catalog_text () in
+  Alcotest.(check bool) "catalog text" true (String.length text > 100);
+  (* the catalog is grouped by pack: each header names its prefix *)
+  List.iter
+    (fun pack ->
+      Alcotest.(check bool) ("catalog mentions " ^ pack) true
+        (let n = String.length text and k = String.length pack in
+         let rec go i = i + k <= n && (String.sub text i k = pack || go (i + 1)) in
+         go 0))
+    [ "STR"; "SEC"; "SEM" ]
 
 (* ---------- structural rules on minimal violating graphs ---------- *)
 
@@ -339,6 +357,362 @@ let test_sec_not_a_lut () =
   let oob = Sec.view ~foundry ~luts:[ 999 ] () in
   check_fires "out of range id" "not-a-lut" (Sec.run oob)
 
+(* ---------- semantic rules ---------- *)
+
+let contains hay needle =
+  let n = String.length hay and k = String.length needle in
+  let rec go i = i + k <= n && (String.sub hay i k = needle || go (i + 1)) in
+  go 0
+
+let sem ?luts ?configs ?budget ?only nl =
+  Sem.run ?only (Sem.view ?luts ?configs ?budget nl)
+
+let test_sem_const_net () =
+  (* g = AND(a, NOT a) is stuck at 0, but only a semantic analysis can
+     see it; o = OR(g, b) keeps the cone alive *)
+  let b = Netlist.Builder.create ~design_name:"const" () in
+  let a = Netlist.Builder.add_pi b "a" in
+  let bb = Netlist.Builder.add_pi b "b" in
+  let na = Netlist.Builder.add_gate b "na" Gate_fn.Not [ a ] in
+  let g = Netlist.Builder.add_gate b "g" (Gate_fn.And 2) [ a; na ] in
+  let o = Netlist.Builder.add_gate b "o" (Gate_fn.Or 2) [ g; bb ] in
+  Netlist.Builder.add_output b "y" o;
+  let nl = Netlist.Builder.finalize b in
+  let ds = sem nl in
+  check_fires "contradiction" "const-net" ds;
+  (match List.find_opt (D.matches_rule "SEM001") ds with
+  | Some d ->
+      Alcotest.(check (option string)) "flags g" (Some "g") d.D.node;
+      Alcotest.(check bool) "proved by SAT" true (contains d.D.detail "SAT")
+  | None -> Alcotest.fail "no SEM001 diagnostic");
+  (* a plain AND of two PIs is not constant *)
+  let nl, _ = tiny_comb () in
+  check_silent "free AND" "const-net" (sem nl)
+
+(* PI a,b; unconfigured LUT l(a,b); m = AND(l, const0); PO y = OR(m, b):
+   the constant masks every path from l to the PO *)
+let masked_lut () =
+  let b = Netlist.Builder.create ~design_name:"masked" () in
+  let a = Netlist.Builder.add_pi b "a" in
+  let bb = Netlist.Builder.add_pi b "b" in
+  let z = Netlist.Builder.add_const b "z" false in
+  let l = Netlist.Builder.add_lut b "l" [ a; bb ] in
+  let m = Netlist.Builder.add_gate b "m" (Gate_fn.And 2) [ l; z ] in
+  let o = Netlist.Builder.add_gate b "o" (Gate_fn.Or 2) [ m; bb ] in
+  Netlist.Builder.add_output b "y" o;
+  (Netlist.Builder.finalize b, l)
+
+let test_sem_dead_logic () =
+  let nl, _ = masked_lut () in
+  let ds = sem nl in
+  check_fires "masked LUT" "dead-logic" ds;
+  Alcotest.(check bool) "flags l" true
+    (List.exists
+       (fun d -> D.matches_rule "SEM002" d && d.D.node = Some "l")
+       ds);
+  let nl, _ = tiny_comb () in
+  check_silent "live AND" "dead-logic" (sem nl)
+
+let test_sem_key_collapse () =
+  let nl, l = masked_lut () in
+  let ds = sem ~luts:[ l ] nl in
+  check_fires "masked key bits" "key-collapse" ds;
+  Alcotest.(check bool) "collapse is an error" true
+    (List.exists
+       (fun d -> D.matches_rule "SEM003" d && d.D.severity = D.Error)
+       ds);
+  (* an observable LUT keeps its key bits meaningful *)
+  let nl, g = tiny_comb () in
+  let foundry = Transform.replace_many ~keep_function:false nl [ g ] in
+  check_silent "observable LUT" "key-collapse" (sem ~luts:[ g ] foundry)
+
+let test_sem_redundant_node () =
+  (* two structurally distinct but equal gates; a buffer alias of one *)
+  let b = Netlist.Builder.create ~design_name:"dup" () in
+  let a = Netlist.Builder.add_pi b "a" in
+  let bb = Netlist.Builder.add_pi b "b" in
+  let g1 = Netlist.Builder.add_gate b "g1" (Gate_fn.Or 2) [ a; bb ] in
+  let g2 = Netlist.Builder.add_gate b "g2" (Gate_fn.Or 2) [ bb; a ] in
+  let g3 = Netlist.Builder.add_gate b "g3" Gate_fn.Buf [ g1 ] in
+  Netlist.Builder.add_output b "y1" g1;
+  Netlist.Builder.add_output b "y2" g2;
+  Netlist.Builder.add_output b "y3" g3;
+  let nl = Netlist.Builder.finalize b in
+  let ds = sem nl in
+  (match List.find_opt (D.matches_rule "SEM004") ds with
+  | Some d ->
+      Alcotest.(check (option string)) "flags g2" (Some "g2") d.D.node;
+      Alcotest.(check bool) "names partner" true (contains d.D.detail "g1")
+  | None -> Alcotest.fail "no SEM004 diagnostic");
+  (* the buffer alias is definitional, not a semantic discovery *)
+  Alcotest.(check bool) "buffer not flagged" false
+    (List.exists
+       (fun d -> D.matches_rule "SEM004" d && d.D.node = Some "g3")
+       ds)
+
+let test_sem_const_lut_input () =
+  let b = Netlist.Builder.create ~design_name:"clutin" () in
+  let a = Netlist.Builder.add_pi b "a" in
+  let na = Netlist.Builder.add_gate b "na" Gate_fn.Not [ a ] in
+  let g = Netlist.Builder.add_gate b "g" (Gate_fn.And 2) [ a; na ] in
+  let l = Netlist.Builder.add_lut b "l" [ a; g ] in
+  Netlist.Builder.add_output b "y" l;
+  let nl = Netlist.Builder.finalize b in
+  let ds = sem nl in
+  check_fires "const-fed LUT" "const-lut-input" ds;
+  let nl, g = tiny_comb () in
+  let foundry = Transform.replace_many ~keep_function:false nl [ g ] in
+  check_silent "PI-fed LUT" "const-lut-input" (sem ~luts:[ g ] foundry)
+
+(* chain NOT -> NOT where the first gate also drives its own PO: the
+   first is independently resolvable, the second only via closure *)
+let not_chain () =
+  let b = Netlist.Builder.create ~design_name:"chain2" () in
+  let a = Netlist.Builder.add_pi b "a" in
+  let g1 = Netlist.Builder.add_gate b "g1" Gate_fn.Not [ a ] in
+  let g2 = Netlist.Builder.add_gate b "g2" Gate_fn.Not [ g1 ] in
+  Netlist.Builder.add_output b "y1" g1;
+  Netlist.Builder.add_output b "y2" g2;
+  (Netlist.Builder.finalize b, g1, g2)
+
+let test_sem_eq1_error () =
+  (* a single isolated missing gate: Eq. 1 holds verbatim, the
+     design-level error fires with a finite clock estimate *)
+  let nl, g = tiny_comb () in
+  let foundry = Transform.replace_many ~keep_function:false nl [ g ] in
+  let ds = sem ~luts:[ g ] foundry in
+  (match List.find_opt (D.matches_rule "SEM008") ds with
+  | Some d ->
+      Alcotest.(check bool) "error severity" true (d.D.severity = D.Error);
+      Alcotest.(check bool) "cites Eq. 1" true (contains d.D.detail "Eq. 1");
+      Alcotest.(check bool) "finite estimate" true
+        (contains d.D.detail "clocks")
+  | None -> Alcotest.fail "no SEM008 on an isolated LUT")
+
+let test_sem_eq1_chain () =
+  (* without the bitstream only the PO-driving gate resolves: warnings,
+     no error *)
+  let nl, g1, g2 = not_chain () in
+  let foundry = Transform.replace_many ~keep_function:false nl [ g1; g2 ] in
+  let ds = sem ~luts:[ g1; g2 ] foundry in
+  Alcotest.(check int) "no errors" 0 (D.errors ds);
+  Alcotest.(check bool) "g1 resolvable warning" true
+    (List.exists
+       (fun d -> D.matches_rule "SEM008" d && d.D.node = Some "g1")
+       ds);
+  Alcotest.(check bool) "g2 not resolvable" false
+    (List.exists
+       (fun d -> D.matches_rule "SEM008" d && d.D.node = Some "g2")
+       ds)
+
+let test_sem_eq1_closure () =
+  (* with the true bitstream the attacker substitutes g1 and peels g2 in
+     round 2 — reported as closure intel, still not the Eq. 1 error *)
+  let nl, g1, g2 = not_chain () in
+  let configured = Transform.replace_many ~keep_function:true nl [ g1; g2 ] in
+  let configs =
+    List.filter_map
+      (fun l ->
+        match Netlist.kind configured l with
+        | Netlist.Lut { config = Some c; _ } -> Some (l, c)
+        | _ -> None)
+      [ g1; g2 ]
+  in
+  let foundry = Transform.strip_configs configured in
+  let ds = sem ~luts:[ g1; g2 ] ~configs foundry in
+  Alcotest.(check int) "no errors" 0 (D.errors ds);
+  (match
+     List.find_opt
+       (fun d -> D.matches_rule "SEM008" d && d.D.node = Some "g2")
+       ds
+   with
+  | Some d ->
+      Alcotest.(check bool) "closure round 2" true
+        (contains d.D.detail "round 2")
+  | None -> Alcotest.fail "closure did not peel g2")
+
+let test_sem_budget () =
+  (* budget 0: any query needing even one conflict is cut off; the pack
+     degrades to the SEM006 warning and must claim no error (a tiny
+     circuit would solve everything by pure propagation, so use a
+     protected 60-gate netlist where real search is required) *)
+  let spec =
+    {
+      Generator.design_name = "budget";
+      n_pi = 6;
+      n_po = 5;
+      n_ff = 4;
+      n_gates = 60;
+      levels = 6;
+    }
+  in
+  let nl = Generator.generate ~seed:1 spec in
+  let r = protect ~seed:1 ~fraction:0.1 (Flow.Independent { count = 3 }) nl in
+  let h = r.Flow.hybrid in
+  let ds =
+    sem
+      ~luts:(Sttc_core.Hybrid.lut_ids h)
+      ~budget:0
+      (Sttc_core.Hybrid.foundry_view h)
+  in
+  check_fires "cutoffs surface" "sem-budget" ds;
+  Alcotest.(check int) "no errors under cutoff" 0 (D.errors ds)
+
+(* brute-force differential check: every SEM001/SEM004 claim on a small
+   netlist verified by exhaustive enumeration of the <= 2^12 source
+   assignments, and every true constant claimed (completeness) *)
+let test_sem_differential () =
+  let spec =
+    {
+      Generator.design_name = "diff";
+      n_pi = 8;
+      n_po = 5;
+      n_ff = 4;
+      n_gates = 40;
+      levels = 5;
+    }
+  in
+  List.iter
+    (fun seed ->
+      let nl = Sttc_netlist.Opt.optimize (Generator.generate ~seed spec) in
+      let ds = sem nl in
+      let n = Netlist.node_count nl in
+      let n_pi = List.length (Netlist.pis nl) in
+      let n_ff = List.length (Netlist.dffs nl) in
+      let total = 1 lsl (n_pi + n_ff) in
+      (* enumerate all source assignments in 64-lane batches, collecting
+         per-node: the set of values seen *)
+      let simr = Sttc_sim.Simulator.create nl in
+      let seen0 = Array.make n false and seen1 = Array.make n false in
+      let values = Array.make n [] (* per batch, lanes *) in
+      let batches = (total + 63) / 64 in
+      for batch = 0 to batches - 1 do
+        let lane_bits k =
+          (* bit [k] of assignment (batch*64 + lane), packed over lanes *)
+          let v = ref 0L in
+          for lane = 0 to 63 do
+            let a = (batch * 64) + lane in
+            if a < total && (a lsr k) land 1 = 1 then
+              v := Int64.logor !v (Int64.shift_left 1L lane)
+          done;
+          !v
+        in
+        let pis = Array.init n_pi lane_bits in
+        let state = Array.init n_ff (fun i -> lane_bits (n_pi + i)) in
+        Sttc_sim.Simulator.set_state simr state;
+        ignore (Sttc_sim.Simulator.eval_comb simr pis);
+        let nv = Sttc_sim.Simulator.node_values simr in
+        let mask =
+          (* only the first [total - batch*64] lanes are real *)
+          let live = min 64 (total - (batch * 64)) in
+          if live = 64 then -1L
+          else Int64.sub (Int64.shift_left 1L live) 1L
+        in
+        for id = 0 to n - 1 do
+          let v = Int64.logand nv.(id) mask in
+          if v <> 0L then seen1.(id) <- true;
+          if Int64.logand (Int64.lognot nv.(id)) mask <> 0L then
+            seen0.(id) <- true;
+          values.(id) <- Int64.logand nv.(id) mask :: values.(id)
+        done
+      done;
+      let by_name nm =
+        match Netlist.find nl nm with
+        | Some id -> id
+        | None -> Alcotest.fail ("diagnostic names unknown node " ^ nm)
+      in
+      List.iter
+        (fun d ->
+          match (d.D.rule, d.D.node) with
+          | "SEM001", Some nm ->
+              let id = by_name nm in
+              let claimed_one = contains d.D.detail "stuck at 1" in
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %d: %s constant" seed nm)
+                true
+                (if claimed_one then seen1.(id) && not seen0.(id)
+                 else seen0.(id) && not seen1.(id))
+          | "SEM004", Some nm ->
+              let id = by_name nm in
+              (* detail: "SAT-proved equal to <partner> on every ..." *)
+              let partner =
+                let words = String.split_on_char ' ' d.D.detail in
+                let rec after = function
+                  | "to" :: p :: _ -> p
+                  | _ :: rest -> after rest
+                  | [] -> Alcotest.fail "SEM004 detail names no partner"
+                in
+                after words
+              in
+              let pid = by_name partner in
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %d: %s = %s" seed nm partner)
+                true
+                (List.for_all2 Int64.equal values.(id) values.(pid))
+          | _ -> ())
+        ds;
+      (* completeness: a gate constant across the full enumeration must
+         be claimed by SEM001 (small circuit: no budget cutoffs) *)
+      for id = 0 to n - 1 do
+        let eligible =
+          match Netlist.kind nl id with
+          | Netlist.Gate _ -> true
+          | _ -> false
+        in
+        if eligible && not (seen0.(id) && seen1.(id)) then
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: constant %s claimed" seed
+               (Netlist.name nl id))
+            true
+            (List.exists
+               (fun d ->
+                 D.matches_rule "SEM001" d
+                 && d.D.node = Some (Netlist.name nl id))
+               ds)
+      done)
+    [ 3; 11; 42 ]
+
+(* the ci.sh gate, in-process: at seed 7 on s27, independent selection
+   of two gates is Eq. 1-weak (error), the loosened-clock parametric
+   closure is not (exit 0 = no errors) *)
+let test_sem_s27_gate () =
+  let nl = (List.assoc "s27" Sttc_netlist.Iscas_data.all) () in
+  let sem_of alg =
+    let r = protect ~seed:7 alg nl in
+    let h = r.Flow.hybrid in
+    sem
+      ~luts:(Sttc_core.Hybrid.lut_ids h)
+      ~configs:(Sttc_core.Hybrid.bitstream h)
+      (Sttc_core.Hybrid.foundry_view h)
+  in
+  let ind = sem_of (Flow.Independent { count = 2 }) in
+  Alcotest.(check bool) "independent trips SEM008" true
+    (List.exists
+       (fun d -> D.matches_rule "SEM008" d && d.D.severity = D.Error)
+       ind);
+  let par =
+    sem_of
+      (Flow.Parametric
+         { Sttc_core.Algorithms.default_parametric with clock_factor = 2.0 })
+  in
+  Alcotest.(check int) "parametric passes" 0 (D.errors par);
+  (* the same gate through Flow.run ~semantic: Strict raises on the
+     independent weakness, accepts the parametric selection *)
+  (match
+     protect ~seed:7 ~semantic:true (Flow.Independent { count = 2 }) nl
+   with
+  | _ -> Alcotest.fail "strict semantic gate did not raise"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "raises with the SEM008 finding" true
+        (contains msg "fails semantic lint" && contains msg "SEM008"));
+  let ok =
+    protect ~seed:7 ~semantic:true
+      (Flow.Parametric
+         { Sttc_core.Algorithms.default_parametric with clock_factor = 2.0 })
+      nl
+  in
+  Alcotest.(check int) "accepted result lint-clean" 0 (D.errors ok.Flow.lint)
+
 (* ---------- clean-on-valid-input properties ---------- *)
 
 let gen_spec =
@@ -391,6 +765,60 @@ let lint_props =
                && D.errors (Flow.lint_security r) = 0
                && D.errors r.Flow.lint = 0)
              Flow.default_algorithms));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"semantic pack is silent on SAT-swept generated netlists"
+         ~count:10 gen_seed
+         (fun seed ->
+           let nl = Generator.generate ~seed gen_spec in
+           let swept, _ = Sweep.run ~seed nl in
+           Sem.run (Sem.view swept) = []));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"SAT sweeping preserves sequential PO behaviour" ~count:10
+         gen_seed
+         (fun seed ->
+           let orig = Generator.generate ~seed gen_spec in
+           let swept, _ = Sweep.run ~seed orig in
+           let rng = Random.State.make [| seed; 0x5eed |] in
+           let sim_o = Sttc_sim.Simulator.create orig in
+           let sim_s = Sttc_sim.Simulator.create swept in
+           let pi_names nl =
+             List.map (Netlist.name nl) (Netlist.pis nl)
+           in
+           let names_o = pi_names orig and names_s = pi_names swept in
+           (* 20 cycles of 64 random patterns, fed by PI name *)
+           let cycles =
+             List.init 20 (fun _ ->
+                 List.map
+                   (fun n -> (n, Random.State.int64 rng Int64.max_int))
+                   names_o)
+           in
+           let lanes names cyc =
+             Array.of_list (List.map (fun n -> List.assoc n cyc) names)
+           in
+           let po_o =
+             Sttc_sim.Simulator.run_sequence sim_o
+               (List.map (lanes names_o) cycles)
+           in
+           let po_s =
+             Sttc_sim.Simulator.run_sequence sim_s
+               (List.map (lanes names_s) cycles)
+           in
+           let outs_o = Netlist.outputs orig in
+           let outs_s = Netlist.outputs swept in
+           List.for_all2
+             (fun vo vs ->
+               Array.for_all
+                 (fun (nm, _) ->
+                   let slot outs =
+                     let r = ref (-1) in
+                     Array.iteri (fun k (n2, _) -> if n2 = nm then r := k) outs;
+                     !r
+                   in
+                   Int64.equal vo.(slot outs_o) vs.(slot outs_s))
+                 outs_o)
+             po_o po_s));
   ]
 
 let () =
@@ -422,6 +850,20 @@ let () =
           Alcotest.test_case "timing-violation" `Quick test_sec_timing;
           Alcotest.test_case "config-leak" `Quick test_sec_config_leak;
           Alcotest.test_case "not-a-lut" `Quick test_sec_not_a_lut;
+        ] );
+      ( "semantic",
+        [
+          Alcotest.test_case "const-net" `Quick test_sem_const_net;
+          Alcotest.test_case "dead-logic" `Quick test_sem_dead_logic;
+          Alcotest.test_case "key-collapse" `Quick test_sem_key_collapse;
+          Alcotest.test_case "redundant-node" `Quick test_sem_redundant_node;
+          Alcotest.test_case "const-lut-input" `Quick test_sem_const_lut_input;
+          Alcotest.test_case "eq1-error" `Quick test_sem_eq1_error;
+          Alcotest.test_case "eq1-chain" `Quick test_sem_eq1_chain;
+          Alcotest.test_case "eq1-closure" `Quick test_sem_eq1_closure;
+          Alcotest.test_case "budget" `Quick test_sem_budget;
+          Alcotest.test_case "differential" `Slow test_sem_differential;
+          Alcotest.test_case "s27-gate" `Slow test_sem_s27_gate;
         ] );
       ("properties", lint_props);
     ]

@@ -31,6 +31,9 @@ sttc() {
   dune exec --no-build bin/sttc.exe -- "$@"
 }
 
+# timeout(1) needs a real executable, not a shell function.
+STTC_BIN="$PWD/_build/default/bin/sttc.exe"
+
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
@@ -64,6 +67,35 @@ for alg in independent dependent; do
     exit 1
   fi
 done
+
+echo "== semantic lint gate (Eq. 1 prover on protected s27, 120 s budget)"
+# Pinned selection: at seed 7, independent picks two isolated gates (the
+# Eq. 1 error must fire and exit nonzero), while dependent chains and the
+# loosened-clock parametric closure interlock their LUTs (exit 0, at most
+# SEM008 warnings).  test/test_lint.ml pins the same seed.
+sttc gen -b s27 -o "$tmpdir/s27.bench"
+if timeout 120 "$STTC_BIN" lint -i "$tmpdir/s27.bench" -a independent --count 2 \
+     --seed 7 --semantic --rules "SEM003,SEM006,SEM008" \
+     > "$tmpdir/s27.independent.lint"; then
+  echo "SEMANTIC GATE FAILED: independent selection on s27 must trip SEM008" >&2
+  cat "$tmpdir/s27.independent.lint" >&2
+  exit 1
+fi
+if ! grep -q "SEM008" "$tmpdir/s27.independent.lint"; then
+  echo "SEMANTIC GATE FAILED: independent nonzero exit but no SEM008 finding" >&2
+  cat "$tmpdir/s27.independent.lint" >&2
+  exit 1
+fi
+if ! timeout 120 "$STTC_BIN" lint -i "$tmpdir/s27.bench" -a dependent \
+     --seed 7 --semantic --rules "SEM003,SEM006,SEM008"; then
+  echo "SEMANTIC GATE FAILED: dependent selection on s27 must pass SEM lint" >&2
+  exit 1
+fi
+if ! timeout 120 "$STTC_BIN" lint -i "$tmpdir/s27.bench" -a parametric \
+     --clock-factor 2.0 --seed 7 --semantic --rules "SEM003,SEM006,SEM008"; then
+  echo "SEMANTIC GATE FAILED: parametric selection on s27 must pass SEM lint" >&2
+  exit 1
+fi
 
 status=0
 for b in $benches; do

@@ -112,18 +112,17 @@ let parallel ~jobs () =
   Printf.printf
     "  serial %.2fs, %d workers %.2fs -> %.2fx; rows identical: %b\n" serial_s
     jobs parallel_s speedup identical;
-  let oc = open_out "BENCH_parallel.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"experiment\": \"table1-quick\",\n\
-    \  \"jobs\": %d,\n\
-    \  \"serial_s\": %.3f,\n\
-    \  \"parallel_s\": %.3f,\n\
-    \  \"speedup\": %.3f,\n\
-    \  \"rows_identical\": %b\n\
-     }\n"
-    jobs serial_s parallel_s speedup identical;
-  close_out oc;
+  Sttc_obs.Export.write_text "BENCH_parallel.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"experiment\": \"table1-quick\",\n\
+       \  \"jobs\": %d,\n\
+       \  \"serial_s\": %.3f,\n\
+       \  \"parallel_s\": %.3f,\n\
+       \  \"speedup\": %.3f,\n\
+       \  \"rows_identical\": %b\n\
+        }\n"
+       jobs serial_s parallel_s speedup identical);
   Printf.printf "  wrote BENCH_parallel.json\n";
   if not identical then begin
     Printf.printf "parallel rows DIFFER from serial rows\n";
@@ -239,19 +238,18 @@ let sat_bench () =
       circuit alg luts s_s s_verdict s_iters (stats_json s_stats) i_s
       i_verdict i_iters (stats_json i_stats) (s_s /. i_s) identical
   in
-  let oc = open_out "BENCH_sat.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"experiment\": \"sat-attack-incremental\",\n\
-    \  \"scratch_total_s\": %.3f,\n\
-    \  \"incremental_total_s\": %.3f,\n\
-    \  \"speedup\": %.3f,\n\
-    \  \"rows_identical\": %b,\n\
-    \  \"rows\": [\n%s\n  ]\n\
-     }\n"
-    scratch_total incr_total speedup all_identical
-    (String.concat ",\n" (List.map row_json rows));
-  close_out oc;
+  Sttc_obs.Export.write_text "BENCH_sat.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"experiment\": \"sat-attack-incremental\",\n\
+       \  \"scratch_total_s\": %.3f,\n\
+       \  \"incremental_total_s\": %.3f,\n\
+       \  \"speedup\": %.3f,\n\
+       \  \"rows_identical\": %b,\n\
+       \  \"rows\": [\n%s\n  ]\n\
+        }\n"
+       scratch_total incr_total speedup all_identical
+       (String.concat ",\n" (List.map row_json rows)));
   Printf.printf "  wrote BENCH_sat.json\n";
   if not all_identical then begin
     Printf.printf "incremental verdicts/keys DIFFER from scratch baseline\n";
@@ -341,11 +339,123 @@ let lint_bench () =
         ("rows", J.List (List.map snd rows));
       ]
   in
-  let oc = open_out "BENCH_lint.json" in
-  output_string oc (J.to_string doc);
-  output_char oc '\n';
-  close_out oc;
+  Sttc_obs.Export.write_file "BENCH_lint.json" doc;
   Printf.printf "  wrote BENCH_lint.json\n"
+
+(* ---------- campaign engine record ---------- *)
+
+(* Runs a small 2-shard campaign twice — once clean, once with a worker
+   SIGKILLed mid-shard and then resumed — asserts the two aggregated
+   reports are byte-identical (the crash-tolerance contract), and
+   records throughput plus the supervision counters in
+   BENCH_campaign.json. *)
+let campaign_bench () =
+  section "Campaign engine - supervised shards, kill + resume";
+  let module C = Sttc_campaign in
+  let manifest =
+    C.Manifest.make ~name:"bench" ~circuits:[ "s27" ] ~seeds:[ 1; 2 ]
+      ~shards:2 ~retries:1 ()
+  in
+  let total_runs = C.Manifest.run_count manifest in
+  (* the CLI binary sits next to this executable in the build tree; fall
+     back to in-process shards (no kill injection) when it is absent *)
+  let sttc =
+    let root = Filename.dirname (Filename.dirname Sys.executable_name) in
+    Filename.concat (Filename.concat root "bin") "sttc.exe"
+  in
+  let spawned = Sys.file_exists sttc in
+  let worker =
+    if spawned then
+      C.Supervisor.Spawn
+        (fun ~dir ~shard ~attempt ->
+          [|
+            sttc; "worker"; "--dir"; dir; "--shard"; string_of_int shard;
+            "--attempt"; string_of_int attempt;
+          |])
+    else C.Supervisor.In_process
+  in
+  let fresh_dir tag =
+    let path = Filename.temp_file ("bench-campaign-" ^ tag) "" in
+    Sys.remove path;
+    C.Shard.prepare_dir path;
+    C.Manifest.save (C.Shard.manifest_path path) manifest;
+    path
+  in
+  let supervise ?retries dir =
+    C.Supervisor.run
+      (C.Supervisor.config ~jobs:2 ?retries ~worker ~dir ~manifest ())
+  in
+  let report dir outcome =
+    let degraded =
+      List.filter_map
+        (function
+          | s, C.Supervisor.Exhausted { last; _ } ->
+              Some (s, C.Supervisor.cause_to_string last)
+          | _, C.Supervisor.Complete -> None)
+        outcome.C.Supervisor.statuses
+    in
+    (match C.Aggregate.write ~dir (C.Aggregate.collect ~degraded ~dir manifest)
+     with
+    | Ok () -> ()
+    | Error e ->
+        Printf.printf "campaign report validation failed: %s\n" e;
+        exit 1);
+    In_channel.with_open_bin (C.Shard.report_json_path dir)
+      In_channel.input_all
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* pass 1: uninterrupted *)
+  let clean_dir = fresh_dir "clean" in
+  let clean_outcome, clean_s = time (fun () -> supervise clean_dir) in
+  let clean_report = report clean_dir clean_outcome in
+  (* pass 2: SIGKILL shard 0's worker after its first run, no retries —
+     the shard degrades; then resume without the fault *)
+  let kill_dir = fresh_dir "kill" in
+  if spawned then Unix.putenv C.Worker.kill_injection_env "0:1";
+  let first = supervise ~retries:0 kill_dir in
+  if spawned then Unix.putenv C.Worker.kill_injection_env "";
+  let resumed, resume_s = time (fun () -> supervise kill_dir) in
+  let killed_report = report kill_dir resumed in
+  let identical = clean_report = killed_report in
+  Printf.printf
+    "  %d runs x 2 shards%s: clean %.2fs, kill+resume %.2fs; degraded first \
+     pass: %d; reports identical: %b\n"
+    total_runs
+    (if spawned then "" else " (in-process fallback)")
+    clean_s resume_s first.C.Supervisor.degraded identical;
+  Sttc_obs.Export.write_text "BENCH_campaign.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"experiment\": \"campaign-kill-resume\",\n\
+       \  \"runs\": %d,\n\
+       \  \"shards\": %d,\n\
+       \  \"spawned_workers\": %b,\n\
+       \  \"clean_s\": %.3f,\n\
+       \  \"resume_s\": %.3f,\n\
+       \  \"runs_per_s\": %.3f,\n\
+       \  \"first_pass_degraded\": %d,\n\
+       \  \"retries\": %d,\n\
+       \  \"respawns\": %d,\n\
+       \  \"heartbeat_misses\": %d,\n\
+       \  \"reports_identical\": %b\n\
+        }\n"
+       total_runs manifest.C.Manifest.shards spawned clean_s resume_s
+       (float_of_int total_runs /. Float.max 1e-9 clean_s)
+       first.C.Supervisor.degraded
+       (first.C.Supervisor.retries + resumed.C.Supervisor.retries)
+       (first.C.Supervisor.respawns + resumed.C.Supervisor.respawns)
+       (first.C.Supervisor.heartbeat_misses
+       + resumed.C.Supervisor.heartbeat_misses)
+       identical);
+  Printf.printf "  wrote BENCH_campaign.json\n";
+  if not identical then begin
+    Printf.printf "killed+resumed report DIFFERS from the clean report\n";
+    exit 1
+  end
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
@@ -454,5 +564,6 @@ let () =
   if want "parallel" then parallel ~jobs ();
   if want "sat" then sat_bench ();
   if want "lint" then lint_bench ();
+  if want "campaign" then campaign_bench ();
   if want "micro" then micro ();
   Printf.printf "\nbench: done\n"

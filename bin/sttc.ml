@@ -783,6 +783,147 @@ let ablation_cmd =
       ^ "\n"
       ^ Sttc_experiments.Runner.ablation_constants ~seed ())
 
+(* ---------- campaign / worker ---------- *)
+
+let campaign_cmd =
+  let module C = Sttc_campaign in
+  let manifest =
+    Arg.(value & opt (some file) None
+         & info [ "manifest" ] ~docv:"FILE"
+             ~doc:"Campaign manifest (JSON; see the README for the schema).")
+  in
+  let dir =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Directory to create for the campaign's state and report.")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"DIR"
+             ~doc:
+               "Continue an interrupted campaign directory: completed shards \
+                are skipped, partial shards resume from their checkpoints, \
+                and the final report is identical to an uninterrupted run.")
+  in
+  let retries =
+    Arg.(value & opt (some int) None
+         & info [ "retries" ]
+             ~doc:"Override the manifest's per-shard retry budget.")
+  in
+  let in_process =
+    Arg.(value & flag
+         & info [ "in-process" ]
+             ~doc:
+               "Run shards inside this process instead of supervised worker \
+                processes (no hang detection or crash isolation; mainly for \
+                tests and benchmarks).")
+  in
+  let run manifest dir resume retries in_process jobs =
+    let resolved =
+      match (manifest, dir, resume) with
+      | Some mf, Some d, None -> (
+          match C.Manifest.load mf with
+          | Error e -> Error (`Hard e)
+          | Ok m ->
+              C.Shard.prepare_dir d;
+              C.Manifest.save (C.Shard.manifest_path d) m;
+              Ok (d, m))
+      | None, None, Some d -> (
+          match C.Manifest.load (C.Shard.manifest_path d) with
+          | Error e -> Error (`Hard e)
+          | Ok m -> Ok (d, m))
+      | _ ->
+          Error
+            (`Usage
+              "use --manifest FILE --dir DIR to start a campaign, or --resume \
+               DIR to continue one")
+    in
+    match resolved with
+    | Error (`Usage e) ->
+        prerr_endline ("sttc: " ^ e);
+        Cmd.Exit.cli_error
+    | Error (`Hard e) ->
+        prerr_endline ("sttc: " ^ e);
+        1
+    | Ok (d, m) ->
+        Sttc_obs.Obs.enable ();
+        let worker =
+          if in_process then C.Supervisor.In_process
+          else C.Supervisor.default_spawn
+        in
+        let cfg =
+          C.Supervisor.config ~jobs:(resolve_jobs jobs) ?retries ~worker
+            ~on_event:(fun e ->
+              prerr_endline ("campaign: " ^ C.Supervisor.string_of_event e))
+            ~dir:d ~manifest:m ()
+        in
+        let outcome = C.Supervisor.run cfg in
+        let degraded =
+          List.filter_map
+            (function
+              | s, C.Supervisor.Exhausted { last; _ } ->
+                  Some (s, C.Supervisor.cause_to_string last)
+              | _, C.Supervisor.Complete -> None)
+            outcome.C.Supervisor.statuses
+        in
+        let agg = C.Aggregate.collect ~degraded ~dir:d m in
+        (match C.Aggregate.write ~dir:d agg with
+        | Error e ->
+            prerr_endline ("sttc: " ^ e);
+            1
+        | Ok () ->
+            C.Aggregate.write_metrics ~dir:d m;
+            print_string (C.Aggregate.render_text agg);
+            Printf.printf "report: %s\nmetrics: %s\n"
+              (C.Shard.report_json_path d)
+              (C.Shard.campaign_metrics_path d);
+            if C.Aggregate.complete agg then 0 else 2)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a manifest-driven sweep (circuits x configs x algorithms x \
+          seeds) as supervised, checkpointed worker processes.  Every \
+          failure (crash, kill, hang, corrupt checkpoint) is retried with \
+          capped backoff; shards that exhaust their budget degrade into \
+          footnoted partial rows.  Exit: 0 complete, 2 degraded, 1 hard \
+          error.")
+    Term.(
+      const run $ manifest $ dir $ resume $ retries $ in_process $ jobs_arg)
+
+let worker_cmd =
+  let dir =
+    Arg.(required & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR" ~doc:"Campaign directory.")
+  in
+  let shard =
+    Arg.(required & opt (some int) None
+         & info [ "shard" ] ~docv:"K" ~doc:"Shard index to execute.")
+  in
+  let attempt =
+    Arg.(value & opt int 1
+         & info [ "attempt" ] ~docv:"A" ~doc:"Attempt number (1-based).")
+  in
+  let run dir shard attempt =
+    match
+      Sttc_campaign.Worker.run ~allow_kill_injection:true ~dir ~shard ~attempt
+        ()
+    with
+    | Ok (o : Sttc_campaign.Worker.outcome) ->
+        Printf.printf "shard %d: %d computed, %d restored, %d failed\n" shard
+          o.computed o.restored o.failed;
+        0
+    | Error e ->
+        prerr_endline ("sttc worker: " ^ e);
+        1
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "(internal) Execute one campaign shard attempt.  Spawned by 'sttc \
+          campaign'; honours the STTC_CAMPAIGN_KILL fault-injection hook.")
+    Term.(const run $ dir $ shard $ attempt)
+
 (* ---------- version / obs-check ---------- *)
 
 let version_cmd =
@@ -813,7 +954,20 @@ let obs_check_cmd =
          & info [ "min-series" ]
              ~doc:"Fail unless the metrics file has at least this many series.")
   in
-  let run trace metrics min_series =
+  let require =
+    Arg.(value & opt (some string) None
+         & info [ "require" ] ~docv:"NAMES"
+             ~doc:
+               "Comma-separated metric series names that must all be present \
+                in the metrics file (e.g. campaign.shard_retries).")
+  in
+  let run trace metrics min_series require =
+    let require =
+      Option.map
+        (fun s ->
+          List.filter (fun n -> n <> "") (String.split_on_char ',' s))
+        require
+    in
     exit_of_result
       (if trace = None && metrics = None then
          Error "obs-check needs --trace and/or --metrics"
@@ -831,7 +985,9 @@ let obs_check_cmd =
              match metrics with
              | None -> Ok ()
              | Some p -> (
-                 match Sttc_obs.Obs.validate_metrics_file ~min_series p with
+                 match
+                   Sttc_obs.Obs.validate_metrics_file ~min_series ?require p
+                 with
                  | Ok n ->
                      Printf.printf "metrics %s: OK (%d series)\n" p n;
                      Ok ()
@@ -843,7 +999,7 @@ let obs_check_cmd =
          "Validate observability output files: the trace must parse as \
           Chrome trace_event JSON with well-nested spans, the metrics file \
           must carry typed series and a provenance header.")
-    Term.(const run $ trace $ metrics $ min_series)
+    Term.(const run $ trace $ metrics $ min_series $ require)
 
 let () =
   let doc = "Hybrid STT-CMOS designs for reverse-engineering prevention." in
@@ -867,6 +1023,8 @@ let () =
             baseline_cmd;
             ablation_cmd;
             faults_cmd;
+            campaign_cmd;
+            worker_cmd;
             version_cmd;
             obs_check_cmd;
           ]))

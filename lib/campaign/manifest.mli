@@ -1,0 +1,114 @@
+(** Declarative campaign manifests.
+
+    A campaign is the cross product {e circuits x configs x algorithms
+    x seeds}: the sweep shape the paper's Table I / Fig. 3 claims need
+    at scale (thousands of protect runs across benchmarks, selection
+    algorithms and seeds).  The manifest is a JSON file — parsed with
+    the {!Sttc_obs.Json} codec, no external dependency — that pins the
+    whole sweep declaratively, so the supervisor, every worker process
+    and a later [--resume] all derive {e exactly} the same run list and
+    shard assignment from the same bytes.
+
+    Schema (fields marked [?] are optional):
+
+    {v
+    {
+      "name": "quick-sweep",
+      "circuits": ["s27", "s641"],
+      "algorithms": ["dependent",
+                     {"name": "independent", "count": 5},
+                     {"name": "parametric", "clock_factor": 1.08}],
+      "configs":  [{"label": "plain"},                            ?
+                   {"label": "hardened", "harden": true,
+                    "fraction": 0.05}],
+      "seeds": [1, 2, 3],            // or {"base": 1, "count": 100}
+      "shards": 4,                   ?  // default 1
+      "timeout_s": 60.0,             ?  // per-run wall budget
+      "retries": 2,                  ?  // per-shard retry budget
+      "heartbeat_timeout_s": 60.0,   ?  // worker liveness watchdog
+      "attempt_timeout_s": 1800.0    ?  // per-attempt wall watchdog
+    }
+    v}
+
+    [algorithms] defaults to the paper's three; [configs] to one plain
+    entry. *)
+
+type config = {
+  label : string;  (** row tag; unique within the manifest *)
+  fraction : float option;  (** selection-fraction override *)
+  harden : bool;  (** Section IV-A.3 hardening (2 dummy inputs + absorb) *)
+}
+
+val default_config : config
+(** [{ label = "default"; fraction = None; harden = false }] *)
+
+type t = {
+  name : string;
+  circuits : string list;
+  algorithms : Sttc_core.Flow.algorithm list;
+  configs : config list;
+  seeds : int list;
+  shards : int;
+  timeout_s : float option;
+  retries : int;
+      (** how many times a failed shard attempt is retried before the
+          shard degrades to a footnoted partial result *)
+  heartbeat_timeout_s : float;
+      (** a worker whose heartbeat file stops changing for this long is
+          presumed hung and killed *)
+  attempt_timeout_s : float option;
+      (** hard wall-clock watchdog per worker attempt *)
+}
+
+val make :
+  ?algorithms:Sttc_core.Flow.algorithm list ->
+  ?configs:config list ->
+  ?shards:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?heartbeat_timeout_s:float ->
+  ?attempt_timeout_s:float ->
+  name:string ->
+  circuits:string list ->
+  seeds:int list ->
+  unit ->
+  t
+(** Programmatic construction with the same defaults as the JSON
+    parser. *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: non-empty dimensions, known circuit names,
+    unique config labels, [shards >= 1], [retries >= 0], positive
+    watchdog budgets. *)
+
+(** {1 The run list}
+
+    Runs are enumerated in one canonical order — circuits outermost,
+    then configs, then algorithms, then seeds — and identified by their
+    position in it.  Everything downstream (shard assignment,
+    checkpoints, the aggregated report) keys on that index. *)
+
+type run = {
+  index : int;
+  circuit : string;
+  config : config;
+  algorithm : Sttc_core.Flow.algorithm;
+  seed : int;
+}
+
+val runs : t -> run list
+val run_count : t -> int
+
+(** {1 JSON codec and file IO} *)
+
+val to_json : t -> Sttc_obs.Json.t
+val of_json : Sttc_obs.Json.t -> (t, string) result
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** [of_string] validates ({!validate}) after parsing. *)
+
+val save : string -> t -> unit
+(** Atomic write (temp + rename) of the canonical rendering. *)
+
+val load : string -> (t, string) result

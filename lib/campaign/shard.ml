@@ -1,0 +1,112 @@
+module Flow = Sttc_core.Flow
+
+type metrics = {
+  gates : int;
+  luts : int;
+  config_bits : int;
+  perf_pct : float;
+  power_pct : float;
+  area_pct : float;
+  n_indep : string;
+  n_dep : string;
+  n_bf : string;
+}
+
+type outcome = Done of metrics | Failed of string
+
+type row = {
+  index : int;
+  circuit : string;
+  config : string;
+  algorithm : string;
+  seed : int;
+  outcome : outcome;
+}
+
+let of_result (run : Manifest.run) result =
+  let outcome =
+    match result with
+    | Error reason -> Failed reason
+    | Ok (r : Flow.result) ->
+        let sec = r.security and ov = r.overhead in
+        Done
+          {
+            gates =
+              Sttc_netlist.Netlist.gate_count (Sttc_core.Hybrid.original r.hybrid);
+            luts = ov.n_stts;
+            config_bits = sec.total_config_bits;
+            perf_pct = ov.performance_pct;
+            power_pct = ov.power_pct;
+            area_pct = ov.area_pct;
+            n_indep = Sttc_util.Lognum.to_string sec.n_indep;
+            n_dep = Sttc_util.Lognum.to_string sec.n_dep;
+            n_bf = Sttc_util.Lognum.to_string sec.n_bf;
+          }
+  in
+  {
+    index = run.index;
+    circuit = run.circuit;
+    config = run.config.label;
+    algorithm = Flow.algorithm_name run.algorithm;
+    seed = run.seed;
+    outcome;
+  }
+
+let assign m ~shard =
+  if shard < 0 || shard >= m.Manifest.shards then
+    invalid_arg
+      (Printf.sprintf "Shard.assign: shard %d out of range [0, %d)" shard
+         m.Manifest.shards);
+  List.filter
+    (fun (r : Manifest.run) -> r.index mod m.Manifest.shards = shard)
+    (Manifest.runs m)
+
+(* {2 Layout} *)
+
+let manifest_path dir = Filename.concat dir "manifest.json"
+let shards_dir dir = Filename.concat dir "shards"
+let report_json_path dir = Filename.concat dir "report.json"
+let report_text_path dir = Filename.concat dir "report.txt"
+let campaign_metrics_path dir = Filename.concat dir "campaign.metrics.json"
+
+let shard_file ~dir shard ext =
+  Filename.concat (shards_dir dir) (Printf.sprintf "shard-%d.%s" shard ext)
+
+let checkpoint_path ~dir shard = shard_file ~dir shard "ckpt"
+let result_path ~dir shard = shard_file ~dir shard "done"
+let heartbeat_path ~dir shard = shard_file ~dir shard "hb"
+let metrics_path ~dir shard = shard_file ~dir shard "metrics.json"
+
+let log_path ~dir ~shard ~attempt =
+  shard_file ~dir shard (Printf.sprintf "attempt-%d.log" attempt)
+
+let mkdir_if_missing d =
+  if not (Sys.file_exists d) then
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let prepare_dir dir =
+  mkdir_if_missing dir;
+  mkdir_if_missing (shards_dir dir)
+
+(* {2 Shard IO} *)
+
+let ckpt_magic = "campaign-shard-rows-v1"
+let result_magic = "campaign-shard-result-v1"
+
+let save_checkpoint ~dir ~shard rows =
+  Sttc_util.Ckpt.save (checkpoint_path ~dir shard) ~magic:ckpt_magic rows
+
+let load_checkpoint ~dir ~shard =
+  match Sttc_util.Ckpt.load (checkpoint_path ~dir shard) ~magic:ckpt_magic with
+  | Ok (rows : row list) -> rows
+  | Error `Missing -> []
+  | Error (`Rejected _) ->
+      Sttc_obs.Metrics.incr "campaign.checkpoint_rejected";
+      []
+
+let save_result ~dir ~shard rows =
+  Sttc_util.Ckpt.save (result_path ~dir shard) ~magic:result_magic rows
+
+let load_result ~dir ~shard :
+    (row list, Sttc_util.Ckpt.error) result =
+  Sttc_util.Ckpt.load (result_path ~dir shard) ~magic:result_magic

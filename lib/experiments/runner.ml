@@ -88,32 +88,25 @@ end
 
 (* The checkpoint is a whole-state snapshot rewritten atomically after
    every completed benchmark: a kill at any point leaves either the
-   previous or the new snapshot, never a torn file.  A corrupt, foreign
-   or stale-seed file degrades to an empty checkpoint instead of
-   failing the run it was meant to protect. *)
-let checkpoint_magic = "sttc-benchmark-checkpoint-v1"
+   previous or the new snapshot, never a torn file.  The payload sits
+   behind {!Sttc_util.Ckpt}'s format-version header, validated before
+   any unmarshalling: a checkpoint from an older build (or plain
+   garbage at the path) is rejected cleanly and the run recomputes from
+   scratch instead of feeding [Marshal] undefined bytes.  A stale-seed
+   file likewise degrades to an empty checkpoint. *)
+let checkpoint_magic = "benchmark-rows-v2"
 
 let load_checkpoint path seed =
-  if not (Sys.file_exists path) then []
-  else
-    try
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let magic, ckpt_seed, rows =
-            (Marshal.from_channel ic
-              : string * int * (string * Report.benchmark_row) list)
-          in
-          if magic = checkpoint_magic && ckpt_seed = seed then rows else [])
-    with _ -> []
+  match Sttc_util.Ckpt.load path ~magic:checkpoint_magic with
+  | Ok ((ckpt_seed, rows) : int * (string * Report.benchmark_row) list) ->
+      if ckpt_seed = seed then rows else []
+  | Error `Missing -> []
+  | Error (`Rejected _) ->
+      Sttc_obs.Metrics.incr "runner.checkpoint_rejected";
+      []
 
 let save_checkpoint path seed rows =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Marshal.to_channel oc (checkpoint_magic, seed, rows) [];
-  close_out oc;
-  Sys.rename tmp path;
+  Sttc_util.Ckpt.save path ~magic:checkpoint_magic (seed, rows);
   Sttc_obs.Metrics.incr "runner.checkpoint_saves";
   Sttc_obs.Span.instant "runner.checkpoint_save" ~cat:"experiments"
     ~attrs:[ ("rows", string_of_int (List.length rows)) ]
@@ -402,6 +395,33 @@ let rows (cfg : Config.t) =
       ~tasks:(List.length pending) ~work ()
   then rows_parallel ~cfg infos completed
   else rows_serial ~cfg infos completed
+
+(* ---------- shard-scoped entry points (campaign engine) ---------- *)
+
+let build_circuit ?seed name =
+  match Profiles.find name with
+  | Some info -> Profiles.build ?seed info
+  | None -> (
+      match List.assoc_opt name Sttc_netlist.Iscas_data.all with
+      | Some build -> build ()
+      | None -> invalid_arg ("unknown benchmark " ^ name))
+
+let run_unit ?timeout_s ?fraction ?hardening ~seed ~benchmark alg =
+  Sttc_obs.Span.with_ "runner.unit" ~cat:"experiments"
+    ~attrs:
+      [ ("benchmark", benchmark); ("algorithm", Flow.algorithm_name alg) ]
+  @@ fun () ->
+  let t0 = Pool.now_s () in
+  let outcome =
+    serial_guard ~timeout_s ~isolate:true (fun () ->
+        let nl = build_circuit benchmark in
+        (Flow.run ~seed ?fraction ?hardening ~policy:Flow.Strict alg nl)
+          .Flow.accepted)
+  in
+  Sttc_obs.Metrics.observe "runner.unit_seconds" (Pool.now_s () -. t0);
+  match outcome with
+  | `Ok r -> Ok r
+  | (`Timeout _ | `Crash _) as a -> Error (attempt_reason "run" a)
 
 let fig1 () = Report.fig1 ()
 let table1 rows = Report.table1 rows

@@ -107,6 +107,36 @@ val rows : Config.t -> Sttc_core.Report.benchmark_row list
     - without [isolate], a crashing stage surfaces as
       {!Sttc_util.Pool.Task_error} instead of the original exception. *)
 
+(** {1 Shard-scoped entry points}
+
+    The campaign engine ({!Sttc_campaign}) executes sweeps as bags of
+    single [benchmark x algorithm x seed] units inside supervised worker
+    processes; these two functions are that unit of work. *)
+
+val build_circuit : ?seed:int -> string -> Sttc_netlist.Netlist.t
+(** Resolve a benchmark name to its netlist: the ISCAS'89 structural
+    twins ({!Sttc_netlist.Iscas_profiles}) first, then the embedded
+    genuine benchmarks ({!Sttc_netlist.Iscas_data}: s27, c17).  Raises
+    [Invalid_argument] on unknown names.  Without [seed] the profile's
+    own name-derived seed is used, so every caller sees the same
+    circuit. *)
+
+val run_unit :
+  ?timeout_s:float ->
+  ?fraction:float ->
+  ?hardening:Sttc_core.Flow.hardening ->
+  seed:int ->
+  benchmark:string ->
+  Sttc_core.Flow.algorithm ->
+  (Sttc_core.Flow.result, string) result
+(** One protect run, isolated: build the benchmark, run the strict flow
+    at [seed], and capture any crash or [timeout_s] overrun as [Error]
+    with the reason — the caller (a campaign worker) records it as a
+    footnoted partial row rather than dying.  Deterministic in [seed]
+    when no timeout fires.  The timeout uses
+    {!Sttc_util.Timing.with_timeout} and is therefore main-domain
+    only — exactly the situation of a worker process. *)
+
 val fig1 : unit -> string
 val table1 : Sttc_core.Report.benchmark_row list -> string
 val table2 : Sttc_core.Report.benchmark_row list -> string

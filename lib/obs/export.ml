@@ -65,22 +65,24 @@ let trace_json () =
           @ [ ("dropped_events", Json.Int (Span.dropped ())) ]) );
     ]
 
-let metrics_json () =
+let metrics_json_of_snapshot snap =
   Json.Obj
     [
       ("meta", Json.Obj (Build_info.to_fields ()));
-      ("metrics", Metrics.to_json (Metrics.snapshot ()));
+      ("metrics", Metrics.to_json snap);
     ]
 
-let write_file path j =
+let metrics_json () = metrics_json_of_snapshot (Metrics.snapshot ())
+
+let write_text path text =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (Json.to_string j);
-      output_char oc '\n');
+    (fun () -> output_string oc text);
   Sys.rename tmp path
+
+let write_file path j = write_text path (Json.to_string j ^ "\n")
 
 (* ---------- validation ---------- *)
 
@@ -243,7 +245,7 @@ let check_series (name, v) =
       else Ok ()
   | other -> Error (Printf.sprintf "%s: unknown type %S" ctx other)
 
-let validate_metrics ?(min_series = 0) j =
+let validate_metrics ?(min_series = 0) ?(require = []) j =
   let* meta = need "meta: missing" (Json.member "meta" j) in
   let* () = check_meta "meta" meta in
   let* series =
@@ -259,6 +261,14 @@ let validate_metrics ?(min_series = 0) j =
         each rest
   in
   let* () = each series in
+  let* () =
+    match
+      List.filter (fun name -> not (List.mem_assoc name series)) require
+    with
+    | [] -> Ok ()
+    | missing ->
+        Error ("missing required series: " ^ String.concat ", " missing)
+  in
   let n = List.length series in
   if n < min_series then
     Error (Printf.sprintf "only %d metric series, need at least %d" n min_series)

@@ -23,13 +23,25 @@ val trace_json : unit -> Json.t
 val metrics_json : unit -> Json.t
 (** Snapshot of all metric series. *)
 
+val metrics_json_of_snapshot : Metrics.snapshot -> Json.t
+(** The same document shape for a caller-supplied snapshot — e.g. the
+    cross-process merge a campaign aggregation produces with
+    {!Metrics.merge}. *)
+
 val write_file : string -> Json.t -> unit
 (** Write atomically (temp file + rename), so a crash mid-export never
     leaves a torn half-JSON behind. *)
 
+val write_text : string -> string -> unit
+(** The same atomic temp-file + rename discipline for arbitrary text —
+    the write path every generated report and benchmark record should
+    go through, so an interrupted run never leaves a truncated file. *)
+
 val validate_trace : Json.t -> (int, string) result
 (** [Ok n] with [n] the number of complete span events. *)
 
-val validate_metrics : ?min_series:int -> Json.t -> (int, string) result
+val validate_metrics :
+  ?min_series:int -> ?require:string list -> Json.t -> (int, string) result
 (** [Ok n] with [n] the number of series; [min_series] (default 0)
-    additionally requires at least that many. *)
+    additionally requires at least that many, and every name in
+    [require] must be present as a series. *)

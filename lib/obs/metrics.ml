@@ -137,6 +137,20 @@ let summary_of_hist (h : hist) =
     overflow = h.overflow;
   }
 
+(* Buckets are united by bound instead of zipped: snapshots that
+   travelled through JSON carry only their occupied buckets, and two
+   such lists rarely share a shape. *)
+let union_buckets xs ys =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | (lx, cx) :: xt, (ly, cy) :: yt ->
+        if lx = ly then (lx, cx + cy) :: go xt yt
+        else if lx < ly then (lx, cx) :: go xt ys
+        else (ly, cy) :: go xs yt
+  in
+  go xs ys
+
 let merge_points name a b =
   match (a, b) with
   | Counter x, Counter y -> Counter (x + y)
@@ -151,10 +165,7 @@ let merge_points name a b =
              else if y.count = 0 then x.min
              else Float.min x.min y.min);
           max = Float.max x.max y.max;
-          buckets =
-            List.map2
-              (fun (le, cx) (_, cy) -> (le, cx + cy))
-              x.buckets y.buckets;
+          buckets = union_buckets x.buckets y.buckets;
           overflow = x.overflow + y.overflow;
         }
   | _ ->
@@ -222,6 +233,97 @@ let to_json snap =
           ]
   in
   Json.Obj (List.map (fun (name, p) -> (name, point_json p)) snap)
+
+let merge a b =
+  let rec go a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | ((na, pa) as xa) :: at, ((nb, pb) as xb) :: bt ->
+        if na = nb then (na, merge_points na pa pb) :: go at bt
+        else if na < nb then xa :: go at b
+        else xb :: go a bt
+  in
+  (* snapshots are name-sorted by contract, but parsed ones might not
+     be — sort defensively so the merge walk is correct *)
+  let sorted s = List.sort (fun (a, _) (b, _) -> compare a b) s in
+  go (sorted a) (sorted b)
+
+(* ---------- JSON round-trip ---------- *)
+
+(* Snap a parsed bucket bound back onto the canonical grid: bounds are
+   printed with %.12g, so they come back a few ulps off the values
+   [bucket_bound] computes, and bound equality is what {!merge} unites
+   buckets by. *)
+let canonical_bound le =
+  let rec find i =
+    if i >= nbuckets then le
+    else
+      let b = bucket_bound i in
+      if Float.abs (le -. b) <= 1e-9 *. Float.max (Float.abs le) (Float.abs b)
+      then b
+      else find (i + 1)
+  in
+  find 0
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let need msg = function Some x -> Ok x | None -> Error msg in
+  let int_field ctx k v =
+    need (ctx ^ ": missing or non-integer " ^ k)
+      (Option.bind (Json.member k v) Json.to_int_opt)
+  in
+  let num_field ctx k v =
+    need (ctx ^ ": missing or non-numeric " ^ k)
+      (Option.bind (Json.member k v) Json.to_float_opt)
+  in
+  let series (name, v) =
+    let ctx = "series " ^ name in
+    let* ty =
+      need (ctx ^ ": missing type")
+        (Option.bind (Json.member "type" v) Json.to_string_opt)
+    in
+    match ty with
+    | "counter" ->
+        let* n = int_field ctx "value" v in
+        Ok (name, Counter n)
+    | "gauge" ->
+        let* x = num_field ctx "value" v in
+        Ok (name, Gauge x)
+    | "histogram" ->
+        let* count = int_field ctx "count" v in
+        let* sum = num_field ctx "sum" v in
+        let* min = num_field ctx "min" v in
+        let* max = num_field ctx "max" v in
+        let* overflow = int_field ctx "overflow" v in
+        let* bs =
+          need (ctx ^ ": missing buckets")
+            (Option.bind (Json.member "buckets" v) Json.to_list_opt)
+        in
+        let* buckets =
+          List.fold_left
+            (fun acc b ->
+              let* acc = acc in
+              let* le = num_field ctx "le" b in
+              let* c = int_field ctx "count" b in
+              Ok ((canonical_bound le, c) :: acc))
+            (Ok []) bs
+        in
+        Ok (name, Histogram { count; sum; min; max;
+                              buckets = List.rev buckets; overflow })
+    | other -> Error (ctx ^ ": unknown type " ^ other)
+  in
+  match j with
+  | Json.Obj fields ->
+      let* points =
+        List.fold_left
+          (fun acc f ->
+            let* acc = acc in
+            let* p = series f in
+            Ok (p :: acc))
+          (Ok []) fields
+      in
+      Ok (List.sort (fun (a, _) (b, _) -> compare a b) points)
+  | _ -> Error "metrics: not a JSON object"
 
 let reset () =
   Mutex.lock registry_mutex;

@@ -61,6 +61,23 @@ val snapshot : unit -> snapshot
     different domains raises [Invalid_argument] — that is an
     instrumentation bug, not data. *)
 
+val merge : snapshot -> snapshot -> snapshot
+(** Merge two snapshots with the same semantics as the cross-domain
+    merge: counters sum, gauges max, histograms add.  Histogram buckets
+    are united by their bounds rather than assumed to share a grid, so
+    snapshots that travelled through JSON (which drops empty buckets)
+    merge correctly.  This is the cross-{e process} aggregation
+    primitive: a campaign supervisor folds every worker's exported
+    snapshot into one with it.  Raises [Invalid_argument] when the same
+    series carries different kinds in the two snapshots. *)
+
+val of_json : Json.t -> (snapshot, string) result
+(** Parse a {!to_json} rendering back into a snapshot.  Histogram
+    bucket bounds are snapped onto the canonical log-scale grid when
+    they are within rounding distance of it, so a parsed snapshot
+    {!merge}s exactly with a live one despite the [%.12g] float
+    round-trip. *)
+
 val find : snapshot -> string -> point option
 val counter_value : snapshot -> string -> int
 (** 0 when absent or not a counter. *)

@@ -69,5 +69,5 @@ let load_json path =
 let validate_trace_file path =
   Result.bind (load_json path) Export.validate_trace
 
-let validate_metrics_file ?min_series path =
-  Result.bind (load_json path) (Export.validate_metrics ?min_series)
+let validate_metrics_file ?min_series ?require path =
+  Result.bind (load_json path) (Export.validate_metrics ?min_series ?require)

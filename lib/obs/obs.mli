@@ -54,5 +54,8 @@ val validate_trace_file : string -> (int, string) result
 (** Parse and structurally validate a trace file ({!Export.validate_trace});
     [Ok n] is the span count. *)
 
-val validate_metrics_file : ?min_series:int -> string -> (int, string) result
-(** Same for a metrics file; [Ok n] is the series count. *)
+val validate_metrics_file :
+  ?min_series:int -> ?require:string list -> string -> (int, string) result
+(** Same for a metrics file; [Ok n] is the series count.  [require]
+    names series that must be present (the campaign CI gate asserts its
+    counters this way). *)

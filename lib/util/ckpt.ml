@@ -1,0 +1,84 @@
+(* Container version: bump when the header layout itself changes (the
+   per-payload format version lives in the caller's magic string). *)
+let container = "sttc-ckpt/1"
+
+type error = [ `Missing | `Rejected of string ]
+
+let error_to_string = function
+  | `Missing -> "no such file"
+  | `Rejected reason -> "rejected: " ^ reason
+
+let check_magic magic =
+  if magic = "" || String.contains magic '\n' then
+    invalid_arg "Ckpt: magic must be non-empty and single-line"
+
+let header magic = container ^ " " ^ magic
+
+let save path ~magic v =
+  check_magic magic;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc (header magic);
+         output_char oc '\n';
+         Marshal.to_channel oc v [])
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* The header is read with a hard length bound so a file that merely
+   starts with unbounded garbage (no newline) cannot make us buffer it
+   all: a valid header is short, and anything longer is already not
+   ours. *)
+let read_header ic ~magic =
+  let expected = header magic in
+  let limit = String.length expected + 1 in
+  let buf = Buffer.create limit in
+  let rec scan n =
+    if n > limit then Error (`Rejected "not a sttc-ckpt container")
+    else
+      match input_char ic with
+      | '\n' ->
+          let line = Buffer.contents buf in
+          if line = expected then Ok ()
+          else if not (String.length line >= String.length container
+                       && String.sub line 0 (String.length container)
+                          = container)
+          then Error (`Rejected "not a sttc-ckpt container")
+          else Error (`Rejected ("magic mismatch: got " ^ line))
+      | c ->
+          Buffer.add_char buf c;
+          scan (n + 1)
+      | exception End_of_file ->
+          Error (`Rejected "truncated before end of header")
+  in
+  scan 0
+
+let load path ~magic =
+  check_magic magic;
+  if not (Sys.file_exists path) then Error `Missing
+  else
+    match open_in_bin path with
+    | exception Sys_error m -> Error (`Rejected m)
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match read_header ic ~magic with
+            | Error _ as e -> e
+            | Ok () -> (
+                (* the header vouches for the writer, not for the bytes:
+                   a crash mid-rename never truncates (writes are
+                   atomic), but disk-level corruption or a hand-edited
+                   file still must land here, not in a segfault *)
+                match Marshal.from_channel ic with
+                | v -> Ok v
+                | exception End_of_file ->
+                    Error (`Rejected "truncated payload")
+                | exception Failure m ->
+                    Error (`Rejected ("corrupt payload: " ^ m))
+                | exception _ -> Error (`Rejected "corrupt payload")))

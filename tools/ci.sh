@@ -97,6 +97,48 @@ if ! timeout 120 "$STTC_BIN" lint -i "$tmpdir/s27.bench" -a parametric \
   exit 1
 fi
 
+echo "== campaign gate (SIGKILLed worker, resume, byte-identical report)"
+# A 2-shard sweep of s27 (3 algorithms x 2 seeds = 6 runs).  Pass 1 runs
+# it clean.  Pass 2 injects a SIGKILL into shard 0's worker after its
+# first run with a zero retry budget: the shard must degrade (exit 2)
+# into a footnoted partial report.  A --resume of the same directory
+# must finish from the checkpoint (exit 0) and produce a report.json
+# byte-identical to the clean pass.
+cat > "$tmpdir/campaign.json" <<'EOF'
+{
+  "name": "ci",
+  "circuits": ["s27"],
+  "algorithms": ["dependent", {"name": "independent", "count": 3}, "parametric"],
+  "seeds": [1, 2],
+  "shards": 2,
+  "retries": 1,
+  "heartbeat_timeout_s": 60.0
+}
+EOF
+timeout 300 "$STTC_BIN" campaign --manifest "$tmpdir/campaign.json" \
+  --dir "$tmpdir/camp.clean" -j 2 > /dev/null 2>&1
+kill_status=0
+STTC_CAMPAIGN_KILL="0:1" timeout 300 "$STTC_BIN" campaign \
+  --manifest "$tmpdir/campaign.json" --dir "$tmpdir/camp.kill" \
+  --retries 0 -j 2 > "$tmpdir/camp.kill.out" 2>&1 || kill_status=$?
+if [ "$kill_status" -ne 2 ]; then
+  echo "CAMPAIGN GATE FAILED: killed run must exit 2 (degraded), got $kill_status" >&2
+  cat "$tmpdir/camp.kill.out" >&2
+  exit 1
+fi
+if ! grep -q "degraded" "$tmpdir/camp.kill.out"; then
+  echo "CAMPAIGN GATE FAILED: degraded run must footnote the lost shard" >&2
+  cat "$tmpdir/camp.kill.out" >&2
+  exit 1
+fi
+timeout 300 "$STTC_BIN" campaign --resume "$tmpdir/camp.kill" > /dev/null 2>&1
+if ! diff "$tmpdir/camp.clean/report.json" "$tmpdir/camp.kill/report.json"; then
+  echo "CAMPAIGN GATE FAILED: resumed report differs from the clean single-pass report" >&2
+  exit 1
+fi
+sttc obs-check --metrics "$tmpdir/camp.kill/campaign.metrics.json" \
+  --require campaign.shard_retries,campaign.worker_respawns,campaign.heartbeat_misses,campaign.shards_degraded
+
 status=0
 for b in $benches; do
   echo "== lint $b (structural + all three algorithms)"

@@ -457,6 +457,172 @@ let campaign_bench () =
     exit 1
   end
 
+(* ---------- serve daemon load record ---------- *)
+
+(* Boots the [sttc serve] daemon twice on a throwaway socket — once with
+   the netlist cache disabled (every request re-parses and re-warms its
+   netlist) and once with it enabled — fires the same mixed request
+   stream at it from concurrent client domains, and records p50/p95/p99
+   latency plus sustained req/s per pass in BENCH_serve.json.  The
+   warm-cache p50 sitting measurably below the cold one is the point of
+   a persistent daemon. *)
+let serve_bench ~jobs () =
+  section "Serve daemon - cold vs warm netlist cache over the Unix socket";
+  let module Serve = Sttc_serve in
+  let workers = max 2 jobs in
+  let n_clients = 4 and per_client = 250 in
+  (* the cache-sensitive request: lint an inline netlist big enough that
+     parsing + warming it is a visible share of the request *)
+  let text =
+    Sttc_netlist.Bench_io.to_string
+      (Sttc_netlist.Generator.generate ~seed:7
+         {
+           Sttc_netlist.Generator.design_name = "srv40";
+           n_pi = 8;
+           n_po = 6;
+           n_ff = 0;
+           n_gates = 40;
+           levels = 5;
+         })
+  in
+  let req payload = { Serve.Request.id = None; timeout_s = None; payload } in
+  let lint_req =
+    req
+      (Serve.Request.Lint
+         {
+           source = Serve.Request.Inline { name = "srv40"; text };
+           algorithms = [];
+           semantic = false;
+           seed = 1;
+           fraction = None;
+           budget = None;
+           rules = [];
+           suppress = [];
+           format = `Json;
+         })
+  in
+  let protect_req =
+    req
+      (Serve.Request.Protect
+         {
+           source = Serve.Request.Named "s27";
+           algorithm = Flow.Independent { count = 3 };
+           config = Sttc_campaign.Manifest.default_config;
+           seed = 1;
+           sign_off = false;
+           emit_foundry = false;
+           emit_bitstream = false;
+           emit_verilog = false;
+           timing = false;
+         })
+  in
+  let mix =
+    [|
+      lint_req; lint_req; lint_req; protect_req; lint_req; lint_req;
+      req (Serve.Request.Ping { sleep_s = 0. }); req Serve.Request.Stats;
+    |]
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    sorted.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))
+  in
+  let pass ~tag ~cache_capacity =
+    let socket =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "sttc-bench-%s-%d.sock" tag (Unix.getpid ()))
+    in
+    if Sys.file_exists socket then Sys.remove socket;
+    let cfg =
+      Serve.Server.Config.(
+        default |> with_socket socket |> with_jobs workers
+        |> with_queue_capacity 256
+        |> with_cache_capacity cache_capacity)
+    in
+    let srv = Domain.spawn (fun () -> Serve.Server.run cfg) in
+    let rec await tries =
+      if Sys.file_exists socket then ()
+      else if tries = 0 then failwith ("daemon never bound " ^ socket)
+      else begin
+        Unix.sleepf 0.02;
+        await (tries - 1)
+      end
+    in
+    await 250;
+    let t0 = Unix.gettimeofday () in
+    let client c =
+      Serve.Client.with_connection socket (fun conn ->
+          let lats = Array.make per_client 0. in
+          let rec go i =
+            if i = per_client then Ok lats
+            else
+              let r = mix.((c + i) mod Array.length mix) in
+              let u0 = Unix.gettimeofday () in
+              match Serve.Client.request conn r with
+              | Ok (Serve.Response.Ok _) ->
+                  lats.(i) <- (Unix.gettimeofday () -. u0) *. 1000.;
+                  go (i + 1)
+              | Ok (Serve.Response.Error { message; _ }) -> Error message
+              | Ok (Serve.Response.Overloaded _) -> Error "overloaded"
+              | Error _ as e -> e
+          in
+          go 0)
+    in
+    let domains = List.init n_clients (fun c -> Domain.spawn (fun () -> client c)) in
+    let results = List.map Domain.join domains in
+    let wall = Unix.gettimeofday () -. t0 in
+    (match
+       Serve.Client.with_connection socket (fun conn ->
+           Serve.Client.request conn (req Serve.Request.Shutdown))
+     with
+    | Ok _ -> ()
+    | Error e -> failwith ("shutdown failed: " ^ e));
+    Domain.join srv;
+    let lats =
+      List.concat_map
+        (function
+          | Ok a -> Array.to_list a
+          | Error e -> failwith ("serve bench client failed: " ^ e))
+        results
+    in
+    let sorted = Array.of_list lats in
+    Array.sort compare sorted;
+    let total = Array.length sorted in
+    let rps = float_of_int total /. wall in
+    let p50 = percentile sorted 50.
+    and p95 = percentile sorted 95.
+    and p99 = percentile sorted 99. in
+    Printf.printf
+      "  %-4s cache: %4d reqs in %5.2fs -> %7.1f req/s   p50 %.3fms  p95 \
+       %.3fms  p99 %.3fms\n\
+       %!"
+      tag total wall rps p50 p95 p99;
+    (rps, p50, p95, p99)
+  in
+  let cold_rps, cold_p50, cold_p95, cold_p99 = pass ~tag:"cold" ~cache_capacity:0 in
+  let warm_rps, warm_p50, warm_p95, warm_p99 = pass ~tag:"warm" ~cache_capacity:32 in
+  let faster = warm_p50 < cold_p50 in
+  Printf.printf "  warm p50 below cold p50: %b\n" faster;
+  Sttc_obs.Export.write_text "BENCH_serve.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"experiment\": \"serve-load\",\n\
+       \  \"workers\": %d,\n\
+       \  \"clients\": %d,\n\
+       \  \"requests_per_client\": %d,\n\
+       \  \"cold\": {\"req_per_s\": %.1f, \"p50_ms\": %.4f, \"p95_ms\": \
+        %.4f, \"p99_ms\": %.4f},\n\
+       \  \"warm\": {\"req_per_s\": %.1f, \"p50_ms\": %.4f, \"p95_ms\": \
+        %.4f, \"p99_ms\": %.4f},\n\
+       \  \"warm_p50_below_cold\": %b\n\
+        }\n"
+       workers n_clients per_client cold_rps cold_p50 cold_p95 cold_p99
+       warm_rps warm_p50 warm_p95 warm_p99 faster);
+  Printf.printf "  wrote BENCH_serve.json\n";
+  if not faster then begin
+    Printf.printf "warm-cache p50 is NOT below cold-cache p50\n";
+    exit 1
+  end
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -522,6 +688,29 @@ let micro () =
 
 (* ---------- driver ---------- *)
 
+let sections =
+  [
+    "fig1"; "table1"; "table2"; "fig3"; "attacks"; "sidechannel"; "baseline";
+    "ablation"; "faults"; "parallel"; "sat"; "lint"; "campaign"; "serve";
+    "micro";
+  ]
+
+(* argument mistakes exit with the same sysexits EX_USAGE code 64 the
+   sttc CLI uses for its typed usage errors *)
+let usage_fail msg =
+  prerr_endline ("bench: " ^ msg);
+  prerr_endline
+    (Printf.sprintf
+       "usage: main.exe [-j N] [--trace FILE] [--metrics FILE] [quick] \
+        [%s]..."
+       (String.concat "|" sections));
+  exit 64
+
+let int_arg flag n =
+  match int_of_string_opt n with
+  | Some v -> v
+  | None -> usage_fail (Printf.sprintf "%s needs an integer, got '%s'" flag n)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let jobs = ref 1 in
@@ -529,15 +718,18 @@ let () =
   let metrics = ref None in
   let rec strip = function
     | [] -> []
+    | [ "-j" ] -> usage_fail "-j needs a worker count"
     | "-j" :: n :: rest ->
-        jobs := int_of_string n;
+        jobs := int_arg "-j" n;
         strip rest
     | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
-        jobs := int_of_string (String.sub a 2 (String.length a - 2));
+        jobs := int_arg "-j" (String.sub a 2 (String.length a - 2));
         strip rest
+    | [ "--trace" ] -> usage_fail "--trace needs a file path"
     | "--trace" :: path :: rest ->
         trace := Some path;
         strip rest
+    | [ "--metrics" ] -> usage_fail "--metrics needs a file path"
     | "--metrics" :: path :: rest ->
         metrics := Some path;
         strip rest
@@ -549,6 +741,11 @@ let () =
   in
   let quick = List.mem "quick" args in
   let args = List.filter (fun a -> a <> "quick") args in
+  (match
+     List.find_opt (fun a -> not (List.mem a sections)) args
+   with
+  | Some unknown -> usage_fail ("unknown experiment '" ^ unknown ^ "'")
+  | None -> ());
   let all = args = [] in
   let want name = all || List.mem name args in
   Sttc_obs.Obs.with_run ?trace:!trace ?metrics:!metrics @@ fun () ->
@@ -565,5 +762,6 @@ let () =
   if want "sat" then sat_bench ();
   if want "lint" then lint_bench ();
   if want "campaign" then campaign_bench ();
+  if want "serve" then serve_bench ~jobs ();
   if want "micro" then micro ();
   Printf.printf "\nbench: done\n"

@@ -54,11 +54,47 @@ let protect_strict ~seed ?fraction ?hardening alg nl =
      alg nl)
     .Sttc_core.Flow.accepted
 
+(* protect/attack/lint are two-transport commands: they build the same
+   [Sttc_serve.Request.t] the daemon parses off its socket and dispatch
+   it through the same [Sttc_serve.Handler.handle] — the offline
+   transport of the one API.  The CLI session is the degenerate
+   single-process registry. *)
+let offline_session = lazy (Sttc_serve.Session.create ~capacity:8 ())
+
+let read_source path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | text ->
+      Ok
+        (Sttc_serve.Request.Inline
+           {
+             name = Filename.remove_extension (Filename.basename path);
+             text;
+           })
+
+let offline_handle payload =
+  Sttc_serve.Handler.handle
+    (Lazy.force offline_session)
+    { Sttc_serve.Request.id = None; timeout_s = None; payload }
+
 let exit_of_result = function
   | Ok () -> 0
   | Error msg ->
       prerr_endline ("sttc: " ^ msg);
       1
+
+(* One typed usage-error path for every subcommand: argument mistakes
+   (unknown names, missing required flags, inconsistent combinations)
+   exit with the sysexits EX_USAGE code 64 and point at --help —
+   distinct from runtime failures (exit 1) and lint findings.
+   Cmdliner's own parse errors are routed to the same code through
+   [Cmd.eval' ~term_err:64] at the bottom of this file. *)
+let usage_exit = 64
+
+let usage_error ~cmd msg =
+  prerr_endline ("sttc: " ^ msg);
+  prerr_endline (Printf.sprintf "Try 'sttc %s --help' for more information." cmd);
+  usage_exit
 
 (* ---------- gen ---------- *)
 
@@ -189,47 +225,58 @@ let protect_cmd =
   in
   let run input alg seed output bitstream verilog sign_off harden =
     exit_of_result
-      (match read_netlist input with
+      (match read_source input with
       | Error m -> Error m
-      | Ok nl ->
-          let hardening =
-            if harden then
-              { Sttc_core.Flow.extra_inputs_per_lut = 2; absorb_drivers = true }
-            else Sttc_core.Flow.no_hardening
+      | Ok source -> (
+          let payload =
+            Sttc_serve.Request.Protect
+              {
+                source;
+                algorithm = alg;
+                config =
+                  { Sttc_campaign.Manifest.label = "cli"; fraction = None; harden };
+                seed;
+                sign_off;
+                emit_foundry = output <> None;
+                emit_bitstream = bitstream <> None;
+                emit_verilog = verilog <> None;
+                timing = true;
+              }
           in
-          let r = protect_strict ~seed ~hardening alg nl in
-          Format.printf "%a@." Sttc_core.Flow.pp_result r;
-          let hybrid = r.Sttc_core.Flow.hybrid in
-          Option.iter
-            (fun path ->
-              Sttc_netlist.Bench_io.write_file path
-                (Sttc_core.Hybrid.foundry_view hybrid);
-              Printf.printf "wrote foundry view to %s\n" path)
-            output;
-          Option.iter
-            (fun path ->
-              let oc = open_out path in
-              output_string oc
-                (Sttc_core.Provision.to_string
-                   (Sttc_core.Provision.of_hybrid hybrid));
-              close_out oc;
-              Format.printf "%a@." Sttc_core.Provision.pp_cost
-                (Sttc_core.Provision.programming_cost hybrid);
-              Printf.printf "wrote bitstream to %s\n" path)
-            bitstream;
-          Option.iter
-            (fun path ->
-              Sttc_netlist.Verilog_out.write_file path
-                (Sttc_core.Hybrid.programmed hybrid);
-              Printf.printf "wrote Verilog to %s\n" path)
-            verilog;
-          if sign_off then
-            if Sttc_core.Flow.sign_off r then begin
-              print_endline "sign-off: programmed hybrid is equivalent to the original";
-              Ok ()
-            end
-            else Error "sign-off FAILED: hybrid differs from original"
-          else Ok ())
+          match offline_handle payload with
+          | Sttc_serve.Response.Error { message; _ } -> Error message
+          | Sttc_serve.Response.Overloaded _ -> Error "overloaded"
+          | Sttc_serve.Response.Ok { payload = Sttc_serve.Response.Protect p; _ }
+            ->
+              print_string p.Sttc_serve.Response.report;
+              let write_text path text =
+                Out_channel.with_open_bin path (fun oc ->
+                    Out_channel.output_string oc text)
+              in
+              (match (output, p.Sttc_serve.Response.foundry_bench) with
+              | Some path, Some text ->
+                  write_text path text;
+                  Printf.printf "wrote foundry view to %s\n" path
+              | _ -> ());
+              (match (bitstream, p.Sttc_serve.Response.bitstream) with
+              | Some path, Some text ->
+                  write_text path text;
+                  Option.iter print_string p.Sttc_serve.Response.programming_cost;
+                  Printf.printf "wrote bitstream to %s\n" path
+              | _ -> ());
+              (match (verilog, p.Sttc_serve.Response.verilog) with
+              | Some path, Some text ->
+                  write_text path text;
+                  Printf.printf "wrote Verilog to %s\n" path
+              | _ -> ());
+              (match p.Sttc_serve.Response.sign_off with
+              | Some true ->
+                  print_endline
+                    "sign-off: programmed hybrid is equivalent to the original";
+                  Ok ()
+              | Some false -> Error "sign-off FAILED: hybrid differs from original"
+              | None -> Ok ())
+          | Sttc_serve.Response.Ok _ -> Error "unexpected response payload"))
   in
   Cmd.v
     (Cmd.info "protect" ~doc:"Run the security-driven hybrid STT-CMOS flow.")
@@ -424,102 +471,65 @@ let lint_cmd =
           (rules @ suppress)
       with
       | Some unknown ->
-          prerr_endline
-            ("sttc: unknown rule " ^ unknown ^ " (see --list-rules)");
-          124
+          usage_error ~cmd:"lint"
+            ("unknown rule " ^ unknown ^ " (see --list-rules)")
       | None -> (
-      match input with
-      | None ->
-          prerr_endline "sttc: lint needs --input (or --list-rules)";
-          124
-      | Some input -> (
-          match read_netlist input with
-          | Error m ->
-              prerr_endline ("sttc: " ^ m);
-              1
-          | Ok nl -> (
-              try
-                let structural = Sttc_lint.Lint.structural nl in
-                let plain_semantic =
-                  if semantic && algorithms = [] then
-                    Sttc_lint.Lint.semantic
-                      (Sttc_lint.Semantic_rules.view ~budget nl)
-                  else []
-                in
-                let hybrids =
-                  List.concat_map
-                    (fun alg ->
-                      let r = protect_strict ~seed ?fraction alg nl in
-                      let tag d =
-                        {
-                          d with
-                          Sttc_lint.Diagnostic.detail =
-                            Printf.sprintf "[%s] %s"
-                              (Sttc_core.Flow.algorithm_name alg)
-                              d.Sttc_lint.Diagnostic.detail;
-                        }
+          match (update_baseline, baseline, input) with
+          | true, None, _ ->
+              usage_error ~cmd:"lint" "--update-baseline needs --baseline"
+          | _, _, None ->
+              usage_error ~cmd:"lint" "lint needs --input (or --list-rules)"
+          | _, _, Some input -> (
+              match read_netlist input with
+              | Error m ->
+                  prerr_endline ("sttc: " ^ m);
+                  1
+              | Ok nl -> (
+                  (* the same diagnostics pipeline the serve daemon runs;
+                     the CLI only adds the baseline file handling around
+                     it *)
+                  match
+                    Sttc_serve.Handler.lint_diagnostics ~algorithms ~semantic
+                      ~seed ?fraction ~budget ~rules ~suppress nl
+                  with
+                  | Error m ->
+                      prerr_endline ("sttc: " ^ m);
+                      1
+                  | Ok ds -> (
+                      let base =
+                        match baseline with
+                        | Some path when Sys.file_exists path ->
+                            let ic = open_in path in
+                            let text =
+                              really_input_string ic (in_channel_length ic)
+                            in
+                            close_in ic;
+                            Sttc_lint.Diagnostic.baseline_of_string text
+                        | _ -> Sttc_lint.Diagnostic.empty_baseline
                       in
-                      (* structural findings of the hybrid mirror the
-                         base netlist's (replacement is slot-for-slot),
-                         so only the security pack is reported per
-                         algorithm *)
-                      let sec = Sttc_core.Flow.lint_security r in
-                      let sem =
-                        if not semantic then []
-                        else
-                          let h = r.Sttc_core.Flow.hybrid in
-                          Sttc_lint.Lint.semantic
-                            (Sttc_lint.Semantic_rules.view
-                               ~luts:(Sttc_core.Hybrid.lut_ids h)
-                               ~configs:(Sttc_core.Hybrid.bitstream h)
-                               ~budget
-                               (Sttc_core.Hybrid.foundry_view h))
-                      in
-                      List.map tag (sec @ sem))
-                    algorithms
-                in
-                let base =
-                  match baseline with
-                  | Some path when Sys.file_exists path ->
-                      let ic = open_in path in
-                      let text =
-                        really_input_string ic (in_channel_length ic)
-                      in
-                      close_in ic;
-                      Sttc_lint.Diagnostic.baseline_of_string text
-                  | _ -> Sttc_lint.Diagnostic.empty_baseline
-                in
-                let ds =
-                  Sttc_lint.Lint.apply ~only:rules ~suppress
-                    (structural @ plain_semantic @ hybrids)
-                in
-                match (update_baseline, baseline) with
-                | true, Some path ->
-                    let oc = open_out path in
-                    output_string oc
-                      (Sttc_lint.Diagnostic.baseline_to_string
-                         (Sttc_lint.Diagnostic.baseline_of_diagnostics ds));
-                    close_out oc;
-                    Printf.printf "wrote baseline (%d entries) to %s\n"
-                      (List.length ds) path;
-                    0
-                | true, None ->
-                    prerr_endline "sttc: --update-baseline needs --baseline";
-                    124
-                | false, _ ->
-                    let ds = Sttc_lint.Diagnostic.apply_baseline base ds in
-                    let design = Sttc_netlist.Netlist.design_name nl in
-                    (match format with
-                    | `Text ->
-                        print_string
-                          (Sttc_lint.Diagnostic.render_text ~design ds)
-                    | `Json ->
-                        print_string
-                          (Sttc_lint.Diagnostic.render_json ~design ds));
-                    Sttc_lint.Lint.exit_code ds
-              with Invalid_argument m ->
-                prerr_endline ("sttc: " ^ m);
-                1)))
+                      match (update_baseline, baseline) with
+                      | true, Some path ->
+                          let oc = open_out path in
+                          output_string oc
+                            (Sttc_lint.Diagnostic.baseline_to_string
+                               (Sttc_lint.Diagnostic.baseline_of_diagnostics ds));
+                          close_out oc;
+                          Printf.printf "wrote baseline (%d entries) to %s\n"
+                            (List.length ds) path;
+                          0
+                      | _ ->
+                          let ds =
+                            Sttc_lint.Diagnostic.apply_baseline base ds
+                          in
+                          let design = Sttc_netlist.Netlist.design_name nl in
+                          (match format with
+                          | `Text ->
+                              print_string
+                                (Sttc_lint.Diagnostic.render_text ~design ds)
+                          | `Json ->
+                              print_string
+                                (Sttc_lint.Diagnostic.render_json ~design ds));
+                          Sttc_lint.Lint.exit_code ds))))
   in
   Cmd.v
     (Cmd.info "lint"
@@ -570,13 +580,15 @@ let attack_cmd =
   let run input alg seed timeout jobs solver key_out trace metrics =
     Sttc_obs.Obs.with_run ?trace ?metrics @@ fun () ->
     exit_of_result
-      (match read_netlist input with
-      | Error m -> Error m
-      | Ok nl -> (
-          let r = protect_strict ~seed alg nl in
-          let hybrid = r.Sttc_core.Flow.hybrid in
-          match key_out with
-          | Some path -> (
+      (match key_out with
+      | Some path -> (
+          (* key extraction stays a direct call: it needs the raw
+             bitstream, not the campaign summary the API returns *)
+          match read_netlist input with
+          | Error m -> Error m
+          | Ok nl -> (
+              let r = protect_strict ~seed alg nl in
+              let hybrid = r.Sttc_core.Flow.hybrid in
               match
                 Sttc_attack.Sat_attack.run ~timeout_s:timeout ~mode:solver
                   hybrid
@@ -598,17 +610,31 @@ let attack_cmd =
                   Error
                     (Printf.sprintf
                        "sat attack exhausted (%s) after %d iterations"
-                       e.reason e.iterations))
-          | None ->
-              let campaign =
-                Sttc_attack.Harness.run ~sat_timeout_s:timeout
-                  ~jobs:(resolve_jobs jobs) ~solver_mode:solver
-                  ~circuit:(Sttc_netlist.Netlist.design_name nl)
-                  ~algorithm:(Sttc_core.Flow.algorithm_name alg)
-                  hybrid
+                       e.reason e.iterations)))
+      | None -> (
+          match read_source input with
+          | Error m -> Error m
+          | Ok source -> (
+              let config =
+                Sttc_attack.Harness.Config.(
+                  default |> with_sat_timeout_s timeout
+                  |> with_jobs (resolve_jobs jobs)
+                  |> with_solver_mode solver)
               in
-              Format.printf "%a@." Sttc_attack.Harness.pp_campaign campaign;
-              Ok ()))
+              match
+                offline_handle
+                  (Sttc_serve.Request.Attack
+                     { source; algorithm = alg; seed; config; timing = true })
+              with
+              | Sttc_serve.Response.Ok
+                  { payload = Sttc_serve.Response.Attack { rendered; _ }; _ }
+                ->
+                  print_string rendered;
+                  Ok ()
+              | Sttc_serve.Response.Error { message; _ } -> Error message
+              | Sttc_serve.Response.Overloaded _ -> Error "server overloaded"
+              | Sttc_serve.Response.Ok _ ->
+                  Error "unexpected response payload")))
   in
   Cmd.v
     (Cmd.info "attack"
@@ -839,9 +865,7 @@ let campaign_cmd =
                DIR to continue one")
     in
     match resolved with
-    | Error (`Usage e) ->
-        prerr_endline ("sttc: " ^ e);
-        Cmd.Exit.cli_error
+    | Error (`Usage e) -> usage_error ~cmd:"campaign" e
     | Error (`Hard e) ->
         prerr_endline ("sttc: " ^ e);
         1
@@ -1001,11 +1025,194 @@ let obs_check_cmd =
           must carry typed series and a provenance header.")
     Term.(const run $ trace $ metrics $ min_series $ require)
 
+(* ---------- serve / client ---------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "sttc.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path for the daemon.")
+
+let serve_cmd =
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ]
+          ~doc:
+            "Bound on queued requests; beyond it clients receive a typed \
+             'overloaded' response instead of waiting.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 32
+      & info [ "cache" ]
+          ~doc:"Parsed-netlist cache entries (LRU); 0 disables caching.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Default per-request wall budget, applied to requests that \
+             carry no timeout_s of their own.")
+  in
+  let run socket jobs queue cache timeout trace metrics =
+    Sttc_obs.Obs.with_run ?trace ?metrics @@ fun () ->
+    (* the stats verb and the serve.* counters must be live even when no
+       --metrics file was requested *)
+    Sttc_obs.Obs.enable ();
+    let cfg =
+      Sttc_serve.Server.Config.(
+        default |> with_socket socket
+        |> with_jobs (resolve_jobs jobs)
+        |> with_queue_capacity queue |> with_cache_capacity cache
+        |> with_on_event (fun e -> prerr_endline ("serve: " ^ e)))
+    in
+    let cfg =
+      match timeout with
+      | None -> cfg
+      | Some s -> Sttc_serve.Server.Config.with_default_timeout_s s cfg
+    in
+    if queue < 1 then usage_error ~cmd:"serve" "--queue must be at least 1"
+    else if cache < 0 then
+      usage_error ~cmd:"serve" "--cache must be non-negative"
+    else begin
+      Sttc_serve.Server.run cfg;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent protection/attack daemon: a Unix-domain \
+          socket speaking newline-delimited JSON requests (protect, \
+          attack, lint, stats, ping, shutdown) with typed responses.  \
+          The daemon executes the same handler as the offline \
+          subcommands, so responses are byte-identical across \
+          transports.")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ queue $ cache $ timeout $ trace_arg
+      $ metrics_arg)
+
+let client_cmd =
+  let offline =
+    Arg.(
+      value & flag
+      & info [ "offline" ]
+          ~doc:
+            "Execute requests in-process through the same handler the \
+             daemon runs, without a daemon — the reference output for \
+             byte-diffing the two transports.")
+  in
+  let request =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "request" ] ~docv:"JSON" ~doc:"One request frame to send.")
+  in
+  let request_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "request-file" ] ~docv:"FILE"
+          ~doc:"File of newline-delimited request frames to send in order.")
+  in
+  let read_lines = function
+    | Some text, _ -> Ok [ text ]
+    | None, Some path -> (
+        match In_channel.with_open_bin path In_channel.input_all with
+        | exception Sys_error m -> Error m
+        | text ->
+            Ok
+              (List.filter
+                 (fun l -> String.trim l <> "")
+                 (String.split_on_char '\n' text)))
+    | None, None ->
+        Ok
+          (In_channel.fold_lines
+             (fun acc l -> if String.trim l = "" then acc else l :: acc)
+             [] In_channel.stdin
+          |> List.rev)
+  in
+  (* an ok frame keeps exit 0; error/overloaded (or a transport failure)
+     turn it into 1, matching the daemon's own classification *)
+  let ok_frame line =
+    match Sttc_serve.Response.of_string line with
+    | Ok (Sttc_serve.Response.Ok _) -> true
+    | _ -> false
+  in
+  let run socket offline request request_file =
+    match read_lines (request, request_file) with
+    | Error m ->
+        prerr_endline ("sttc: " ^ m);
+        1
+    | Ok [] ->
+        usage_error ~cmd:"client"
+          "no requests: use --request, --request-file, or pipe frames on \
+           stdin"
+    | Ok lines ->
+        if offline then (
+          Sttc_obs.Obs.enable ();
+          let all_ok =
+            List.fold_left
+              (fun acc line ->
+                let resp =
+                  match Sttc_serve.Request.of_string line with
+                  | Error e ->
+                      (* the exact frame the daemon would answer with *)
+                      Sttc_serve.Response.Error
+                        { id = None; message = "bad request: " ^ e }
+                  | Ok req ->
+                      Sttc_serve.Handler.handle
+                        (Lazy.force offline_session)
+                        req
+                in
+                let line = Sttc_serve.Response.to_string resp in
+                print_endline line;
+                acc && ok_frame line)
+              true lines
+          in
+          if all_ok then 0 else 1)
+        else
+          let result =
+            Sttc_serve.Client.with_connection socket (fun c ->
+                let rec loop acc = function
+                  | [] -> Ok acc
+                  | line :: rest -> (
+                      match Sttc_serve.Client.send_raw c line with
+                      | Error _ as e -> e
+                      | Ok () -> (
+                          match Sttc_serve.Client.recv_line c with
+                          | Error _ as e -> e
+                          | Ok resp ->
+                              print_endline resp;
+                              loop (acc && ok_frame resp) rest))
+                in
+                loop true lines)
+          in
+          (match result with
+          | Ok true -> 0
+          | Ok false -> 1
+          | Error m ->
+              prerr_endline ("sttc: " ^ m);
+              1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send newline-delimited JSON request frames to a running \
+          $(b,sttc serve) daemon (or execute them in-process with \
+          --offline) and print each response frame.  Exits 0 only if \
+          every response has status ok.")
+    Term.(const run $ socket_arg $ offline $ request $ request_file)
+
 let () =
   let doc = "Hybrid STT-CMOS designs for reverse-engineering prevention." in
   let info = Cmd.info "sttc" ~version:Sttc_obs.Build_info.version ~doc in
   exit
-    (Cmd.eval'
+    (Cmd.eval' ~term_err:usage_exit
        (Cmd.group info
           [
             gen_cmd;
@@ -1025,6 +1232,8 @@ let () =
             faults_cmd;
             campaign_cmd;
             worker_cmd;
+            serve_cmd;
+            client_cmd;
             version_cmd;
             obs_check_cmd;
           ]))

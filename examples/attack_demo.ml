@@ -36,7 +36,12 @@ let () =
           (Flow.algorithm_name alg)
           (Sttc_core.Hybrid.lut_count r.Flow.hybrid)
           (Sttc_core.Hybrid.bitstream_bits r.Flow.hybrid);
-        Harness.run ~sat_timeout_s:20. ~tt_budget:4000 ~guess_rounds:6
+        let config =
+          Harness.Config.(
+            default |> with_sat_timeout_s 20. |> with_tt_budget 4000
+            |> with_guess_rounds 6)
+        in
+        Harness.attack ~config
           ~circuit:spec.Sttc_netlist.Generator.design_name
           ~algorithm:(Flow.algorithm_name alg) r.Flow.hybrid)
       Flow.default_algorithms

@@ -38,6 +38,124 @@ type campaign = {
   entries : entry list;
 }
 
+module Config = struct
+  module Json = Sttc_obs.Json
+
+  type t = {
+    sat_timeout_s : float;
+    seq_timeout_s : float option;
+    tt_budget : int;
+    guess_rounds : int;
+    brute_max_bits : int;
+    seq_frames : int;
+    seed : int;
+    jobs : int;
+    solver_mode : Sat_attack.solver_mode;
+  }
+
+  let default =
+    {
+      sat_timeout_s = 30.;
+      seq_timeout_s = None;
+      tt_budget = 4000;
+      guess_rounds = 8;
+      brute_max_bits = 16;
+      seq_frames = 4;
+      seed = 0xcafe;
+      jobs = 1;
+      solver_mode = Sat_attack.Incremental;
+    }
+
+  let with_sat_timeout_s sat_timeout_s t = { t with sat_timeout_s }
+  let with_seq_timeout_s seq_timeout_s t = { t with seq_timeout_s }
+  let with_tt_budget tt_budget t = { t with tt_budget }
+  let with_guess_rounds guess_rounds t = { t with guess_rounds }
+  let with_brute_max_bits brute_max_bits t = { t with brute_max_bits }
+  let with_seq_frames seq_frames t = { t with seq_frames }
+  let with_seed seed t = { t with seed }
+  let with_jobs jobs t = { t with jobs }
+  let with_solver_mode solver_mode t = { t with solver_mode }
+
+  let solver_mode_name = function
+    | Sat_attack.Incremental -> "incremental"
+    | Sat_attack.Scratch -> "scratch"
+
+  let to_json t =
+    Json.Obj
+      ([ ("sat_timeout_s", Json.Float t.sat_timeout_s) ]
+      @ (match t.seq_timeout_s with
+        | Some s -> [ ("seq_timeout_s", Json.Float s) ]
+        | None -> [])
+      @ [
+          ("tt_budget", Json.Int t.tt_budget);
+          ("guess_rounds", Json.Int t.guess_rounds);
+          ("brute_max_bits", Json.Int t.brute_max_bits);
+          ("seq_frames", Json.Int t.seq_frames);
+          ("seed", Json.Int t.seed);
+          ("jobs", Json.Int t.jobs);
+          ("solver_mode", Json.String (solver_mode_name t.solver_mode));
+        ])
+
+  let ( let* ) = Result.bind
+  let mem name j = Option.value (Json.member name j) ~default:Json.Null
+
+  let float_field j name default =
+    match mem name j with
+    | Json.Null -> Ok default
+    | Json.Int n -> Ok (float_of_int n)
+    | Json.Float f -> Ok f
+    | _ -> Error (Printf.sprintf "harness config: %S must be a number" name)
+
+  let int_field j name default =
+    match mem name j with
+    | Json.Null -> Ok default
+    | Json.Int n -> Ok n
+    | _ -> Error (Printf.sprintf "harness config: %S must be an integer" name)
+
+  let of_json j =
+    match j with
+    | Json.Obj _ ->
+        let* sat_timeout_s =
+          float_field j "sat_timeout_s" default.sat_timeout_s
+        in
+        let* seq_timeout_s =
+          match mem "seq_timeout_s" j with
+          | Json.Null -> Ok None
+          | Json.Int n -> Ok (Some (float_of_int n))
+          | Json.Float f -> Ok (Some f)
+          | _ -> Error "harness config: \"seq_timeout_s\" must be a number"
+        in
+        let* tt_budget = int_field j "tt_budget" default.tt_budget in
+        let* guess_rounds = int_field j "guess_rounds" default.guess_rounds in
+        let* brute_max_bits =
+          int_field j "brute_max_bits" default.brute_max_bits
+        in
+        let* seq_frames = int_field j "seq_frames" default.seq_frames in
+        let* seed = int_field j "seed" default.seed in
+        let* jobs = int_field j "jobs" default.jobs in
+        let* solver_mode =
+          match mem "solver_mode" j with
+          | Json.Null -> Ok default.solver_mode
+          | Json.String "incremental" -> Ok Sat_attack.Incremental
+          | Json.String "scratch" -> Ok Sat_attack.Scratch
+          | Json.String s -> Error ("harness config: unknown solver_mode " ^ s)
+          | _ -> Error "harness config: \"solver_mode\" must be a string"
+        in
+        Ok
+          {
+            sat_timeout_s;
+            seq_timeout_s;
+            tt_budget;
+            guess_rounds;
+            brute_max_bits;
+            seq_frames;
+            seed;
+            jobs;
+            solver_mode;
+          }
+    | _ -> Error "harness config: not a JSON object"
+end
+
 (* Every attack runs under the wall-clock budget.  The SAT variants
    check their own deadline between solver iterations; the rest are
    interrupted by {!Sttc_util.Timing.with_timeout}.  A zero (or
@@ -78,13 +196,27 @@ let budgeted ~budget attack f =
         if Sttc_util.Pool.now_s () -. t0 > budget then exhausted () else entry
     | exception Sttc_util.Pool.Deadline_exceeded -> exhausted ()
 
-let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
-    ?(guess_rounds = 8) ?(brute_max_bits = 16) ?(seq_frames = 4)
-    ?(seed = 0xcafe) ?(jobs = 1) ?(solver_mode = Sat_attack.Incremental)
-    ~circuit ~algorithm hybrid =
+let attack ?solver ?(config = Config.default) ~circuit ~algorithm hybrid =
+  let {
+    Config.sat_timeout_s;
+    seq_timeout_s;
+    tt_budget;
+    guess_rounds;
+    brute_max_bits;
+    seq_frames;
+    seed;
+    jobs;
+    solver_mode;
+  } =
+    config
+  in
   let seq_timeout_s =
     match seq_timeout_s with Some s -> s | None -> sat_timeout_s
   in
+  (* An external solver arena may only be recycled when the attacks run
+     sequentially: with [jobs > 1] the two SAT attacks are live at once
+     and must not share one arena. *)
+  let solver = if jobs <= 1 then solver else None in
   let sat_entry () =
     if sat_timeout_s <= 0. then
       {
@@ -97,7 +229,8 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
       }
     else
       match
-        Sat_attack.run ~timeout_s:sat_timeout_s ~mode:solver_mode hybrid
+        Sat_attack.run ~timeout_s:sat_timeout_s ~mode:solver_mode ?solver
+          hybrid
       with
     | Sat_attack.Broken b ->
         {
@@ -214,7 +347,7 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
     else
       match
         Sat_attack.run_sequential ~frames:seq_frames ~timeout_s:seq_timeout_s
-          ~mode:solver_mode hybrid
+          ~mode:solver_mode ?solver hybrid
       with
       | Sat_attack.Broken b ->
           {
@@ -279,6 +412,25 @@ let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
     lut_count = Sttc_core.Hybrid.lut_count hybrid;
     entries;
   }
+
+let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
+    ?(guess_rounds = 8) ?(brute_max_bits = 16) ?(seq_frames = 4)
+    ?(seed = 0xcafe) ?(jobs = 1) ?(solver_mode = Sat_attack.Incremental)
+    ~circuit ~algorithm hybrid =
+  attack
+    ~config:
+      {
+        Config.sat_timeout_s;
+        seq_timeout_s;
+        tt_budget;
+        guess_rounds;
+        brute_max_bits;
+        seq_frames;
+        seed;
+        jobs;
+        solver_mode;
+      }
+    ~circuit ~algorithm hybrid
 
 let verdict_string = function
   | Recovered -> "RECOVERED"

@@ -29,16 +29,50 @@ type campaign = {
   entries : entry list;
 }
 
-val run :
-  ?sat_timeout_s:float ->
-  ?seq_timeout_s:float ->
-  ?tt_budget:int ->
-  ?guess_rounds:int ->
-  ?brute_max_bits:int ->
-  ?seq_frames:int ->
-  ?seed:int ->
-  ?jobs:int ->
-  ?solver_mode:Sat_attack.solver_mode ->
+(** The typed campaign configuration — the one schema the CLI, the
+    campaign runner and the serve daemon all construct, mirroring
+    {!Sttc_experiments.Runner.Config}: a record with a [default] value
+    and [with_*] setters, plus a JSON codec on {!Sttc_obs.Json} so the
+    same fields parse from a manifest, a command line or a serve
+    request. *)
+module Config : sig
+  type t = {
+    sat_timeout_s : float;  (** wall budget per attack (default 30) *)
+    seq_timeout_s : float option;
+        (** sequential-SAT override; defaults to [sat_timeout_s] *)
+    tt_budget : int;  (** truth-table pattern budget (default 4000) *)
+    guess_rounds : int;  (** hill-climb rounds (default 8) *)
+    brute_max_bits : int;  (** brute-force feasibility bound (default 16) *)
+    seq_frames : int;  (** unrolled frames for sat-seq (default 4) *)
+    seed : int;  (** default [0xcafe] *)
+    jobs : int;  (** concurrent attacks; 1 = sequential (default) *)
+    solver_mode : Sat_attack.solver_mode;  (** default [Incremental] *)
+  }
+
+  val default : t
+
+  val with_sat_timeout_s : float -> t -> t
+  val with_seq_timeout_s : float option -> t -> t
+  val with_tt_budget : int -> t -> t
+  val with_guess_rounds : int -> t -> t
+  val with_brute_max_bits : int -> t -> t
+  val with_seq_frames : int -> t -> t
+  val with_seed : int -> t -> t
+  val with_jobs : int -> t -> t
+  val with_solver_mode : Sat_attack.solver_mode -> t -> t
+
+  val to_json : t -> Sttc_obs.Json.t
+  (** Every field, [seq_timeout_s] omitted when [None];
+      [solver_mode] as ["incremental"] / ["scratch"]. *)
+
+  val of_json : Sttc_obs.Json.t -> (t, string) result
+  (** Any object whose present fields are well-typed; missing fields
+      take their {!default}s, so [{}] parses to [default]. *)
+end
+
+val attack :
+  ?solver:Sttc_logic.Sat.Solver.t ->
+  ?config:Config.t ->
   circuit:string ->
   algorithm:string ->
   Sttc_core.Hybrid.t ->
@@ -67,7 +101,34 @@ val run :
     campaign is identical at any job count.  Off the main domain —
     under [jobs > 1], or when the whole campaign runs inside a pool
     task — budgets are enforced cooperatively instead of by signal: an
-    attack that overruns is reported as exhausted when it returns. *)
+    attack that overruns is reported as exhausted when it returns.
+
+    [solver] recycles a persistent {!Sttc_logic.Sat.Solver} arena for
+    the SAT attacks (the serve daemon holds one per worker).  It is
+    honoured only when [config.jobs <= 1]: with concurrent attacks the
+    two SAT engines would race on one arena, so the harness silently
+    falls back to fresh solvers.  Recycling never changes results —
+    {!Sttc_logic.Sat.Solver.reset} restores fresh-solver semantics. *)
+
+val run :
+  ?sat_timeout_s:float ->
+  ?seq_timeout_s:float ->
+  ?tt_budget:int ->
+  ?guess_rounds:int ->
+  ?brute_max_bits:int ->
+  ?seq_frames:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?solver_mode:Sat_attack.solver_mode ->
+  circuit:string ->
+  algorithm:string ->
+  Sttc_core.Hybrid.t ->
+  campaign
+[@@ocaml.deprecated "use Harness.attack with a Harness.Config.t"]
+(** The pre-[Config] optional-argument surface, kept for exactly one
+    release as an alias of {!attack} (identical defaults and results).
+    New code must build a {!Config.t}; [tools/ci.sh] greps for stray
+    callers. *)
 
 val verdict_string : verdict -> string
 (** ["RECOVERED"], ["partial NN%"] or ["resisted"] — the rendering used

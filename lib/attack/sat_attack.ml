@@ -38,11 +38,19 @@ let add_stats (a : Sat.stats) (b : Sat.stats) : Sat.stats =
    throwaway solver from the full formula — the pre-incremental cost
    profile, kept as the benchmark baseline.  Either way the answers are
    exact, so both modes agree on every SAT/UNSAT question. *)
-let make_solver mode cnf =
+let make_solver ?reuse mode cnf =
   let stats = ref Sat.zero_stats in
   let live =
     match mode with
-    | Incremental -> Some (Sat.Solver.create ())
+    | Incremental -> (
+        (* a recycled arena behaves exactly like a fresh solver
+           (Sat.Solver.reset contract), so reuse cannot change the
+           recovered key *)
+        match reuse with
+        | Some s ->
+            Sat.Solver.reset s;
+            Some s
+        | None -> Some (Sat.Solver.create ()))
     | Scratch -> None
   in
   let solve ?assumptions ?max_conflicts () =
@@ -119,7 +127,8 @@ let restrict_keys cnf keys candidates =
     keys
 
 let run ?(max_iterations = 2000) ?(max_conflicts_per_call = 200_000)
-    ?(timeout_s = 60.) ?(candidates = []) ?(mode = Incremental) hybrid =
+    ?(timeout_s = 60.) ?(candidates = []) ?(mode = Incremental) ?solver hybrid
+    =
   let t0 = Unix.gettimeofday () in
   let foundry = Hybrid.foundry_view hybrid in
   let oracle = Oracle.create hybrid in
@@ -144,7 +153,7 @@ let run ?(max_iterations = 2000) ?(max_conflicts_per_call = 200_000)
   in
   let act = Cnf.fresh_var cnf in
   Cnf.add_clause cnf (-act :: diffs);
-  let solve, stats = make_solver mode cnf in
+  let solve, stats = make_solver ?reuse:solver mode cnf in
   (* Constrain both key copies with an observed I/O pair.  The miter's
      inputs must stay free, so each observation gets fresh circuit copies
      sharing only the key variables; the incremental solver just absorbs
@@ -244,7 +253,7 @@ let verify_break hybrid bitstream =
 
 let run_sequential ?(frames = 5) ?(max_iterations = 500)
     ?(max_conflicts_per_call = 200_000) ?(timeout_s = 60.)
-    ?(mode = Incremental) hybrid =
+    ?(mode = Incremental) ?solver hybrid =
   let t0 = Unix.gettimeofday () in
   let foundry = Hybrid.foundry_view hybrid in
   let oracle = Oracle.create hybrid in
@@ -268,7 +277,7 @@ let run_sequential ?(frames = 5) ?(max_iterations = 500)
     c1.Encode.frame_pos;
   let act = Cnf.fresh_var cnf in
   Cnf.add_clause cnf (-act :: !diffs);
-  let solve, stats = make_solver mode cnf in
+  let solve, stats = make_solver ?reuse:solver mode cnf in
   (* pin an observed sequence into fresh unrolled copies of both keys *)
   let constrain_io pi_seq po_seq =
     let fresh1 =

@@ -51,12 +51,22 @@ val run :
   ?timeout_s:float ->
   ?candidates:(Sttc_netlist.Netlist.node_id * Sttc_logic.Truth.t list) list ->
   ?mode:solver_mode ->
+  ?solver:Sttc_logic.Sat.Solver.t ->
   Sttc_core.Hybrid.t ->
   outcome
 (** Defaults: 2000 iterations, 200k conflicts per solver call, 60 s,
     [Incremental].  The oracle is constructed internally from the
     hybrid's secret programmed view — the attacker code only ever
     touches the foundry view and the oracle interface.
+
+    [solver] recycles an existing solver arena for the [Incremental]
+    engine instead of allocating a fresh one: the attack
+    {!Sttc_logic.Sat.Solver.reset}s it and then owns it for the whole
+    run — the reuse discipline of a long-running service holding one
+    solver per worker.  Because [reset] restores fresh-solver
+    semantics, the recovered key is byte-identical with or without
+    reuse.  Ignored under [Scratch].  Never share one arena across
+    concurrently running attacks.
 
     [candidates] restricts the key space of specific LUTs to an explicit
     candidate list — the attacker model against {e camouflaged} cells,
@@ -76,6 +86,7 @@ val run_sequential :
   ?max_conflicts_per_call:int ->
   ?timeout_s:float ->
   ?mode:solver_mode ->
+  ?solver:Sttc_logic.Sat.Solver.t ->
   Sttc_core.Hybrid.t ->
   outcome
 (** The scan-disabled variant — the access model the paper assumes for

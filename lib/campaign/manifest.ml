@@ -107,44 +107,10 @@ let run_count m =
 
 (* {2 JSON codec} *)
 
-let algorithm_to_json (a : Flow.algorithm) =
-  match a with
-  | Flow.Dependent -> Json.String "dependent"
-  | Flow.Independent { count } ->
-      Json.Obj [ ("name", Json.String "independent"); ("count", Json.Int count) ]
-  | Flow.Parametric opts ->
-      Json.Obj
-        [
-          ("name", Json.String "parametric");
-          ("clock_factor", Json.Float opts.clock_factor);
-        ]
-
+let algorithm_to_json = Flow.algorithm_to_json
+let algorithm_of_json = Flow.algorithm_of_json
 let mem name j = Option.value (Json.member name j) ~default:Json.Null
 let ( let* ) = Result.bind
-
-let algorithm_of_json j =
-  let of_name ?count ?clock_factor = function
-    | "dependent" -> Ok Flow.Dependent
-    | "independent" ->
-        Ok (Flow.Independent { count = Option.value count ~default:5 })
-    | "parametric" ->
-        let base = Sttc_core.Algorithms.default_parametric in
-        let clock_factor =
-          Option.value clock_factor ~default:base.clock_factor
-        in
-        Ok (Flow.Parametric { base with clock_factor })
-    | s -> Error ("unknown algorithm " ^ s)
-  in
-  match j with
-  | Json.String s -> of_name s
-  | Json.Obj _ -> (
-      match Json.to_string_opt (mem "name" j) with
-      | None -> Error "algorithm object without \"name\""
-      | Some name ->
-          let count = Json.to_int_opt (mem "count" j) in
-          let clock_factor = Json.to_float_opt (mem "clock_factor" j) in
-          of_name ?count ?clock_factor name)
-  | _ -> Error "algorithm must be a string or an object"
 
 let config_to_json c =
   Json.Obj
@@ -155,13 +121,13 @@ let config_to_json c =
      | None -> [])
     @ if c.harden then [ ("harden", Json.Bool true) ] else [])
 
-let config_of_json i j =
+let config_of_json ?(default_label = "default") j =
   match j with
   | Json.Obj _ ->
       let label =
         match Json.to_string_opt (mem "label" j) with
         | Some l -> l
-        | None -> "config-" ^ string_of_int i
+        | None -> default_label
       in
       let fraction = Json.to_float_opt (mem "fraction" j) in
       let* harden =
@@ -244,7 +210,11 @@ let of_json j =
       let* configs =
         match mem "configs" j with
         | Json.Null -> Ok [ default_config ]
-        | Json.List items -> map_result config_of_json items
+        | Json.List items ->
+            map_result
+              (fun i c ->
+                config_of_json ~default_label:("config-" ^ string_of_int i) c)
+              items
         | _ -> Error "manifest: \"configs\" must be a list"
       in
       let* seeds =

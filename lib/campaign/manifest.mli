@@ -42,6 +42,13 @@ type config = {
 val default_config : config
 (** [{ label = "default"; fraction = None; harden = false }] *)
 
+val config_to_json : config -> Sttc_obs.Json.t
+val config_of_json : ?default_label:string -> Sttc_obs.Json.t -> (config, string) result
+(** The per-run protect-config codec, shared with serve requests:
+    [{"label"?, "fraction"?, "harden"?}].  A missing [label] takes
+    [default_label] (default ["default"]; the manifest parser passes the
+    positional ["config-<i>"]). *)
+
 type t = {
   name : string;
   circuits : string list;

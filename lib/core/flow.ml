@@ -18,6 +18,44 @@ let default_algorithms =
     Parametric Algorithms.default_parametric;
   ]
 
+module Json = Sttc_obs.Json
+
+let algorithm_to_json = function
+  | Dependent -> Json.String "dependent"
+  | Independent { count } ->
+      Json.Obj [ ("name", Json.String "independent"); ("count", Json.Int count) ]
+  | Parametric opts ->
+      Json.Obj
+        [
+          ("name", Json.String "parametric");
+          ("clock_factor", Json.Float opts.clock_factor);
+        ]
+
+let json_mem name j = Option.value (Json.member name j) ~default:Json.Null
+
+let algorithm_of_json j =
+  let of_name ?count ?clock_factor = function
+    | "dependent" -> Ok Dependent
+    | "independent" -> Ok (Independent { count = Option.value count ~default:5 })
+    | "parametric" ->
+        let base = Algorithms.default_parametric in
+        let clock_factor =
+          Option.value clock_factor ~default:base.clock_factor
+        in
+        Ok (Parametric { base with clock_factor })
+    | s -> Error ("unknown algorithm " ^ s)
+  in
+  match j with
+  | Json.String s -> of_name s
+  | Json.Obj _ -> (
+      match Json.to_string_opt (json_mem "name" j) with
+      | None -> Error "algorithm object without \"name\""
+      | Some name ->
+          let count = Json.to_int_opt (json_mem "count" j) in
+          let clock_factor = Json.to_float_opt (json_mem "clock_factor" j) in
+          of_name ?count ?clock_factor name)
+  | _ -> Error "algorithm must be a string or an object"
+
 type result = {
   algorithm : algorithm;
   hybrid : Hybrid.t;

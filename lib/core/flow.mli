@@ -14,6 +14,17 @@ type algorithm =
 val algorithm_name : algorithm -> string
 (** "independent" / "dependent" / "parametric". *)
 
+val algorithm_to_json : algorithm -> Sttc_obs.Json.t
+(** The canonical wire form shared by campaign manifests, CLI flags and
+    serve requests: ["dependent"] as a bare string,
+    [{"name": "independent", "count": n}] and
+    [{"name": "parametric", "clock_factor": f}] as objects. *)
+
+val algorithm_of_json : Sttc_obs.Json.t -> (algorithm, string) result
+(** Inverse of {!algorithm_to_json}; also accepts a bare string for any
+    of the three names ([count] defaults to 5, [clock_factor] to the
+    default parametric budget). *)
+
 type hardening = {
   extra_inputs_per_lut : int;
       (** connect up to this many unused (logically ignored) inputs per

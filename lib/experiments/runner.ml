@@ -82,6 +82,88 @@ module Config = struct
   let with_checkpoint p t = { t with checkpoint = Some p }
   let with_jobs jobs t = { t with jobs }
   let with_on_event on_event t = { t with on_event }
+
+  module Json = Sttc_obs.Json
+
+  let to_json t =
+    Json.Obj
+      ([ ("quick", Json.Bool t.quick); ("seed", Json.Int t.seed) ]
+      @ (match t.only with
+        | Some names ->
+            [ ("only", Json.List (List.map (fun n -> Json.String n) names)) ]
+        | None -> [])
+      @ (match t.timeout_s with
+        | Some s -> [ ("timeout_s", Json.Float s) ]
+        | None -> [])
+      @ [ ("isolate", Json.Bool t.isolate) ]
+      @ (match t.checkpoint with
+        | Some p -> [ ("checkpoint", Json.String p) ]
+        | None -> [])
+      @ [ ("jobs", Json.Int t.jobs) ])
+
+  let ( let* ) = Result.bind
+  let mem name j = Option.value (Json.member name j) ~default:Json.Null
+
+  let of_json j =
+    match j with
+    | Json.Obj _ ->
+        let bool_field name dflt =
+          match mem name j with
+          | Json.Null -> Ok dflt
+          | Json.Bool b -> Ok b
+          | _ -> Error (Printf.sprintf "runner config: %S must be a boolean" name)
+        in
+        let* quick = bool_field "quick" default.quick in
+        let* seed =
+          match mem "seed" j with
+          | Json.Null -> Ok default.seed
+          | Json.Int n -> Ok n
+          | _ -> Error "runner config: \"seed\" must be an integer"
+        in
+        let* only =
+          match mem "only" j with
+          | Json.Null -> Ok None
+          | Json.List items ->
+              let rec go acc = function
+                | [] -> Ok (Some (List.rev acc))
+                | Json.String s :: rest -> go (s :: acc) rest
+                | _ -> Error "runner config: \"only\" must list strings"
+              in
+              go [] items
+          | _ -> Error "runner config: \"only\" must be a list"
+        in
+        let* timeout_s =
+          match mem "timeout_s" j with
+          | Json.Null -> Ok None
+          | Json.Int n -> Ok (Some (float_of_int n))
+          | Json.Float f -> Ok (Some f)
+          | _ -> Error "runner config: \"timeout_s\" must be a number"
+        in
+        let* isolate = bool_field "isolate" default.isolate in
+        let* checkpoint =
+          match mem "checkpoint" j with
+          | Json.Null -> Ok None
+          | Json.String s -> Ok (Some s)
+          | _ -> Error "runner config: \"checkpoint\" must be a string"
+        in
+        let* jobs =
+          match mem "jobs" j with
+          | Json.Null -> Ok default.jobs
+          | Json.Int n -> Ok n
+          | _ -> Error "runner config: \"jobs\" must be an integer"
+        in
+        Ok
+          {
+            quick;
+            seed;
+            only;
+            timeout_s;
+            isolate;
+            checkpoint;
+            jobs;
+            on_event = ignore;
+          }
+    | _ -> Error "runner config: not a JSON object"
 end
 
 (* ---------- crash-tolerant benchmark driver ---------- *)
@@ -446,7 +528,12 @@ let attack_campaign ?(seed = master_seed) ?(sat_timeout_s = 15.) ?(jobs = 1)
       ~attrs:[ ("algorithm", Flow.algorithm_name alg) ]
     @@ fun () ->
     let r = strict ~seed alg nl in
-    Sttc_attack.Harness.run ~sat_timeout_s ~tt_budget:3000 ~guess_rounds:6
+    let config =
+      Sttc_attack.Harness.Config.(
+        default |> with_sat_timeout_s sat_timeout_s |> with_tt_budget 3000
+        |> with_guess_rounds 6)
+    in
+    Sttc_attack.Harness.attack ~config
       ~circuit:spec.Sttc_netlist.Generator.design_name
       ~algorithm:(Flow.algorithm_name alg) r.Flow.hybrid
   in

@@ -79,6 +79,15 @@ module Config : sig
   val with_checkpoint : string -> t -> t
   val with_jobs : int -> t -> t
   val with_on_event : (event -> unit) -> t -> t
+
+  val to_json : t -> Sttc_obs.Json.t
+  (** The data fields only — [on_event] is a function and has no wire
+      form.  Optional fields ([only], [timeout_s], [checkpoint]) are
+      omitted when unset. *)
+
+  val of_json : Sttc_obs.Json.t -> (t, string) result
+  (** Missing fields take their {!default}s; [on_event] is always
+      [ignore] (attach one with {!with_on_event} after parsing). *)
 end
 
 val rows : Config.t -> Sttc_core.Report.benchmark_row list

@@ -95,6 +95,7 @@ module Solver = struct
     mutable nclauses : int;
     mutable learnt_live : int;
     mutable reduce_limit : int;
+    initial_reduce_limit : int; (* what [reset] restores *)
     (* watch lists: flat arrays of clause ids, one per literal index *)
     mutable watch_data : int array array;
     mutable watch_len : int array;
@@ -135,6 +136,7 @@ module Solver = struct
       nclauses = 0;
       learnt_live = 0;
       reduce_limit;
+      initial_reduce_limit = reduce_limit;
       watch_data = Array.make 2 [||];
       watch_len = Array.make 2 0;
       assign = Array.make 1 Vfree;
@@ -172,6 +174,41 @@ module Solver = struct
       removed = s.s_removed;
       restarts = s.s_restarts;
     }
+
+  (* Return the solver to the state [create] built, keeping every
+     allocated array: a long-running service can hold one solver per
+     worker and recycle it across unrelated formulas without paying the
+     allocation (and GC) cost of a fresh arena per request.  Behavioural
+     identity with a fresh solver is a hard contract — activities,
+     phases, the restart schedule and the statistics all restart from
+     zero, so a reused solver recovers byte-identical answers. *)
+  let reset s =
+    Array.fill s.assign 0 (Array.length s.assign) Vfree;
+    Array.fill s.level 0 (Array.length s.level) 0;
+    Array.fill s.reason 0 (Array.length s.reason) (-1);
+    Array.fill s.activity 0 (Array.length s.activity) 0.0;
+    Array.fill s.phase 0 (Array.length s.phase) false;
+    Array.fill s.seen 0 (Array.length s.seen) false;
+    Array.fill s.watch_len 0 (Array.length s.watch_len) 0;
+    Array.fill s.level_mark 0 (Array.length s.level_mark) 0;
+    s.nvars <- 0;
+    s.unsat <- false;
+    s.synced <- 0;
+    s.nclauses <- 0;
+    s.learnt_live <- 0;
+    s.reduce_limit <- s.initial_reduce_limit;
+    s.trail_len <- 0;
+    s.qhead <- 0;
+    s.dlevel <- 0;
+    s.mark_gen <- 0;
+    s.var_inc <- 1.0;
+    s.luby_index <- 0;
+    s.s_decisions <- 0;
+    s.s_propagations <- 0;
+    s.s_conflicts <- 0;
+    s.s_learned <- 0;
+    s.s_removed <- 0;
+    s.s_restarts <- 0
 
   (* ---- growable state ---- *)
 

@@ -64,6 +64,17 @@ module Solver : sig
   val ensure_vars : t -> int -> unit
   (** Make variables [1..n] available. *)
 
+  val reset : t -> unit
+  (** Return the solver to the empty-formula state of {!create} while
+      keeping every allocated array, so the arena can be recycled
+      across unrelated formulas — the reuse discipline of a
+      long-running service that holds one solver per worker.
+      Behaviourally identical to a fresh solver: clauses, learned
+      clauses, activities, saved phases, the restart schedule and
+      {!stats} all restart from zero, so a recycled solver recovers
+      byte-identical answers to a newly created one.  After [reset]
+      the solver may be {!sync}ed against a different [Cnf.t]. *)
+
   val nvars : t -> int
 
   val solve : ?assumptions:Cnf.lit list -> ?max_conflicts:int -> t -> result

@@ -1,0 +1,67 @@
+type t = { fd : Unix.file_descr; rbuf : Buffer.t }
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok { fd; rbuf = Buffer.create 4096 }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "connect %s: %s" socket (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let n = Bytes.length bytes in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd bytes off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+let send_raw t line =
+  match write_all t.fd (line ^ "\n") with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("send: " ^ Unix.error_message e)
+
+(* the frame accumulator mirrors the server's: read until the buffer
+   holds a newline, return the frame before it *)
+let recv_line t =
+  let take_line () =
+    let text = Buffer.contents t.rbuf in
+    match String.index_opt text '\n' with
+    | None -> None
+    | Some i ->
+        Buffer.clear t.rbuf;
+        Buffer.add_substring t.rbuf text (i + 1) (String.length text - i - 1);
+        Some (String.sub text 0 i)
+  in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match take_line () with
+    | Some line -> Ok line
+    | None -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Error "connection closed by server"
+        | n ->
+            Buffer.add_subbytes t.rbuf chunk 0 n;
+            go ()
+        | exception Unix.Unix_error (e, _, _) ->
+            Error ("recv: " ^ Unix.error_message e))
+  in
+  go ()
+
+let request t req =
+  match send_raw t (Request.to_string req) with
+  | Error _ as e -> e
+  | Ok () -> (
+      match recv_line t with
+      | Error _ as e -> e
+      | Ok line -> Response.of_string line)
+
+let with_connection socket f =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,292 @@
+module Json = Sttc_obs.Json
+module Flow = Sttc_core.Flow
+module Manifest = Sttc_campaign.Manifest
+module Harness = Sttc_attack.Harness
+
+type source =
+  | Named of string
+  | Inline of { name : string; text : string }
+
+type protect = {
+  source : source;
+  algorithm : Flow.algorithm;
+  config : Manifest.config;
+  seed : int;
+  sign_off : bool;
+  emit_foundry : bool;
+  emit_bitstream : bool;
+  emit_verilog : bool;
+  timing : bool;
+}
+
+type attack = {
+  source : source;
+  algorithm : Flow.algorithm;
+  seed : int;
+  config : Harness.Config.t;
+  timing : bool;
+}
+
+type lint = {
+  source : source;
+  algorithms : Flow.algorithm list;
+  semantic : bool;
+  seed : int;
+  fraction : float option;
+  budget : int option;
+  rules : string list;
+  suppress : string list;
+  format : [ `Text | `Json ];
+}
+
+type payload =
+  | Protect of protect
+  | Attack of attack
+  | Lint of lint
+  | Stats
+  | Ping of { sleep_s : float }
+  | Shutdown
+
+type t = { id : string option; timeout_s : float option; payload : payload }
+
+let verb = function
+  | Protect _ -> "protect"
+  | Attack _ -> "attack"
+  | Lint _ -> "lint"
+  | Stats -> "stats"
+  | Ping _ -> "ping"
+  | Shutdown -> "shutdown"
+
+(* ---------- encoding ---------- *)
+
+let source_to_json = function
+  | Named n -> Json.String n
+  | Inline { name; text } ->
+      Json.Obj [ ("name", Json.String name); ("bench", Json.String text) ]
+
+let opt name f = function Some v -> [ (name, f v) ] | None -> []
+let flag name b = if b then [ (name, Json.Bool true) ] else []
+
+let to_json t =
+  let common = opt "id" (fun s -> Json.String s) t.id in
+  let budgeted = opt "timeout_s" (fun s -> Json.Float s) t.timeout_s in
+  let fields =
+    match t.payload with
+    | Protect p ->
+        [
+          ("netlist", source_to_json p.source);
+          ("algorithm", Flow.algorithm_to_json p.algorithm);
+          ("config", Manifest.config_to_json p.config);
+          ("seed", Json.Int p.seed);
+        ]
+        @ flag "sign_off" p.sign_off
+        @ flag "emit_foundry" p.emit_foundry
+        @ flag "emit_bitstream" p.emit_bitstream
+        @ flag "emit_verilog" p.emit_verilog
+        @ flag "timing" p.timing
+    | Attack a ->
+        [
+          ("netlist", source_to_json a.source);
+          ("algorithm", Flow.algorithm_to_json a.algorithm);
+          ("seed", Json.Int a.seed);
+          ("config", Harness.Config.to_json a.config);
+        ]
+        @ flag "timing" a.timing
+    | Lint l ->
+        [
+          ("netlist", source_to_json l.source);
+          ( "algorithms",
+            Json.List (List.map Flow.algorithm_to_json l.algorithms) );
+          ("seed", Json.Int l.seed);
+        ]
+        @ flag "semantic" l.semantic
+        @ opt "fraction" (fun f -> Json.Float f) l.fraction
+        @ opt "budget" (fun b -> Json.Int b) l.budget
+        @ (if l.rules = [] then []
+           else
+             [ ("rules", Json.List (List.map (fun r -> Json.String r) l.rules)) ])
+        @ (if l.suppress = [] then []
+           else
+             [
+               ( "suppress",
+                 Json.List (List.map (fun r -> Json.String r) l.suppress) );
+             ])
+        @ [
+            ( "format",
+              Json.String (match l.format with `Text -> "text" | `Json -> "json")
+            );
+          ]
+    | Stats | Shutdown -> []
+    | Ping { sleep_s } ->
+        if sleep_s = 0. then [] else [ ("sleep_s", Json.Float sleep_s) ]
+  in
+  Json.Obj (common @ [ ("verb", Json.String (verb t.payload)) ] @ budgeted @ fields)
+
+let to_string t = Json.to_string ~minify:true (to_json t)
+
+(* ---------- decoding ---------- *)
+
+let ( let* ) = Result.bind
+let mem name j = Option.value (Json.member name j) ~default:Json.Null
+
+let source_of_json = function
+  | Json.Null -> Error "missing \"netlist\""
+  | Json.String n -> Ok (Named n)
+  | Json.Obj _ as j -> (
+      match (Json.to_string_opt (mem "bench" j), mem "name" j) with
+      | Some text, name_field ->
+          let name =
+            Option.value (Json.to_string_opt name_field) ~default:"bench"
+          in
+          Ok (Inline { name; text })
+      | None, Json.String n -> Ok (Named n)
+      | None, _ -> Error "\"netlist\" object needs \"bench\" or \"name\"")
+  | _ -> Error "\"netlist\" must be a string or an object"
+
+let bool_field j name =
+  match mem name j with
+  | Json.Null -> Ok false
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "%S must be a boolean" name)
+
+let algorithm_field j =
+  match mem "algorithm" j with
+  | Json.Null -> Ok (Flow.Independent { count = 5 })
+  | a -> Flow.algorithm_of_json a
+
+let seed_field j =
+  match mem "seed" j with
+  | Json.Null -> Ok Sttc_experiments.Runner.master_seed
+  | Json.Int n -> Ok n
+  | _ -> Error "\"seed\" must be an integer"
+
+let protect_of_json j =
+  let* source = source_of_json (mem "netlist" j) in
+  let* algorithm = algorithm_field j in
+  let* config =
+    match mem "config" j with
+    | Json.Null -> Ok Manifest.default_config
+    | c -> Manifest.config_of_json c
+  in
+  let* seed = seed_field j in
+  let* sign_off = bool_field j "sign_off" in
+  let* emit_foundry = bool_field j "emit_foundry" in
+  let* emit_bitstream = bool_field j "emit_bitstream" in
+  let* emit_verilog = bool_field j "emit_verilog" in
+  let* timing = bool_field j "timing" in
+  Ok
+    (Protect
+       {
+         source;
+         algorithm;
+         config;
+         seed;
+         sign_off;
+         emit_foundry;
+         emit_bitstream;
+         emit_verilog;
+         timing;
+       })
+
+let attack_of_json j =
+  let* source = source_of_json (mem "netlist" j) in
+  let* algorithm = algorithm_field j in
+  let* seed = seed_field j in
+  let* config =
+    match mem "config" j with
+    | Json.Null -> Ok Harness.Config.default
+    | c -> Harness.Config.of_json c
+  in
+  let* timing = bool_field j "timing" in
+  Ok (Attack { source; algorithm; seed; config; timing })
+
+let string_list_field j name =
+  match mem name j with
+  | Json.Null -> Ok []
+  | Json.List items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.String s :: rest -> go (s :: acc) rest
+        | _ -> Error (Printf.sprintf "%S must list strings" name)
+      in
+      go [] items
+  | _ -> Error (Printf.sprintf "%S must be a list" name)
+
+let lint_of_json j =
+  let* source = source_of_json (mem "netlist" j) in
+  let* algorithms =
+    match mem "algorithms" j with
+    | Json.Null -> Ok []
+    | Json.List items ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | a :: rest -> (
+              match Flow.algorithm_of_json a with
+              | Ok alg -> go (alg :: acc) rest
+              | Error _ as e -> e)
+        in
+        go [] items
+    | _ -> Error "\"algorithms\" must be a list"
+  in
+  let* semantic = bool_field j "semantic" in
+  let* seed = seed_field j in
+  let* fraction =
+    match mem "fraction" j with
+    | Json.Null -> Ok None
+    | Json.Int n -> Ok (Some (float_of_int n))
+    | Json.Float f -> Ok (Some f)
+    | _ -> Error "\"fraction\" must be a number"
+  in
+  let* budget =
+    match mem "budget" j with
+    | Json.Null -> Ok None
+    | Json.Int n -> Ok (Some n)
+    | _ -> Error "\"budget\" must be an integer"
+  in
+  let* rules = string_list_field j "rules" in
+  let* suppress = string_list_field j "suppress" in
+  let* format =
+    match mem "format" j with
+    | Json.Null | Json.String "text" -> Ok `Text
+    | Json.String "json" -> Ok `Json
+    | _ -> Error "\"format\" must be \"text\" or \"json\""
+  in
+  Ok
+    (Lint
+       { source; algorithms; semantic; seed; fraction; budget; rules; suppress; format })
+
+let of_json j =
+  match j with
+  | Json.Obj _ ->
+      let id = Json.to_string_opt (mem "id" j) in
+      let* timeout_s =
+        match mem "timeout_s" j with
+        | Json.Null -> Ok None
+        | Json.Int n -> Ok (Some (float_of_int n))
+        | Json.Float f -> Ok (Some f)
+        | _ -> Error "\"timeout_s\" must be a number"
+      in
+      let* payload =
+        match Json.to_string_opt (mem "verb" j) with
+        | None -> Error "missing \"verb\""
+        | Some "protect" -> protect_of_json j
+        | Some "attack" -> attack_of_json j
+        | Some "lint" -> lint_of_json j
+        | Some "stats" -> Ok Stats
+        | Some "shutdown" -> Ok Shutdown
+        | Some "ping" ->
+            let* sleep_s =
+              match mem "sleep_s" j with
+              | Json.Null -> Ok 0.
+              | Json.Int n -> Ok (float_of_int n)
+              | Json.Float f -> Ok f
+              | _ -> Error "\"sleep_s\" must be a number"
+            in
+            Ok (Ping { sleep_s })
+        | Some v -> Error ("unknown verb " ^ v)
+      in
+      Ok { id; timeout_s; payload }
+  | _ -> Error "request must be a JSON object"
+
+let of_string s =
+  match Json.of_string s with Error e -> Error e | Ok j -> of_json j

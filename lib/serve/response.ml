@@ -1,0 +1,245 @@
+module Json = Sttc_obs.Json
+module Metrics = Sttc_obs.Metrics
+module Harness = Sttc_attack.Harness
+
+type protect = {
+  report : string;
+  foundry_bench : string option;
+  bitstream : string option;
+  programming_cost : string option;
+  verilog : string option;
+  sign_off : bool option;
+}
+
+type lint = { rendered : string; exit_code : int }
+
+type payload =
+  | Protect of protect
+  | Attack of { campaign : Harness.campaign; rendered : string }
+  | Lint of lint
+  | Stats of Metrics.snapshot
+  | Pong
+  | Shutting_down
+
+type t =
+  | Ok of { id : string option; payload : payload }
+  | Error of { id : string option; message : string }
+  | Overloaded of { id : string option }
+
+(* ---------- campaign codec ---------- *)
+
+let verdict_to_json = function
+  | Harness.Recovered -> Json.String "recovered"
+  | Harness.Resisted -> Json.String "resisted"
+  | Harness.Partial f -> Json.Obj [ ("partial", Json.Float f) ]
+
+let mem name j = Option.value (Json.member name j) ~default:Json.Null
+let ( let* ) = Result.bind
+
+let verdict_of_json = function
+  | Json.String "recovered" -> Stdlib.Ok Harness.Recovered
+  | Json.String "resisted" -> Stdlib.Ok Harness.Resisted
+  | Json.Obj _ as j -> (
+      match Json.to_float_opt (mem "partial" j) with
+      | Some f -> Stdlib.Ok (Harness.Partial f)
+      | None -> Stdlib.Error "verdict object needs \"partial\"")
+  | _ -> Stdlib.Error "bad verdict"
+
+let entry_to_json (e : Harness.entry) =
+  Json.Obj
+    ([
+       ("attack", Json.String e.attack);
+       ("verdict", verdict_to_json e.verdict);
+       ("seconds", Json.Float e.seconds);
+       ("oracle_queries", Json.Int e.oracle_queries);
+       ("detail", Json.String e.detail);
+     ]
+    @
+    match e.sat_stats with
+    | Some snap -> [ ("sat_stats", Metrics.to_json snap) ]
+    | None -> [])
+
+let entry_of_json j =
+  let* attack =
+    Option.to_result ~none:"entry: missing \"attack\""
+      (Json.to_string_opt (mem "attack" j))
+  in
+  let* verdict = verdict_of_json (mem "verdict" j) in
+  let* seconds =
+    Option.to_result ~none:"entry: missing \"seconds\""
+      (Json.to_float_opt (mem "seconds" j))
+  in
+  let* oracle_queries =
+    Option.to_result ~none:"entry: missing \"oracle_queries\""
+      (Json.to_int_opt (mem "oracle_queries" j))
+  in
+  let* detail =
+    Option.to_result ~none:"entry: missing \"detail\""
+      (Json.to_string_opt (mem "detail" j))
+  in
+  let* sat_stats =
+    match mem "sat_stats" j with
+    | Json.Null -> Stdlib.Ok None
+    | s ->
+        let* snap = Metrics.of_json s in
+        Stdlib.Ok (Some snap)
+  in
+  Stdlib.Ok
+    { Harness.attack; verdict; seconds; oracle_queries; detail; sat_stats }
+
+let campaign_to_json (c : Harness.campaign) =
+  Json.Obj
+    [
+      ("circuit", Json.String c.circuit);
+      ("algorithm", Json.String c.algorithm);
+      ("lut_count", Json.Int c.lut_count);
+      ("entries", Json.List (List.map entry_to_json c.entries));
+    ]
+
+let campaign_of_json j =
+  let* circuit =
+    Option.to_result ~none:"campaign: missing \"circuit\""
+      (Json.to_string_opt (mem "circuit" j))
+  in
+  let* algorithm =
+    Option.to_result ~none:"campaign: missing \"algorithm\""
+      (Json.to_string_opt (mem "algorithm" j))
+  in
+  let* lut_count =
+    Option.to_result ~none:"campaign: missing \"lut_count\""
+      (Json.to_int_opt (mem "lut_count" j))
+  in
+  let* entries =
+    match mem "entries" j with
+    | Json.List items ->
+        let rec go acc = function
+          | [] -> Stdlib.Ok (List.rev acc)
+          | e :: rest -> (
+              match entry_of_json e with
+              | Stdlib.Ok e -> go (e :: acc) rest
+              | Stdlib.Error _ as err -> err)
+        in
+        go [] items
+    | _ -> Stdlib.Error "campaign: missing \"entries\""
+  in
+  Stdlib.Ok { Harness.circuit; algorithm; lut_count; entries }
+
+(* ---------- response codec ---------- *)
+
+let opt name f = function Some v -> [ (name, f v) ] | None -> []
+
+let payload_verb = function
+  | Protect _ -> "protect"
+  | Attack _ -> "attack"
+  | Lint _ -> "lint"
+  | Stats _ -> "stats"
+  | Pong -> "ping"
+  | Shutting_down -> "shutdown"
+
+let to_json t =
+  match t with
+  | Ok { id; payload } ->
+      let fields =
+        match payload with
+        | Protect p ->
+            [ ("report", Json.String p.report) ]
+            @ opt "foundry_bench" (fun s -> Json.String s) p.foundry_bench
+            @ opt "bitstream" (fun s -> Json.String s) p.bitstream
+            @ opt "programming_cost" (fun s -> Json.String s) p.programming_cost
+            @ opt "verilog" (fun s -> Json.String s) p.verilog
+            @ opt "sign_off" (fun b -> Json.Bool b) p.sign_off
+        | Attack { campaign; rendered } ->
+            [
+              ("campaign", campaign_to_json campaign);
+              ("rendered", Json.String rendered);
+            ]
+        | Lint l ->
+            [
+              ("rendered", Json.String l.rendered);
+              ("exit_code", Json.Int l.exit_code);
+            ]
+        | Stats snap -> [ ("metrics", Metrics.to_json snap) ]
+        | Pong | Shutting_down -> []
+      in
+      Json.Obj
+        (opt "id" (fun s -> Json.String s) id
+        @ [
+            ("status", Json.String "ok");
+            ("verb", Json.String (payload_verb payload));
+          ]
+        @ fields)
+  | Error { id; message } ->
+      Json.Obj
+        (opt "id" (fun s -> Json.String s) id
+        @ [ ("status", Json.String "error"); ("message", Json.String message) ])
+  | Overloaded { id } ->
+      Json.Obj
+        (opt "id" (fun s -> Json.String s) id
+        @ [ ("status", Json.String "overloaded") ])
+
+let to_string t = Json.to_string ~minify:true (to_json t)
+
+let string_field j name =
+  Option.to_result
+    ~none:(Printf.sprintf "response: missing %S" name)
+    (Json.to_string_opt (mem name j))
+
+let opt_string j name = Json.to_string_opt (mem name j)
+
+let of_json j =
+  match j with
+  | Json.Obj _ -> (
+      let id = Json.to_string_opt (mem "id" j) in
+      match Json.to_string_opt (mem "status" j) with
+      | Some "overloaded" -> Stdlib.Ok (Overloaded { id })
+      | Some "error" ->
+          let* message = string_field j "message" in
+          Stdlib.Ok (Error { id; message })
+      | Some "ok" ->
+          let* payload =
+            match Json.to_string_opt (mem "verb" j) with
+            | Some "protect" ->
+                let* report = string_field j "report" in
+                let sign_off =
+                  match mem "sign_off" j with
+                  | Json.Bool b -> Some b
+                  | _ -> None
+                in
+                Stdlib.Ok
+                  (Protect
+                     {
+                       report;
+                       foundry_bench = opt_string j "foundry_bench";
+                       bitstream = opt_string j "bitstream";
+                       programming_cost = opt_string j "programming_cost";
+                       verilog = opt_string j "verilog";
+                       sign_off;
+                     })
+            | Some "attack" ->
+                let* campaign = campaign_of_json (mem "campaign" j) in
+                let* rendered = string_field j "rendered" in
+                Stdlib.Ok (Attack { campaign; rendered })
+            | Some "lint" ->
+                let* rendered = string_field j "rendered" in
+                let* exit_code =
+                  Option.to_result ~none:"response: missing \"exit_code\""
+                    (Json.to_int_opt (mem "exit_code" j))
+                in
+                Stdlib.Ok (Lint { rendered; exit_code })
+            | Some "stats" ->
+                let* snap = Metrics.of_json (mem "metrics" j) in
+                Stdlib.Ok (Stats snap)
+            | Some "ping" -> Stdlib.Ok Pong
+            | Some "shutdown" -> Stdlib.Ok Shutting_down
+            | Some v -> Stdlib.Error ("response: unknown verb " ^ v)
+            | None -> Stdlib.Error "response: missing \"verb\""
+          in
+          Stdlib.Ok (Ok { id; payload })
+      | Some s -> Stdlib.Error ("response: unknown status " ^ s)
+      | None -> Stdlib.Error "response: missing \"status\"")
+  | _ -> Stdlib.Error "response must be a JSON object"
+
+let of_string s =
+  match Json.of_string s with
+  | Stdlib.Error e -> Stdlib.Error e
+  | Stdlib.Ok j -> of_json j

@@ -538,10 +538,12 @@ let test_scan_oracle_matches_direct () =
 let test_harness_campaign () =
   let nl = small_circuit 13 in
   let h = protect_n nl 2 13 in
-  let c =
-    Harness.run ~sat_timeout_s:20. ~tt_budget:1500 ~guess_rounds:3
-      ~brute_max_bits:10 ~circuit:"t" ~algorithm:"independent" h
+  let config =
+    Harness.Config.(
+      default |> with_sat_timeout_s 20. |> with_tt_budget 1500
+      |> with_guess_rounds 3 |> with_brute_max_bits 10)
   in
+  let c = Harness.attack ~config ~circuit:"t" ~algorithm:"independent" h in
   Alcotest.(check int) "six attacks" 6 (List.length c.Harness.entries);
   Alcotest.(check int) "lut count" 2 c.Harness.lut_count;
   let table = Harness.to_table [ c ] in
@@ -559,8 +561,12 @@ let test_harness_parallel_matches_serial () =
   let nl = small_circuit 13 in
   let h = protect_n nl 2 13 in
   let campaign jobs =
-    Harness.run ~sat_timeout_s:20. ~tt_budget:1500 ~guess_rounds:3
-      ~brute_max_bits:10 ~jobs ~circuit:"t" ~algorithm:"independent" h
+    let config =
+      Harness.Config.(
+        default |> with_sat_timeout_s 20. |> with_tt_budget 1500
+        |> with_guess_rounds 3 |> with_brute_max_bits 10 |> with_jobs jobs)
+    in
+    Harness.attack ~config ~circuit:"t" ~algorithm:"independent" h
   in
   let serial = campaign 1 and parallel = campaign 3 in
   let signature c =
@@ -586,7 +592,9 @@ let test_harness_zero_budget () =
   let nl = small_circuit 14 in
   let h = protect_n nl 2 14 in
   let c =
-    Harness.run ~sat_timeout_s:0. ~circuit:"t" ~algorithm:"independent" h
+    Harness.attack
+      ~config:Harness.Config.(default |> with_sat_timeout_s 0.)
+      ~circuit:"t" ~algorithm:"independent" h
   in
   Alcotest.(check int) "six attacks" 6 (List.length c.Harness.entries);
   List.iter
@@ -609,11 +617,13 @@ let test_harness_zero_budget () =
 let test_harness_seq_budget_independent () =
   let nl = small_circuit 15 in
   let h = protect_n nl 2 15 in
-  let c =
-    Harness.run ~sat_timeout_s:20. ~seq_timeout_s:0. ~tt_budget:400
-      ~guess_rounds:1 ~brute_max_bits:10 ~circuit:"t"
-      ~algorithm:"independent" h
+  let config =
+    Harness.Config.(
+      default |> with_sat_timeout_s 20.
+      |> with_seq_timeout_s (Some 0.)
+      |> with_tt_budget 400 |> with_guess_rounds 1 |> with_brute_max_bits 10)
   in
+  let c = Harness.attack ~config ~circuit:"t" ~algorithm:"independent" h in
   let seq = List.find (fun e -> e.Harness.attack = "sat-seq") c.Harness.entries in
   (match seq.Harness.verdict with
   | Harness.Resisted -> ()
@@ -622,6 +632,67 @@ let test_harness_seq_budget_independent () =
   let sat = List.find (fun e -> e.Harness.attack = "sat") c.Harness.entries in
   if sat.Harness.detail = "zero budget" then
     Alcotest.fail "combinational sat must still run"
+
+(* The Config JSON codec: full round-trip, the empty object as the
+   default config, and typed rejection of a bad solver mode. *)
+let test_harness_config_json_roundtrip () =
+  let module C = Harness.Config in
+  let config =
+    C.(
+      default |> with_sat_timeout_s 12.5
+      |> with_seq_timeout_s (Some 3.)
+      |> with_tt_budget 123 |> with_guess_rounds 2 |> with_brute_max_bits 8
+      |> with_seq_frames 6 |> with_seed 42 |> with_jobs 3
+      |> with_solver_mode Sttc_attack.Sat_attack.Scratch)
+  in
+  (match C.of_json (C.to_json config) with
+  | Ok c -> Alcotest.(check bool) "round-trip" true (c = config)
+  | Error e -> Alcotest.fail e);
+  (match C.of_json (Sttc_obs.Json.Obj []) with
+  | Ok c -> Alcotest.(check bool) "empty object = default" true (c = C.default)
+  | Error e -> Alcotest.fail e);
+  match
+    C.of_json
+      (Sttc_obs.Json.Obj [ ("solver_mode", Sttc_obs.Json.String "magic") ])
+  with
+  | Ok _ -> Alcotest.fail "unknown solver_mode must be rejected"
+  | Error _ -> ()
+
+(* The deprecated optional-argument surface must stay an exact alias of
+   [attack] for its one remaining release. *)
+let test_harness_run_alias () =
+  let nl = small_circuit 16 in
+  let h = protect_n nl 2 16 in
+  let via_alias =
+    (Harness.run [@ocaml.warning "-3"]) ~sat_timeout_s:0. ~circuit:"t"
+      ~algorithm:"independent" h
+  in
+  let via_config =
+    Harness.attack
+      ~config:Harness.Config.(default |> with_sat_timeout_s 0.)
+      ~circuit:"t" ~algorithm:"independent" h
+  in
+  Alcotest.(check bool) "alias equals attack" true (via_alias = via_config)
+
+(* Recycling one solver arena across attacks (the serve daemon's
+   per-worker discipline) must recover the exact bitstream a fresh
+   solver does. *)
+let test_solver_reuse_identical () =
+  let nl = small_circuit 17 in
+  let h = protect_n nl 2 17 in
+  let nl2 = small_circuit 18 in
+  let h2 = protect_n nl2 2 18 in
+  let bitstream = function
+    | Sttc_attack.Sat_attack.Broken b -> b.bitstream
+    | Sttc_attack.Sat_attack.Exhausted _ ->
+        Alcotest.fail "sat attack must break 2 LUTs on a small circuit"
+  in
+  let fresh = bitstream (Sttc_attack.Sat_attack.run h) in
+  let solver = Sttc_logic.Sat.Solver.create () in
+  (* dirty the arena on an unrelated formula first *)
+  ignore (bitstream (Sttc_attack.Sat_attack.run ~solver h2));
+  let recycled = bitstream (Sttc_attack.Sat_attack.run ~solver h) in
+  Alcotest.(check bool) "recycled arena = fresh solver" true (fresh = recycled)
 
 let () =
   Alcotest.run "sttc_attack"
@@ -697,5 +768,10 @@ let () =
             test_harness_zero_budget;
           Alcotest.test_case "seq budget independent" `Slow
             test_harness_seq_budget_independent;
+          Alcotest.test_case "config json roundtrip" `Quick
+            test_harness_config_json_roundtrip;
+          Alcotest.test_case "run alias" `Quick test_harness_run_alias;
+          Alcotest.test_case "solver reuse identical" `Slow
+            test_solver_reuse_identical;
         ] );
     ]

@@ -247,6 +247,30 @@ let test_sta_hybrid_uses_lut_cells () =
     (Sttc_analysis.Sta.critical_delay_ps hyb
     >= Sttc_analysis.Sta.critical_delay_ps base)
 
+(* Runner.Config's JSON codec carries the data fields (on_event has no
+   wire form); an empty object parses to the default. *)
+let test_runner_config_json_roundtrip () =
+  let module C = Runner.Config in
+  let config =
+    C.(
+      default |> with_quick true |> with_seed 7
+      |> with_only [ "s27"; "s641" ]
+      |> with_timeout_s 12.5 |> with_isolate true |> with_checkpoint "ck.bin"
+      |> with_jobs 4)
+  in
+  (match C.of_json (C.to_json config) with
+  | Ok c ->
+      let strip t = C.to_json t |> Sttc_obs.Json.to_string in
+      Alcotest.(check string) "round-trip" (strip config) (strip c)
+  | Error e -> Alcotest.fail e);
+  match C.of_json (Sttc_obs.Json.Obj []) with
+  | Ok c ->
+      Alcotest.(check string)
+        "empty object = default"
+        (Sttc_obs.Json.to_string (C.to_json C.default))
+        (Sttc_obs.Json.to_string (C.to_json c))
+  | Error e -> Alcotest.fail e
+
 let () =
   Alcotest.run "integration"
     [
@@ -273,6 +297,8 @@ let () =
       ( "experiments",
         [
           Alcotest.test_case "quick rows" `Slow test_runner_quick_rows;
+          Alcotest.test_case "config json roundtrip" `Quick
+            test_runner_config_json_roundtrip;
           Alcotest.test_case "parallel rows match serial" `Slow
             test_parallel_rows_match_serial;
           Alcotest.test_case "parallel events complete" `Slow

@@ -139,6 +139,90 @@ fi
 sttc obs-check --metrics "$tmpdir/camp.kill/campaign.metrics.json" \
   --require campaign.shard_retries,campaign.worker_respawns,campaign.heartbeat_misses,campaign.shards_degraded
 
+echo "== serve gate (daemon responses byte-identical to offline CLI)"
+# Boot the daemon, fire the same mixed request file from four concurrent
+# clients, and byte-diff every response (except the live stats snapshot)
+# against the offline `sttc client --offline` transport — the
+# one-API-two-transports contract.  Then shut down cleanly: the daemon
+# process must exit 0, remove its socket, and leave the serve.* metrics
+# series behind.
+SOCK="$tmpdir/serve.sock"
+SERVE_METRICS="$tmpdir/serve.metrics.json"
+BENCH_JSON=$(sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' "$tmpdir/s27.bench" \
+  | awk '{printf "%s\\n", $0}')
+cat > "$tmpdir/serve.requests" <<EOF
+{"id":"r1","verb":"protect","netlist":"s27","algorithm":{"name":"independent","count":3},"seed":1}
+{"id":"r2","verb":"protect","netlist":"c17","algorithm":"dependent","seed":2}
+{"id":"r3","verb":"protect","netlist":{"name":"s27","bench":"$BENCH_JSON"},"algorithm":{"name":"independent","count":2},"seed":3}
+{"id":"r4","verb":"lint","netlist":{"name":"s27","bench":"$BENCH_JSON"},"algorithms":[{"name":"independent","count":2}],"seed":1,"format":"json"}
+{"id":"r5","verb":"lint","netlist":"s27","seed":1}
+{"id":"r6","verb":"protect","netlist":"s27","algorithm":"parametric","seed":4,"sign_off":true}
+{"id":"r7","verb":"ping"}
+{"id":"r8","verb":"ping","sleep_s":0.05}
+{"id":"r9","verb":"stats"}
+EOF
+"$STTC_BIN" client --offline --request-file "$tmpdir/serve.requests" \
+  > "$tmpdir/serve.offline" 2> /dev/null
+"$STTC_BIN" serve --socket "$SOCK" -j 2 --metrics "$SERVE_METRICS" \
+  2> "$tmpdir/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+if ! [ -S "$SOCK" ]; then
+  echo "SERVE GATE FAILED: daemon never bound $SOCK" >&2
+  cat "$tmpdir/serve.log" >&2
+  exit 1
+fi
+for c in 1 2 3 4; do
+  "$STTC_BIN" client --socket "$SOCK" --request-file "$tmpdir/serve.requests" \
+    > "$tmpdir/serve.client.$c" &
+  eval "CLIENT_$c=\$!"
+done
+client_status=0
+for c in 1 2 3 4; do
+  eval "wait \$CLIENT_$c" || client_status=$?
+done
+if [ "$client_status" -ne 0 ]; then
+  echo "SERVE GATE FAILED: a concurrent client exited nonzero" >&2
+  cat "$tmpdir/serve.log" >&2
+  exit 1
+fi
+grep -v '"verb":"stats"' "$tmpdir/serve.offline" > "$tmpdir/serve.offline.det"
+for c in 1 2 3 4; do
+  grep -v '"verb":"stats"' "$tmpdir/serve.client.$c" > "$tmpdir/serve.client.$c.det"
+  if ! diff -u "$tmpdir/serve.offline.det" "$tmpdir/serve.client.$c.det"; then
+    echo "SERVE GATE FAILED: daemon responses differ from offline CLI (client $c)" >&2
+    exit 1
+  fi
+done
+"$STTC_BIN" client --socket "$SOCK" --request '{"verb":"shutdown"}' > /dev/null
+serve_status=0
+wait $SERVE_PID || serve_status=$?
+if [ "$serve_status" -ne 0 ]; then
+  echo "SERVE GATE FAILED: daemon exited $serve_status" >&2
+  cat "$tmpdir/serve.log" >&2
+  exit 1
+fi
+if [ -e "$SOCK" ]; then
+  echo "SERVE GATE FAILED: daemon left its socket behind" >&2
+  exit 1
+fi
+sttc obs-check --metrics "$SERVE_METRICS" \
+  --require serve.requests,serve.cache_hits,serve.overloaded,serve.queue_depth
+
+echo "== deprecation gate (Harness.run callers must migrate to Harness.attack)"
+# the deprecated alias lives for one PR; nothing outside lib/attack may
+# call it, except the alias-equivalence test that silences the warning
+if grep -rn "Harness\.run" --include='*.ml' --include='*.mli' \
+     bin bench examples test lib \
+   | grep -v '^lib/attack/' \
+   | grep -v 'ocaml\.warning "-3"'; then
+  echo "DEPRECATION GATE FAILED: Harness.run called outside lib/attack" >&2
+  exit 1
+fi
+
 status=0
 for b in $benches; do
   echo "== lint $b (structural + all three algorithms)"

@@ -686,13 +686,221 @@ let micro () =
         tbl)
     tests
 
+(* ---------- scale families: incremental timing record ---------- *)
+
+(* Sweeps the s-like scale family from 10^3 to 10^6 gates.  Per size it
+   times generation, one full STA, and the protect flow in its default
+   incremental mode; where a second protect run is affordable the legacy
+   full-re-analysis mode (STTC_FULL_STA=1) runs too and the two hybrids
+   are checked byte-identical.  The per-candidate cost is also measured
+   directly — K speculative gate->LUT evaluations through Sta.trial
+   against K from-scratch analyses of the same modified netlists, with
+   the delays asserted equal — and everything lands in BENCH_scale.json.
+   Override the size list with STTC_SCALE_SIZES=1000,10000 for a quick
+   pass (tools/bench_diff.sh does). *)
+let scale_bench () =
+  section "Scale families - incremental timing vs full re-analysis";
+  let module J = Sttc_obs.Json in
+  let module Metrics = Sttc_obs.Metrics in
+  let module Gen = Sttc_netlist.Generator in
+  let module Netlist = Sttc_netlist.Netlist in
+  let module Transform = Sttc_netlist.Transform in
+  let module Sta = Sttc_analysis.Sta in
+  let lib = Sttc_tech.Library.cmos90 in
+  let sizes =
+    match Sys.getenv_opt "STTC_SCALE_SIZES" with
+    | None | Some "" -> [ 1_000; 10_000; 50_000; 100_000; 1_000_000 ]
+    | Some s ->
+        List.filter_map
+          (fun tok ->
+            let tok = String.trim tok in
+            if tok = "" then None
+            else
+              match int_of_string_opt tok with
+              | Some v when v >= 8 -> Some v
+              | _ ->
+                  failwith ("STTC_SCALE_SIZES: bad gate count '" ^ tok ^ "'"))
+          (String.split_on_char ',' s)
+  in
+  (* full-mode protect re-runs Sta.analyze per candidate; above this
+     size that costs minutes per run, so the sweep records null there
+     and the per-candidate speedup stands in for it *)
+  let full_protect_ceiling = 100_000 in
+  (* a tight clock budget keeps the repair loop busy, which is exactly
+     the hot path the incremental engine exists for; n_paths keeps the
+     paper default (gates/1500), so candidate counts grow with size *)
+  let algorithm =
+    Flow.Parametric
+      {
+        Sttc_core.Algorithms.default_parametric with
+        Sttc_core.Algorithms.clock_factor = 1.02;
+      }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let peak_rss_kb () =
+    (* VmHWM of /proc/self/status — the process high-water mark, hence
+       monotonic across the sweep; 0 where procfs is unavailable *)
+    try
+      In_channel.with_open_text "/proc/self/status" (fun ic ->
+          let rec go () =
+            match In_channel.input_line ic with
+            | None -> 0
+            | Some line when String.starts_with ~prefix:"VmHWM:" line ->
+                Scanf.sscanf
+                  (String.sub line 6 (String.length line - 6))
+                  " %d" Fun.id
+            | Some _ -> go ()
+          in
+          go ())
+    with _ -> 0
+  in
+  let hybrid_fingerprint (r : Flow.result) =
+    let h = r.Flow.hybrid in
+    Sttc_netlist.Bench_io.to_string (Sttc_core.Hybrid.foundry_view h)
+    ^ Sttc_core.Provision.to_string (Sttc_core.Provision.of_hybrid h)
+  in
+  let cone_stats snap =
+    match Metrics.find snap "sta.retime.cone_nodes" with
+    | Some (Metrics.Histogram s) -> (s.Metrics.count, s.Metrics.sum)
+    | _ -> (0, 0.)
+  in
+  (* K single-gate speculative evaluations: the trial engine against a
+     from-scratch analysis of the identical modified netlist *)
+  let candidate_speedup nl sta =
+    let rng = Sttc_util.Rng.make 42 in
+    let gates =
+      Array.of_seq
+        (Seq.filter
+           (fun id ->
+             match Netlist.kind nl id with
+             | Netlist.Gate _ -> true
+             | _ -> false)
+           (Seq.init (Netlist.node_count nl) Fun.id))
+    in
+    let picks = Array.init 20 (fun _ -> Sttc_util.Rng.pick rng gates) in
+    let overlay = Transform.Overlay.create nl in
+    let tr = Sta.trial lib sta in
+    let c0, s0 = cone_stats (Metrics.snapshot ()) in
+    let trial_delays, trial_s =
+      time (fun () ->
+          Array.map
+            (fun g ->
+              Transform.Overlay.stage overlay g;
+              let d =
+                Sta.trial_delay_ps tr
+                  ~kind_of:(Transform.Overlay.kind overlay)
+                  [ g ]
+              in
+              Transform.Overlay.clear overlay;
+              d)
+            picks)
+    in
+    let c1, s1 = cone_stats (Metrics.snapshot ()) in
+    let full_delays, full_s =
+      time (fun () ->
+          Array.map
+            (fun g ->
+              Sta.critical_delay_ps
+                (Sta.analyze lib
+                   (Transform.replace_many ~keep_function:false nl [ g ])))
+            picks)
+    in
+    if trial_delays <> full_delays then begin
+      Printf.printf "trial delays DIFFER from from-scratch delays\n";
+      exit 1
+    end;
+    let cone_mean =
+      if c1 > c0 then (s1 -. s0) /. float_of_int (c1 - c0) else 0.
+    in
+    (full_s /. trial_s, cone_mean)
+  in
+  (* the trial engine reports cone sizes through the metrics registry,
+     which records only while observability is on *)
+  let was_enabled = Sttc_obs.Control.enabled () in
+  if not was_enabled then Sttc_obs.Control.enable ();
+  let rows =
+    List.map
+      (fun gates ->
+        let nl, gen_s = time (fun () -> Gen.generate_family ~seed:7 ~gates ()) in
+        let nodes = Netlist.node_count nl in
+        let sta, full_sta_s = time (fun () -> Sta.analyze lib nl) in
+        let eval_speedup, cone_mean = candidate_speedup nl sta in
+        let inc_r, protect_s =
+          time (fun () -> protect_strict ~seed:1 algorithm nl)
+        in
+        let protect_full_s =
+          if gates > full_protect_ceiling then None
+          else begin
+            Unix.putenv "STTC_FULL_STA" "1";
+            let full_r, full_s =
+              time (fun () -> protect_strict ~seed:1 algorithm nl)
+            in
+            Unix.putenv "STTC_FULL_STA" "";
+            if hybrid_fingerprint inc_r <> hybrid_fingerprint full_r then begin
+              Printf.printf
+                "incremental hybrid DIFFERS from full-mode hybrid at %d gates\n"
+                gates;
+              exit 1
+            end;
+            Some full_s
+          end
+        in
+        let rss_kb = peak_rss_kb () in
+        Printf.printf
+          "  %8d gates (%8d nodes)  gen %6.2fs  sta %6.3fs  protect %7.2fs  \
+           %s  candidate %8.1fx (cone ~%.0f)  rss %d MB\n\
+           %!"
+          gates nodes gen_s full_sta_s protect_s
+          (match protect_full_s with
+          | Some f ->
+              Printf.sprintf "full %7.2fs (%5.1fx, identical)" f
+                (f /. protect_s)
+          | None -> "full    --     (skipped)      ")
+          eval_speedup cone_mean (rss_kb / 1024);
+        J.Obj
+          [
+            ("gates", J.Int gates);
+            ("nodes", J.Int nodes);
+            ("profile", J.String (Gen.profile_name Gen.Slike));
+            ("gen_s", J.Float gen_s);
+            ("full_sta_s", J.Float full_sta_s);
+            ("protect_s", J.Float protect_s);
+            ( "protect_full_s",
+              match protect_full_s with Some f -> J.Float f | None -> J.Null );
+            ( "protect_speedup",
+              match protect_full_s with
+              | Some f -> J.Float (f /. protect_s)
+              | None -> J.Null );
+            ("trial_eval_speedup", J.Float eval_speedup);
+            ("trial_cone_nodes_mean", J.Float cone_mean);
+            ("peak_rss_kb", J.Int rss_kb);
+          ])
+      sizes
+  in
+  if not was_enabled then Sttc_obs.Control.disable ();
+  Sttc_obs.Export.write_file "BENCH_scale.json"
+    (J.Obj
+       [
+         ("experiment", J.String "scale-incremental-timing");
+         ("profile", J.String (Gen.profile_name Gen.Slike));
+         ("seed", J.Int 1);
+         ("clock_factor", J.Float 1.02);
+         ("full_protect_ceiling", J.Int full_protect_ceiling);
+         ("rows", J.List rows);
+       ]);
+  Printf.printf "  wrote BENCH_scale.json\n"
+
 (* ---------- driver ---------- *)
 
 let sections =
   [
     "fig1"; "table1"; "table2"; "fig3"; "attacks"; "sidechannel"; "baseline";
     "ablation"; "faults"; "parallel"; "sat"; "lint"; "campaign"; "serve";
-    "micro";
+    "micro"; "scale";
   ]
 
 (* argument mistakes exit with the same sysexits EX_USAGE code 64 the
@@ -764,4 +972,5 @@ let () =
   if want "campaign" then campaign_bench ();
   if want "serve" then serve_bench ~jobs ();
   if want "micro" then micro ();
+  if want "scale" then scale_bench ();
   Printf.printf "\nbench: done\n"

@@ -106,6 +106,14 @@ let gen_cmd =
     in
     Arg.(value & opt string "s641" & info [ "b"; "bench" ] ~doc)
   in
+  let profile =
+    let doc =
+      "Scale-family profile (slike|wide|deep|fanout): derive the spec from \
+       --gates alone, overriding --pis/--pos/--ffs/--levels.  Requires \
+       --bench custom."
+    in
+    Arg.(value & opt (some string) None & info [ "profile" ] ~doc)
+  in
   let gates = Arg.(value & opt int 200 & info [ "gates" ] ~doc:"Custom: gate count.") in
   let pis = Arg.(value & opt int 16 & info [ "pis" ] ~doc:"Custom: primary inputs.") in
   let pos = Arg.(value & opt int 16 & info [ "pos" ] ~doc:"Custom: primary outputs.") in
@@ -114,20 +122,30 @@ let gen_cmd =
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output .bench path (stdout if omitted).")
   in
-  let run bench gates pis pos ffs levels seed output =
+  let run bench profile gates pis pos ffs levels seed output =
     exit_of_result
       (try
          let nl =
            if bench = "custom" then
-             Sttc_netlist.Generator.generate ~seed
-               {
-                 Sttc_netlist.Generator.design_name = "custom";
-                 n_pi = pis;
-                 n_po = pos;
-                 n_ff = ffs;
-                 n_gates = gates;
-                 levels;
-               }
+             match profile with
+             | Some p -> (
+                 match Sttc_netlist.Generator.profile_of_string p with
+                 | Ok profile ->
+                     Sttc_netlist.Generator.generate_family ~seed ~profile
+                       ~gates ()
+                 | Error m -> invalid_arg m)
+             | None ->
+                 Sttc_netlist.Generator.generate ~seed
+                   {
+                     Sttc_netlist.Generator.design_name = "custom";
+                     n_pi = pis;
+                     n_po = pos;
+                     n_ff = ffs;
+                     n_gates = gates;
+                     levels;
+                   }
+           else if profile <> None then
+             invalid_arg "--profile requires --bench custom"
            else
              try Sttc_netlist.Iscas_profiles.build_by_name ~seed bench
              with Invalid_argument _ -> (
@@ -151,7 +169,8 @@ let gen_cmd =
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a benchmark netlist.")
     Term.(
-      const run $ bench $ gates $ pis $ pos $ ffs $ levels $ seed_arg $ output)
+      const run $ bench $ profile $ gates $ pis $ pos $ ffs $ levels $ seed_arg
+      $ output)
 
 (* ---------- stats ---------- *)
 
@@ -223,7 +242,9 @@ let protect_cmd =
              ~doc:"Apply the Section IV-A.3 hardening: two dummy inputs per \
                    LUT and complex-function driver absorption.")
   in
-  let run input alg seed output bitstream verilog sign_off harden =
+  let run input alg seed output bitstream verilog sign_off harden trace
+      metrics =
+    Sttc_obs.Obs.with_run ?trace ?metrics @@ fun () ->
     exit_of_result
       (match read_source input with
       | Error m -> Error m
@@ -282,7 +303,7 @@ let protect_cmd =
     (Cmd.info "protect" ~doc:"Run the security-driven hybrid STT-CMOS flow.")
     Term.(
       const run $ netlist_arg $ algorithm_arg $ seed_arg $ output $ bitstream
-      $ verilog $ sign_off $ harden)
+      $ verilog $ sign_off $ harden $ trace_arg $ metrics_arg)
 
 (* ---------- optimize ---------- *)
 
@@ -1143,7 +1164,8 @@ let client_cmd =
     | Ok (Sttc_serve.Response.Ok _) -> true
     | _ -> false
   in
-  let run socket offline request request_file =
+  let run socket offline request request_file trace metrics =
+    Sttc_obs.Obs.with_run ?trace ?metrics @@ fun () ->
     match read_lines (request, request_file) with
     | Error m ->
         prerr_endline ("sttc: " ^ m);
@@ -1206,7 +1228,9 @@ let client_cmd =
           $(b,sttc serve) daemon (or execute them in-process with \
           --offline) and print each response frame.  Exits 0 only if \
           every response has status ok.")
-    Term.(const run $ socket_arg $ offline $ request $ request_file)
+    Term.(
+      const run $ socket_arg $ offline $ request $ request_file $ trace_arg
+      $ metrics_arg)
 
 let () =
   let doc = "Hybrid STT-CMOS designs for reverse-engineering prevention." in

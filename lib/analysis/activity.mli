@@ -18,6 +18,21 @@ val analyze :
 (** Defaults: PI one-probability 0.5, 40 iterations, tolerance 1e-4.
     Unconfigured LUTs take probability 0.5. *)
 
+val refine :
+  t -> Sttc_netlist.Netlist.t -> changed:Sttc_netlist.Netlist.node_id list -> t
+(** [refine t nl ~changed] is [analyze nl] (default parameters — which the
+    base must also have been computed with), reusing [t]'s solution when
+    that is provably exact: when [nl] is id-compatible with [t]'s netlist
+    ({!Sttc_netlist.Netlist.kind_delta}) and every changed node keeps the
+    same probability transfer function (e.g. gate→LUT replacements that
+    keep the function), the base solution is returned as-is; when the
+    transfer functions of some nodes did change but their forward cone
+    neither reads nor feeds a flip-flop, only that cone is re-propagated.
+    Any other case falls back to a full fixpoint.  The result is
+    bit-identical to [analyze nl] in all cases.  Counters:
+    [activity.refine.cone] / [activity.refine.full], with the visited-node
+    count under [activity.refine.cone_nodes]. *)
+
 val probability : t -> Sttc_netlist.Netlist.node_id -> float
 (** Probability that the node's signal is 1. *)
 

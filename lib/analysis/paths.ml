@@ -62,10 +62,13 @@ let count_ffs nl nodes =
       match Netlist.kind nl id with Netlist.Dff -> acc + 1 | _ -> acc)
     0 nodes
 
-let find_io_path ~rng nl start =
+(* [po_driver] is hoisted to the caller: building the PO-driver set is
+   O(#POs), and [sample] calls this once per sampled component — paying
+   it per call made sampling quadratic on the 10^5..10^6-gate scale
+   families. *)
+let find_io_path_with ~rng ~po_driver nl start =
   (* Several random walks; keep the flip-flop-richest path found, since the
      selection procedure wants paths "containing at least two flip-flops". *)
-  let po_driver = is_po_driver nl in
   let attempts = 8 in
   let best = ref None in
   for _ = 1 to attempts do
@@ -84,6 +87,9 @@ let find_io_path ~rng nl start =
   done;
   !best
 
+let find_io_path ~rng nl start =
+  find_io_path_with ~rng ~po_driver:(is_po_driver nl) nl start
+
 let path_key nodes = String.concat "," (List.map string_of_int nodes)
 
 let sample ~rng ?(fraction = 0.02) ?(min_ffs = 2) ?(exclude_critical = []) nl =
@@ -95,11 +101,12 @@ let sample ~rng ?(fraction = 0.02) ?(min_ffs = 2) ?(exclude_critical = []) nl =
       max 8 (int_of_float (fraction *. float_of_int (Array.length components)))
     in
     let picked = Rng.sample rng count components in
+    let po_driver = is_po_driver nl in
     let seen = Hashtbl.create 64 in
     let paths = ref [] in
     Array.iter
       (fun id ->
-        match find_io_path ~rng nl id with
+        match find_io_path_with ~rng ~po_driver nl id with
         | None -> ()
         | Some p ->
             let key = path_key p.nodes in

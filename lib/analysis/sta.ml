@@ -1,5 +1,6 @@
 module Netlist = Sttc_netlist.Netlist
 module Library = Sttc_tech.Library
+module Metrics = Sttc_obs.Metrics
 
 type t = {
   netlist : Netlist.t;
@@ -7,51 +8,63 @@ type t = {
   endpoints : (Netlist.node_id * float) list; (* worst first *)
   critical_end : Netlist.node_id;
   critical : float;
+  endpoint_ids : Netlist.node_id array; (* ascending, deduplicated *)
 }
 
-let analyze lib nl =
-  let n = Netlist.node_count nl in
-  let arrival = Array.make n 0. in
-  let order = Netlist.topo_order nl in
-  Array.iter
-    (fun id ->
-      let node = Netlist.node nl id in
-      match node.Netlist.kind with
-      | Netlist.Pi | Netlist.Const _ -> arrival.(id) <- 0.
-      | Netlist.Dff ->
-          (* launch at clk-to-q; the D-input arrival is an endpoint handled
-             below, not part of this node's output arrival *)
-          arrival.(id) <- (Library.dff_cell lib).Sttc_tech.Cell.delay_ps
-      | Netlist.Gate _ | Netlist.Lut _ ->
-          let worst = ref 0. in
-          Array.iter
-            (fun src -> if arrival.(src) > !worst then worst := arrival.(src))
-            node.Netlist.fanins;
-          arrival.(id) <- !worst +. Library.node_delay_ps lib node.Netlist.kind)
-    order;
-  (* endpoints: D-inputs of flip-flops and primary-output drivers *)
-  let endpoint_tbl = Hashtbl.create 64 in
+(* Worst endpoint first; exact-tie arrivals break towards the smaller node
+   id so full and incremental analyses agree bit for bit. *)
+let compare_endpoints (ia, a) (ib, b) =
+  match Float.compare b a with 0 -> Int.compare ia ib | c -> c
+
+let endpoint_ids_of nl =
+  let tbl = Hashtbl.create 64 in
   List.iter
-    (fun ff ->
-      let d = (Netlist.fanins nl ff).(0) in
-      let cur = try Hashtbl.find endpoint_tbl d with Not_found -> neg_infinity in
-      Hashtbl.replace endpoint_tbl d (Float.max cur arrival.(d)))
+    (fun ff -> Hashtbl.replace tbl (Netlist.fanins nl ff).(0) ())
     (Netlist.dffs nl);
-  List.iter
-    (fun po ->
-      let cur = try Hashtbl.find endpoint_tbl po with Not_found -> neg_infinity in
-      Hashtbl.replace endpoint_tbl po (Float.max cur arrival.(po)))
-    (Netlist.pos nl);
+  List.iter (fun po -> Hashtbl.replace tbl po ()) (Netlist.pos nl);
+  let ids = Array.of_list (Hashtbl.fold (fun id () acc -> id :: acc) tbl []) in
+  Array.sort Int.compare ids;
+  ids
+
+(* A node's output arrival given the arrivals of its fanins — the one
+   arithmetic shared by [analyze], [retime] and the trial engine, so the
+   incremental paths reproduce the from-scratch floats exactly. *)
+let node_arrival lib nl arrival id kind =
+  match kind with
+  | Netlist.Pi | Netlist.Const _ -> 0.
+  | Netlist.Dff ->
+      (* launch at clk-to-q; the D-input arrival is an endpoint, not part
+         of this node's output arrival *)
+      (Library.dff_cell lib).Sttc_tech.Cell.delay_ps
+  | Netlist.Gate _ | Netlist.Lut _ ->
+      let worst = ref 0. in
+      Array.iter
+        (fun src -> if arrival.(src) > !worst then worst := arrival.(src))
+        (Netlist.fanins nl id);
+      !worst +. Library.node_delay_ps lib kind
+
+let finish nl arrival endpoint_ids =
   let endpoints =
-    Hashtbl.fold (fun id a acc -> (id, a) :: acc) endpoint_tbl []
-    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+    Array.to_list endpoint_ids
+    |> List.map (fun id -> (id, arrival.(id)))
+    |> List.sort compare_endpoints
   in
   let critical_end, critical =
     match endpoints with
     | [] -> invalid_arg "Sta.analyze: netlist has no endpoints"
     | (id, a) :: _ -> (id, a)
   in
-  { netlist = nl; arrival; endpoints; critical_end; critical }
+  { netlist = nl; arrival; endpoints; critical_end; critical; endpoint_ids }
+
+let analyze lib nl =
+  let n = Netlist.node_count nl in
+  let arrival = Array.make n 0. in
+  Array.iter
+    (fun id -> arrival.(id) <- node_arrival lib nl arrival id (Netlist.kind nl id))
+    (Netlist.topo_order nl);
+  finish nl arrival (endpoint_ids_of nl)
+
+let netlist t = t.netlist
 
 let arrival_ps t id =
   if id < 0 || id >= Array.length t.arrival then invalid_arg "Sta.arrival_ps";
@@ -62,15 +75,14 @@ let critical_endpoint t = t.critical_end
 
 (* Walk backward from an endpoint through the fanin with the worst
    arrival until a source is reached. *)
-let path_to t endpoint =
-  let nl = t.netlist in
+let path_to_arrivals nl arrival endpoint =
   let rec go id acc =
     let acc = id :: acc in
     if Netlist.is_combinational (Netlist.kind nl id) then begin
       let fanins = Netlist.fanins nl id in
       let best = ref fanins.(0) in
       Array.iter
-        (fun src -> if t.arrival.(src) > t.arrival.(!best) then best := src)
+        (fun src -> if arrival.(src) > arrival.(!best) then best := src)
         fanins;
       go !best acc
     end
@@ -78,6 +90,7 @@ let path_to t endpoint =
   in
   go endpoint []
 
+let path_to t endpoint = path_to_arrivals t.netlist t.arrival endpoint
 let critical_path t = path_to t t.critical_end
 
 let max_frequency_ghz t =
@@ -108,3 +121,328 @@ let report ?(k = 3) t =
       Buffer.add_char buf '\n')
     (worst_paths t ~k);
   Buffer.contents buf
+
+(* ---------- the incremental engine ---------- *)
+
+(* Worklist: a binary min-heap of node ids keyed by topological position.
+   Popping in topo order guarantees every fanin of a popped node is final,
+   so each cone node is recomputed at most once per propagation. *)
+module Work = struct
+  type h = {
+    pos : int array; (* topo position of every node *)
+    mutable heap : int array;
+    mutable len : int;
+  }
+
+  let create pos = { pos; heap = Array.make 64 0; len = 0 }
+
+  let push h id =
+    if h.len = Array.length h.heap then begin
+      let bigger = Array.make (2 * h.len) 0 in
+      Array.blit h.heap 0 bigger 0 h.len;
+      h.heap <- bigger
+    end;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    while
+      !i > 0 && h.pos.(h.heap.(((!i - 1) / 2))) > h.pos.(id)
+    do
+      h.heap.(!i) <- h.heap.((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done;
+    h.heap.(!i) <- id
+
+  let pop h =
+    let top = h.heap.(0) in
+    h.len <- h.len - 1;
+    let last = h.heap.(h.len) in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      h.heap.(!i) <- last;
+      if l < h.len && h.pos.(h.heap.(l)) < h.pos.(h.heap.(!smallest)) then
+        smallest := l;
+      if r < h.len && h.pos.(h.heap.(r)) < h.pos.(h.heap.(!smallest)) then
+        smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        h.heap.(!i) <- h.heap.(!smallest);
+        i := !smallest
+      end
+    done;
+    top
+end
+
+let positions_of nl =
+  let pos = Array.make (Netlist.node_count nl) 0 in
+  Array.iteri (fun i id -> pos.(id) <- i) (Netlist.topo_order nl);
+  pos
+
+(* Recompute arrivals over the forward cone of [seeds], reading kinds
+   through [kind_of] and structure (fanins, fanouts, Dff-ness) from the
+   id-compatible [nl].  [on_change id old] is called before each arrival
+   write.  Returns the number of cone nodes popped. *)
+let propagate lib nl arrival work queued ~kind_of ~on_change seeds =
+  let n = Array.length arrival in
+  List.iter
+    (fun id ->
+      if id < 0 || id >= n then invalid_arg "Sta: node id out of range";
+      if not queued.(id) then begin
+        queued.(id) <- true;
+        Work.push work id
+      end)
+    seeds;
+  let cone = ref 0 in
+  while work.Work.len > 0 do
+    let id = Work.pop work in
+    queued.(id) <- false;
+    incr cone;
+    let a = node_arrival lib nl arrival id (kind_of id) in
+    if a <> arrival.(id) then begin
+      on_change id arrival.(id);
+      arrival.(id) <- a;
+      List.iter
+        (fun out ->
+          (* a flip-flop's output arrival is independent of its D input:
+             sequential edges never propagate *)
+          match Netlist.kind nl out with
+          | Netlist.Dff -> ()
+          | _ ->
+              if not queued.(out) then begin
+                queued.(out) <- true;
+                Work.push work out
+              end)
+        (Netlist.fanouts nl id)
+    end
+  done;
+  !cone
+
+let retime lib t nl ~changed =
+  match Netlist.kind_delta t.netlist nl with
+  | None ->
+      (* structurally different: the cached cone machinery does not apply *)
+      Metrics.incr "sta.retime.full";
+      analyze lib nl
+  | Some delta ->
+      let arrival = Array.copy t.arrival in
+      let work = Work.create (positions_of t.netlist) in
+      let queued = Array.make (Array.length arrival) false in
+      let cone =
+        propagate lib t.netlist arrival work queued
+          ~kind_of:(fun id -> Netlist.kind nl id)
+          ~on_change:(fun _ _ -> ())
+          (List.rev_append delta changed)
+      in
+      Metrics.incr "sta.retime.cone";
+      Metrics.observe "sta.retime.cone_nodes" (float_of_int cone);
+      finish nl arrival t.endpoint_ids
+
+(* ---------- speculative trials ---------- *)
+
+type trial = {
+  lib : Library.t;
+  base : t;
+  arr : float array;
+  (* the current speculative arrivals: equal to [base.arrival] between
+     one-shot calls (undo restores it), or reflecting the accumulated
+     [trial_advance] deltas in a persistent session *)
+  work : Work.h;
+  queued : bool array;
+  is_endpoint : bool array;
+  (* undo log of (id, previous arrival) in write order *)
+  mutable undo_ids : int array;
+  mutable undo_vals : float array;
+  mutable undo_len : int;
+  (* lazy-deletion max-heap over endpoint (arrival, id); an entry is valid
+     iff it matches the endpoint's current arrival.  Every endpoint update
+     (including undo restores) pushes, so the best valid entry is always
+     present. *)
+  mutable ep_val : float array;
+  mutable ep_id : int array;
+  mutable ep_len : int;
+}
+
+(* max-heap order: higher arrival first, ties to the smaller id —
+   mirrors [compare_endpoints]. *)
+let ep_before v1 i1 v2 i2 = v1 > v2 || (v1 = v2 && i1 < i2)
+
+let ep_push tr v id =
+  if tr.ep_len = Array.length tr.ep_val then begin
+    let grow a z =
+      let b = Array.make (2 * Array.length a) z in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    tr.ep_val <- grow tr.ep_val 0.;
+    tr.ep_id <- grow tr.ep_id 0
+  end;
+  let i = ref tr.ep_len in
+  tr.ep_len <- tr.ep_len + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if ep_before v id tr.ep_val.(p) tr.ep_id.(p) then begin
+      tr.ep_val.(!i) <- tr.ep_val.(p);
+      tr.ep_id.(!i) <- tr.ep_id.(p);
+      i := p
+    end
+    else continue := false
+  done;
+  tr.ep_val.(!i) <- v;
+  tr.ep_id.(!i) <- id
+
+let ep_pop_root tr =
+  tr.ep_len <- tr.ep_len - 1;
+  let v = tr.ep_val.(tr.ep_len) and id = tr.ep_id.(tr.ep_len) in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let best = ref (-1) in
+    let bv = ref v and bi = ref id in
+    if l < tr.ep_len && ep_before tr.ep_val.(l) tr.ep_id.(l) !bv !bi then begin
+      best := l;
+      bv := tr.ep_val.(l);
+      bi := tr.ep_id.(l)
+    end;
+    if r < tr.ep_len && ep_before tr.ep_val.(r) tr.ep_id.(r) !bv !bi then
+      best := r;
+    if !best < 0 then begin
+      if tr.ep_len > 0 then begin
+        tr.ep_val.(!i) <- v;
+        tr.ep_id.(!i) <- id
+      end;
+      continue := false
+    end
+    else begin
+      tr.ep_val.(!i) <- tr.ep_val.(!best);
+      tr.ep_id.(!i) <- tr.ep_id.(!best);
+      i := !best
+    end
+  done
+
+let ep_rebuild tr =
+  tr.ep_len <- 0;
+  Array.iter (fun id -> ep_push tr tr.arr.(id) id) tr.base.endpoint_ids
+
+(* Discard stale entries until the root reflects a current arrival. *)
+let rec ep_best tr =
+  if tr.ep_len = 0 then invalid_arg "Sta.trial: no endpoints"
+  else
+    let v = tr.ep_val.(0) and id = tr.ep_id.(0) in
+    if tr.arr.(id) = v then (id, v)
+    else begin
+      ep_pop_root tr;
+      ep_best tr
+    end
+
+let trial lib t =
+  let n = Array.length t.arrival in
+  let is_endpoint = Array.make n false in
+  Array.iter (fun id -> is_endpoint.(id) <- true) t.endpoint_ids;
+  let tr =
+    {
+      lib;
+      base = t;
+      arr = Array.copy t.arrival;
+      work = Work.create (positions_of t.netlist);
+      queued = Array.make n false;
+      is_endpoint;
+      undo_ids = Array.make 64 0;
+      undo_vals = Array.make 64 0.;
+      undo_len = 0;
+      ep_val = Array.make (max 64 (Array.length t.endpoint_ids)) 0.;
+      ep_id = Array.make (max 64 (Array.length t.endpoint_ids)) 0;
+      ep_len = 0;
+    }
+  in
+  ep_rebuild tr;
+  tr
+
+let undo_push tr id v =
+  if tr.undo_len = Array.length tr.undo_ids then begin
+    let ids = Array.make (2 * tr.undo_len) 0 in
+    let vals = Array.make (2 * tr.undo_len) 0. in
+    Array.blit tr.undo_ids 0 ids 0 tr.undo_len;
+    Array.blit tr.undo_vals 0 vals 0 tr.undo_len;
+    tr.undo_ids <- ids;
+    tr.undo_vals <- vals
+  end;
+  tr.undo_ids.(tr.undo_len) <- id;
+  tr.undo_vals.(tr.undo_len) <- v;
+  tr.undo_len <- tr.undo_len + 1
+
+let trial_apply tr ~kind_of changed =
+  assert (tr.undo_len = 0);
+  let cone =
+    propagate tr.lib tr.base.netlist tr.arr tr.work tr.queued ~kind_of
+      ~on_change:(fun id old ->
+        undo_push tr id old;
+        ())
+      changed
+  in
+  (* refresh endpoint entries touched by the propagation *)
+  for k = 0 to tr.undo_len - 1 do
+    let id = tr.undo_ids.(k) in
+    if tr.is_endpoint.(id) then ep_push tr tr.arr.(id) id
+  done;
+  Metrics.incr "sta.retime.cone";
+  Metrics.observe "sta.retime.cone_nodes" (float_of_int cone);
+  cone
+
+(* Bound heap garbage: stale entries stay at most a small multiple of
+   the endpoint count before a rebuild resets them. *)
+let ep_gc tr =
+  if tr.ep_len > max 1024 (8 * Array.length tr.base.endpoint_ids) then
+    ep_rebuild tr
+
+let trial_undo tr =
+  for k = tr.undo_len - 1 downto 0 do
+    let id = tr.undo_ids.(k) in
+    tr.arr.(id) <- tr.undo_vals.(k);
+    if tr.is_endpoint.(id) then ep_push tr tr.undo_vals.(k) id
+  done;
+  tr.undo_len <- 0;
+  ep_gc tr
+
+let trial_delay_ps tr ~kind_of changed =
+  ignore (trial_apply tr ~kind_of changed);
+  let _, v = ep_best tr in
+  trial_undo tr;
+  v
+
+let trial_critical tr ~kind_of changed =
+  ignore (trial_apply tr ~kind_of changed);
+  let id, v = ep_best tr in
+  let path = path_to_arrivals tr.base.netlist tr.arr id in
+  trial_undo tr;
+  (v, path)
+
+(* ---------- persistent sessions ---------- *)
+
+(* [trial_advance] moves the trial's arrival state permanently (no undo
+   entry is written): the caller owns the staged-set bookkeeping and
+   changes it one small delta at a time, which is what makes the
+   parametric selection loop's evaluations proportional to the delta
+   cone instead of the whole accumulated replacement set. *)
+let trial_advance tr ~kind_of seeds =
+  let touched = ref [] in
+  let cone =
+    propagate tr.lib tr.base.netlist tr.arr tr.work tr.queued ~kind_of
+      ~on_change:(fun id _old ->
+        if tr.is_endpoint.(id) then touched := id :: !touched)
+      seeds
+  in
+  List.iter (fun id -> ep_push tr tr.arr.(id) id) !touched;
+  Metrics.incr "sta.retime.cone";
+  Metrics.observe "sta.retime.cone_nodes" (float_of_int cone);
+  ep_gc tr;
+  cone
+
+let trial_current_delay_ps tr = snd (ep_best tr)
+
+let trial_current_critical tr =
+  let id, v = ep_best tr in
+  (v, path_to_arrivals tr.base.netlist tr.arr id)

@@ -151,13 +151,9 @@ let parametric_with_meta ~rng ?(options = default_parametric) ctx =
   in
   while (not (Int_set.is_empty !replaced)) && !repair_budget > 0 && violated !replaced do
     decr repair_budget;
-    let trial =
-      Sttc_netlist.Transform.replace_many ~keep_function:true nl
-        (Int_set.elements !replaced)
-    in
-    let sta = Sta.analyze ctx.Select.library trial in
+    let _, critical = Select.trial_critical ctx (Int_set.elements !replaced) in
     let on_critical =
-      List.filter (fun id -> Int_set.mem id !replaced) (Sta.critical_path sta)
+      List.filter (fun id -> Int_set.mem id !replaced) critical
     in
     match on_critical with
     | [] -> repair_budget := 0 (* violation not caused by our LUTs *)

@@ -75,7 +75,7 @@ let no_hardening = { extra_inputs_per_lut = 0; absorb_drivers = false }
 
 let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
     ?(fraction = 0.02) ?(hardening = no_hardening) ?(semantic = false)
-    algorithm netlist =
+    ?base_sta algorithm netlist =
   Sttc_obs.Span.with_ "flow.protect" ~cat:"core"
     ~attrs:
       [
@@ -86,9 +86,9 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
   if Netlist.gates netlist = [] then
     invalid_arg "Flow.run: netlist has no CMOS gates";
   let rng = Rng.make (seed lxor Hashtbl.hash (algorithm_name algorithm)) in
-  let (hybrid, meta), selection_seconds =
+  let (hybrid, meta, base_sta), selection_seconds =
     Sttc_util.Timing.time (fun () ->
-        let ctx = Select.prepare ~rng ~fraction library netlist in
+        let ctx = Select.prepare ~rng ~fraction ?sta:base_sta library netlist in
         let gates, meta =
           match algorithm with
           | Independent { count } ->
@@ -134,7 +134,7 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
               ~per_lut:hardening.extra_inputs_per_lut netlist gates
           else []
         in
-        (Hybrid.make ~extra_inputs ~absorb netlist gates, meta))
+        (Hybrid.make ~extra_inputs ~absorb netlist gates, meta, ctx.Select.sta))
   in
   Sttc_obs.Metrics.(
     incr "flow.protects";
@@ -200,7 +200,9 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
     Security.evaluate (Hybrid.foundry_view hybrid) ~luts:(Hybrid.lut_ids hybrid)
   in
   let overhead =
-    Ppa.evaluate library ~base:netlist ~hybrid:(Hybrid.programmed hybrid)
+    let baseline = Ppa.baseline ~sta:base_sta library netlist in
+    Ppa.evaluate ~baseline library ~base:netlist
+      ~hybrid:(Hybrid.programmed hybrid)
   in
   obs_result
     {
@@ -245,15 +247,15 @@ let degradation_chain = function
   | Independent _ as i -> [ i ]
 
 let protect_resilient ?(seed = 1) ?library ?fraction ?hardening ?semantic
-    ?(max_reseeds = 2) algorithm netlist =
+    ?base_sta ?(max_reseeds = 2) algorithm netlist =
   let rejections = ref [] in
   let reject attempted attempt_seed reason =
     rejections := { attempted; attempt_seed; reason } :: !rejections
   in
   let try_once alg attempt_seed =
     match
-      protect ~seed:attempt_seed ?library ?fraction ?hardening ?semantic alg
-        netlist
+      protect ~seed:attempt_seed ?library ?fraction ?hardening ?semantic
+        ?base_sta alg netlist
     with
     | r -> (
         match meets_timing alg r with
@@ -304,8 +306,8 @@ let default_resilience = { max_reseeds = 2 }
 
 type policy = Strict | Resilient of resilience
 
-let run ?seed ?library ?fraction ?hardening ?semantic ~policy algorithm netlist
-    =
+let run ?seed ?library ?fraction ?hardening ?semantic ?base_sta ~policy
+    algorithm netlist =
   Sttc_obs.Span.with_ "flow.run" ~cat:"core"
     ~attrs:
       [
@@ -317,11 +319,12 @@ let run ?seed ?library ?fraction ?hardening ?semantic ~policy algorithm netlist
   match policy with
   | Strict ->
       let accepted =
-        protect ?seed ?library ?fraction ?hardening ?semantic algorithm netlist
+        protect ?seed ?library ?fraction ?hardening ?semantic ?base_sta
+          algorithm netlist
       in
       { accepted; requested = algorithm; rejections = []; degraded = false }
   | Resilient { max_reseeds } ->
-      protect_resilient ?seed ?library ?fraction ?hardening ?semantic
+      protect_resilient ?seed ?library ?fraction ?hardening ?semantic ?base_sta
         ~max_reseeds algorithm netlist
 
 let lint_view ?(library = Sttc_tech.Library.cmos90) r =

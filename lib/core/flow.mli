@@ -102,12 +102,18 @@ val run :
   ?fraction:float ->
   ?hardening:hardening ->
   ?semantic:bool ->
+  ?base_sta:Sttc_analysis.Sta.t ->
   policy:policy ->
   algorithm ->
   Sttc_netlist.Netlist.t ->
   resilient
 (** Run the full selection-and-replacement stage and the evaluation
     around it.  Deterministic for a fixed seed at either policy.
+
+    [base_sta] supplies a memoized timing analysis of the input netlist
+    (e.g. the serve session cache); it is used only when it was computed
+    on this exact netlist value, so it can never change results — only
+    skip the base [Sta.analyze].
 
     [semantic] (default [false]) additionally gates every attempt on the
     {!Sttc_lint.Semantic_rules} pack run against the foundry view with

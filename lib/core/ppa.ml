@@ -1,4 +1,5 @@
 module Sta = Sttc_analysis.Sta
+module Activity = Sttc_analysis.Activity
 module Power = Sttc_analysis.Power
 module Area = Sttc_analysis.Area
 module Netlist = Sttc_netlist.Netlist
@@ -16,23 +17,59 @@ type overhead = {
   hybrid_area_um2 : float;
 }
 
-let evaluate lib ~base ~hybrid =
-  let sta_b = Sta.analyze lib base and sta_h = Sta.analyze lib hybrid in
-  let pow_b = Power.estimate lib base and pow_h = Power.estimate lib hybrid in
-  let area_b = Area.estimate lib base and area_h = Area.estimate lib hybrid in
+type baseline = {
+  b_netlist : Netlist.t;
+  b_sta : Sta.t;
+  b_activity : Activity.t;
+  b_power : Power.report;
+  b_area : Area.report;
+}
+
+let baseline ?sta lib nl =
+  let b_sta =
+    match sta with
+    | Some s when Sta.netlist s == nl -> s
+    | Some _ | None -> Sta.analyze lib nl
+  in
+  let b_activity = Activity.analyze nl in
+  {
+    b_netlist = nl;
+    b_sta;
+    b_activity;
+    b_power = Power.estimate ~activity:b_activity lib nl;
+    b_area = Area.estimate lib nl;
+  }
+
+let evaluate ?baseline:b lib ~base ~hybrid =
+  let bl =
+    match b with
+    | Some bl when bl.b_netlist == base -> bl
+    | Some _ | None -> baseline lib base
+  in
+  let sta_h, act_h =
+    if Select.incremental_enabled () then
+      ( Sta.retime lib bl.b_sta hybrid ~changed:[],
+        Activity.refine bl.b_activity hybrid ~changed:[] )
+    else (Sta.analyze lib hybrid, Activity.analyze hybrid)
+  in
+  let pow_h = Power.estimate ~activity:act_h lib hybrid in
+  let area_h = Area.estimate lib hybrid in
   let rel = Sttc_util.Stats.relative_overhead in
   {
     performance_pct =
-      rel ~base:(Sta.critical_delay_ps sta_b)
+      rel
+        ~base:(Sta.critical_delay_ps bl.b_sta)
         ~modified:(Sta.critical_delay_ps sta_h);
-    power_pct = rel ~base:pow_b.Power.total_uw ~modified:pow_h.Power.total_uw;
-    area_pct = rel ~base:area_b.Area.total_um2 ~modified:area_h.Area.total_um2;
+    power_pct =
+      rel ~base:bl.b_power.Power.total_uw ~modified:pow_h.Power.total_uw;
+    area_pct =
+      rel ~base:bl.b_area.Area.total_um2 ~modified:area_h.Area.total_um2;
     n_stts = List.length (Netlist.luts hybrid);
-    base_delay_ps = Sta.critical_delay_ps sta_b;
+    base_delay_ps = Sta.critical_delay_ps bl.b_sta;
     hybrid_delay_ps = Sta.critical_delay_ps sta_h;
-    base_power_uw = pow_b.Power.total_uw;
+    base_power_uw = bl.b_power.Power.total_uw;
     hybrid_power_uw = pow_h.Power.total_uw;
-    base_area_um2 = area_b.Area.total_um2;
+    base_area_um2 = bl.b_area.Area.total_um2;
     hybrid_area_um2 = area_h.Area.total_um2;
   }
 

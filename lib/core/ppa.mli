@@ -15,13 +15,33 @@ type overhead = {
   hybrid_area_um2 : float;
 }
 
+type baseline
+(** Cached base-side analyses (STA, activity, power, area) so repeated
+    evaluations against the same original pay for them once. *)
+
+val baseline :
+  ?sta:Sttc_analysis.Sta.t ->
+  Sttc_tech.Library.t ->
+  Sttc_netlist.Netlist.t ->
+  baseline
+(** [?sta] reuses a precomputed timing analysis when it was computed on
+    this exact netlist value (physical equality). *)
+
 val evaluate :
+  ?baseline:baseline ->
   Sttc_tech.Library.t ->
   base:Sttc_netlist.Netlist.t ->
   hybrid:Sttc_netlist.Netlist.t ->
   overhead
 (** [hybrid] should be the programmed view so the power model sees real
     signal activities (the foundry view works too: unknown LUTs default to
-    activity 0.5, and STT LUT power is activity-independent anyway). *)
+    activity 0.5, and STT LUT power is activity-independent anyway).
+
+    A supplied [?baseline] is used when it was built on [base] itself
+    (physical equality; otherwise it is rebuilt).  The hybrid side is
+    analyzed incrementally ({!Sttc_analysis.Sta.retime} /
+    {!Sttc_analysis.Activity.refine}) when the hybrid is id-compatible
+    with the base — bit-identical to the full analyses, which remain the
+    fallback and the [STTC_FULL_STA=1] legacy path. *)
 
 val pp : Format.formatter -> overhead -> unit

@@ -44,7 +44,12 @@ let pick_fn rng arity =
     else if r < 92 then Sttc_logic.Gate_fn.Xor arity
     else Sttc_logic.Gate_fn.Xnor arity
 
-let generate ~seed spec =
+(* [hub_bias = Some pct] redirects [pct]% of non-level-pinning fanin draws
+   to a small fixed pool of level-0 "hub" signals (clock enables, resets —
+   the high-fanout nets of real netlists).  [None] performs no extra RNG
+   draws, so circuits generated before this parameter existed are
+   bit-identical. *)
+let generate_internal ?hub_bias ~seed spec =
   validate spec;
   let rng = Rng.make (seed lxor Hashtbl.hash spec.design_name) in
   let b = Netlist.Builder.create ~design_name:spec.design_name () in
@@ -83,7 +88,18 @@ let generate ~seed spec =
   let prior_signals = Sttc_util.Growable.create () in
   let consumed = Hashtbl.create 256 in
   Array.iter (fun id -> ignore (Sttc_util.Growable.push prior_signals id)) by_level.(0);
+  let hubs =
+    match hub_bias with
+    | None -> None
+    | Some pct ->
+        let l0 = by_level.(0) in
+        Some (pct, Array.sub l0 0 (min 64 (Array.length l0)))
+  in
   for l = 1 to levels do
+    (* snapshot once per level: [prior_signals] only grows between levels,
+       so this is identical to converting at each use, without the O(n)
+       copy inside the retry loops (which matters at 10^6 gates) *)
+    let prior_arr = Sttc_util.Growable.to_array prior_signals in
     let created = Sttc_util.Growable.create () in
     for _ = 1 to per_level.(l) do
       let arity = pick_arity rng in
@@ -92,21 +108,25 @@ let generate ~seed spec =
          any earlier level when l-1 is empty *)
       let prev =
         if Array.length by_level.(l - 1) > 0 then by_level.(l - 1)
-        else Sttc_util.Growable.to_array prior_signals
+        else prior_arr
       in
       let first = Rng.pick rng prev in
       let rest =
         List.init (arity - 1) (fun _ ->
-            (* bias towards recent levels for locality, fall back uniform *)
-            let source_level =
-              if Rng.int rng 100 < 60 then l - 1 else Rng.int rng l
-            in
-            let pool =
-              if Array.length by_level.(source_level) > 0 then
-                by_level.(source_level)
-              else Sttc_util.Growable.to_array prior_signals
-            in
-            Rng.pick rng pool)
+            match hubs with
+            | Some (pct, pool) when Rng.int rng 100 < pct -> Rng.pick rng pool
+            | _ ->
+                (* bias towards recent levels for locality, fall back
+                   uniform *)
+                let source_level =
+                  if Rng.int rng 100 < 60 then l - 1 else Rng.int rng l
+                in
+                let pool =
+                  if Array.length by_level.(source_level) > 0 then
+                    by_level.(source_level)
+                  else prior_arr
+                in
+                Rng.pick rng pool)
       in
       (* gates must have distinct fanins to be meaningful; retry duplicates
          cheaply by drawing from the global pool *)
@@ -117,7 +137,7 @@ let generate ~seed spec =
             let cand = ref cand in
             let attempts = ref 0 in
             while Hashtbl.mem seen !cand && !attempts < 10 do
-              cand := Rng.pick rng (Sttc_util.Growable.to_array prior_signals);
+              cand := Rng.pick rng prior_arr;
               incr attempts
             done;
             Hashtbl.replace seen !cand ();
@@ -216,6 +236,74 @@ let generate ~seed spec =
     Netlist.Builder.add_output b (Printf.sprintf "po%d" i) (next_sink ())
   done;
   Netlist.Builder.finalize b
+
+let generate ~seed spec = generate_internal ~seed spec
+
+(* ---------- parameterized scale families ---------- *)
+
+type profile = Slike | Wide | Deep | Fanout_heavy
+
+let profile_name = function
+  | Slike -> "slike"
+  | Wide -> "wide"
+  | Deep -> "deep"
+  | Fanout_heavy -> "fanout"
+
+let profile_of_string = function
+  | "slike" | "s-like" -> Ok Slike
+  | "wide" -> Ok Wide
+  | "deep" -> Ok Deep
+  | "fanout" | "fanout-heavy" -> Ok Fanout_heavy
+  | s -> Error (Printf.sprintf "unknown profile %S (slike|wide|deep|fanout)" s)
+
+let all_profiles = [ Slike; Wide; Deep; Fanout_heavy ]
+
+let ilog2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 (max 1 n)
+
+let family_spec ?(profile = Slike) ~gates () =
+  if gates < 8 then invalid_arg "Generator.family_spec: gates >= 8 required";
+  let b = ilog2 gates in
+  let design_name = Printf.sprintf "%s%d" (profile_name profile) gates in
+  match profile with
+  | Slike | Fanout_heavy ->
+      (* ISCAS'89-like interface/state ratios, depth growing with log size
+         (s1238: 14 PI / 14 PO / 18 FF / 529 gates, depth ~20) *)
+      {
+        design_name;
+        n_pi = max 8 (gates / 40);
+        n_po = max 8 (gates / 40);
+        n_ff = max 4 (gates / 30);
+        n_gates = gates;
+        levels = max 8 (2 * b);
+      }
+  | Wide ->
+      (* shallow and wide: datapath-like, huge levels, few state bits *)
+      {
+        design_name;
+        n_pi = max 16 (gates / 12);
+        n_po = max 16 (gates / 25);
+        n_ff = max 4 (gates / 50);
+        n_gates = gates;
+        levels = max 4 (b / 2);
+      }
+  | Deep ->
+      (* long combinational chains: levels grow near-linearly in log size
+         with a floor that keeps at least ~6 gates per level *)
+      {
+        design_name;
+        n_pi = max 8 (gates / 200);
+        n_po = max 8 (gates / 200);
+        n_ff = max 2 (gates / 400);
+        n_gates = gates;
+        levels = max 24 (min (gates / 6) (25 * b));
+      }
+
+let generate_family ~seed ?(profile = Slike) ~gates () =
+  let spec = family_spec ~profile ~gates () in
+  let hub_bias = match profile with Fanout_heavy -> Some 30 | _ -> None in
+  generate_internal ?hub_bias ~seed spec
 
 let random_combinational ~seed ~n_pi ~n_gates ~n_po =
   generate ~seed

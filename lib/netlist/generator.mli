@@ -34,3 +34,34 @@ val random_combinational :
   seed:int -> n_pi:int -> n_gates:int -> n_po:int -> Netlist.t
 (** Purely combinational variant (no flip-flops), used heavily by unit and
     property tests. *)
+
+(** {1 Parameterized scale families}
+
+    Structural profiles scaling from 10^3 to 10^6 gates, used by the
+    [bench -- scale] sweep and the CI scale smoke gate. *)
+
+type profile =
+  | Slike  (** ISCAS'89-like interface/state ratios, depth ~ 2 log2 n *)
+  | Wide  (** shallow datapath: few levels, huge level width *)
+  | Deep  (** long combinational chains: hundreds of levels *)
+  | Fanout_heavy
+      (** [Slike] structure plus hub nets: ~30% of non-pinning fanins draw
+          from a small pool of level-0 signals, producing the high-fanout
+          nets (resets, enables) that stress incremental cone sizes *)
+
+val profile_name : profile -> string
+(** "slike" / "wide" / "deep" / "fanout". *)
+
+val profile_of_string : string -> (profile, string) result
+(** Inverse of {!profile_name}; also accepts "s-like" and "fanout-heavy". *)
+
+val all_profiles : profile list
+
+val family_spec : ?profile:profile -> gates:int -> unit -> spec
+(** The concrete spec of a family member (default profile [Slike]).
+    Raises [Invalid_argument] below 8 gates. *)
+
+val generate_family : seed:int -> ?profile:profile -> gates:int -> unit -> Netlist.t
+(** [generate] on {!family_spec} (plus the hub-bias wiring for
+    [Fanout_heavy]).  Deterministic in [seed], [profile] and [gates];
+    validated (builder invariants + acyclicity) up to 10^6 gates. *)

@@ -333,3 +333,23 @@ let with_kinds t f =
      invalid_arg
        ("Netlist.with_kinds: combinational cycle through " ^ nodes.(id).name));
   t'
+
+let kind_delta a b =
+  if Array.length a.nodes <> Array.length b.nodes then None
+  else if a.outs != b.outs && a.outs <> b.outs then None
+  else begin
+    let changed = ref [] in
+    try
+      for id = Array.length a.nodes - 1 downto 0 do
+        let na = a.nodes.(id) and nb = b.nodes.(id) in
+        if na.fanins != nb.fanins && na.fanins <> nb.fanins then raise Exit;
+        if na.name != nb.name && not (String.equal na.name nb.name) then
+          raise Exit;
+        if na.kind <> nb.kind then
+          match (na.kind, nb.kind) with
+          | (Gate _ | Lut _), (Gate _ | Lut _) -> changed := id :: !changed
+          | _ -> raise Exit
+      done;
+      Some !changed
+    with Exit -> None
+  end

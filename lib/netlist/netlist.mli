@@ -114,6 +114,18 @@ end
 val rename : t -> string -> t
 (** Copy with a new design name. *)
 
+val kind_delta : t -> t -> node_id list option
+(** [kind_delta a b] is [Some ids] when [b] is {e id-compatible} with [a] —
+    same node count and output list, and every node keeps its name and
+    fanin array — with
+    [ids] (ascending) the nodes whose kinds differ (necessarily
+    combinational-to-combinational rewrites, i.e. gate/LUT kind or config
+    changes).  [None] when the two netlists differ structurally, or when a
+    kind change crosses the combinational/sequential/source boundary.
+    This is the compatibility test behind the incremental re-analysis
+    paths ({!Sttc_analysis.Sta.retime} and friends): [Some] guarantees the
+    fanout and topological-order caches of [a] remain valid for [b]. *)
+
 val with_kinds :
   t -> (node_id -> kind -> node_id array -> kind * node_id array) -> t
 (** [with_kinds t f] copies [t], rewriting each node's kind and fanins with

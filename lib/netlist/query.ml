@@ -262,30 +262,71 @@ let cone_summary t =
   { support; support_hash; obs_points }
 
 let connected_lut_pairs t ids =
-  (* One BFS per source (instead of one per pair): collect every member of
-     [ids] combinationally reachable from each source. *)
-  let module Int_set = Set.Make (Int) in
-  let targets = Int_set.of_list ids in
-  let acc = ref [] in
-  List.iter
-    (fun a ->
-      let seen = Hashtbl.create 64 in
-      let queue = Queue.create () in
-      Queue.push a queue;
-      Hashtbl.add seen a ();
-      while not (Queue.is_empty queue) do
-        let id = Queue.pop queue in
-        List.iter
-          (fun out ->
-            if not (Hashtbl.mem seen out) then
-              match Netlist.kind t out with
-              | Netlist.Dff -> ()
-              | _ ->
-                  Hashtbl.add seen out ();
-                  if Int_set.mem out targets && out <> a then
-                    acc := (a, out) :: !acc;
-                  Queue.push out queue)
-          (Netlist.fanouts t id)
-      done)
-    ids;
-  List.rev !acc
+  (* Chunked-bitset reachability: for each block of 63 members one
+     reverse-topological sweep propagates "which block members are
+     combinationally reachable from me" as a native-int mask — total
+     O(edges x |ids|/63) instead of one whole-design BFS per source,
+     which is what keeps Security.evaluate affordable on 10^4-LUT
+     hybrids over 10^6-node netlists.  Pairs come out source-major,
+     both components in [ids] order. *)
+  match ids with
+  | [] -> []
+  | _ ->
+      let n = Netlist.node_count t in
+      let targets = Array.of_list ids in
+      let l = Array.length targets in
+      let order = Netlist.topo_order t in
+      let chunk_of = Array.make n (-1) in
+      let bit_of = Array.make n 0 in
+      Array.iteri
+        (fun i id ->
+          if id < 0 || id >= n then
+            invalid_arg "Query.connected_lut_pairs: bad id";
+          chunk_of.(id) <- i / 63;
+          bit_of.(id) <- 1 lsl (i mod 63))
+        targets;
+      let nchunks = (l + 62) / 63 in
+      let reach = Array.make (l * nchunks) 0 in
+      let down = Array.make n 0 in
+      for c = 0 to nchunks - 1 do
+        Array.fill down 0 n 0;
+        for i = Array.length order - 1 downto 0 do
+          let id = order.(i) in
+          match Netlist.kind t id with
+          | Netlist.Dff -> () (* reachability never crosses a flip-flop *)
+          | _ ->
+              let acc = ref (if chunk_of.(id) = c then bit_of.(id) else 0) in
+              List.iter
+                (fun m ->
+                  match Netlist.kind t m with
+                  | Netlist.Dff -> ()
+                  | _ -> acc := !acc lor down.(m))
+                (Netlist.fanouts t id);
+              down.(id) <- !acc
+        done;
+        Array.iteri
+          (fun i a ->
+            let w = down.(a) in
+            (* the own bit marks a zero-length path, not a pair *)
+            let w = if chunk_of.(a) = c then w land lnot bit_of.(a) else w in
+            reach.((i * nchunks) + c) <- w)
+          targets
+      done;
+      let bit_index b =
+        let rec go b i = if b land 1 = 1 then i else go (b lsr 1) (i + 1) in
+        go b 0
+      in
+      let acc = ref [] in
+      for i = l - 1 downto 0 do
+        for c = nchunks - 1 downto 0 do
+          let w = ref reach.((i * nchunks) + c) in
+          let pending = ref [] in
+          while !w <> 0 do
+            let b = !w land - !w in
+            pending := (targets.(i), targets.((c * 63) + bit_index b)) :: !pending;
+            w := !w lxor b
+          done;
+          acc := List.rev_append !pending !acc
+        done
+      done;
+      !acc

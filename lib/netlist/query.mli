@@ -65,4 +65,6 @@ val connected_lut_pairs :
   Netlist.t -> Netlist.node_id list -> (Netlist.node_id * Netlist.node_id) list
 (** Pairs [(a, b)] from the given set where [b] is combinationally
     reachable from [a] — the dependency structure the dependent-selection
-    security argument relies on. *)
+    security argument relies on.  Computed by chunked-bitset sweeps in
+    O(edges x |ids|/word_size); pairs are emitted source-major, both
+    components in [ids] order. *)

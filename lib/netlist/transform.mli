@@ -52,6 +52,48 @@ val absorbable_driver :
 (** A fanin of the gate that {!absorb_driver} would accept, if any
     (smallest resulting arity first). *)
 
+(** A speculative gate→LUT replacement view over a base netlist.
+
+    Staging marks gates as replaced without copying the netlist; {!kind}
+    presents the post-replacement kind (a config-free LUT slot — cell
+    delay depends only on arity, so timing through this view matches the
+    committed netlist exactly).  The selection loops stage a candidate
+    set, evaluate it through {!Sttc_analysis.Sta.trial_delay_ps}, then
+    either {!clear} (candidate rejected) or {!commit} (materialize the
+    winning set once via {!replace_many}). *)
+module Overlay : sig
+  type t
+
+  val create : Netlist.t -> t
+  val base : t -> Netlist.t
+
+  val stage : t -> Netlist.node_id -> unit
+  (** Mark a gate as speculatively replaced (idempotent).  Raises
+      [Invalid_argument] if the node is not a [Gate]. *)
+
+  val stage_all : t -> Netlist.node_id list -> unit
+
+  val unstage : t -> Netlist.node_id -> unit
+  (** Remove one gate from the staged set (no-op when unstaged) —
+      O(staged); the persistent selection sessions retract one candidate
+      at a time with it. *)
+
+  val clear : t -> unit
+  (** Unstage everything — O(staged), ready for the next candidate. *)
+
+  val staged : t -> Netlist.node_id list
+  val is_staged : t -> Netlist.node_id -> bool
+
+  val kind : t -> Netlist.node_id -> Netlist.kind
+  (** The node's kind under the overlay: a config-free LUT for staged
+      gates, the base kind otherwise. *)
+
+  val commit : ?keep_function:bool -> t -> Netlist.t
+  (** Materialize the staged set ({!replace_many} semantics; the staged
+      view's [config = None] is the [keep_function:false] case — the
+      default [keep_function:true] installs the gates' truth tables). *)
+end
+
 val sweep : Netlist.t -> Netlist.t * int array
 (** Remove nodes that reach no primary output and no flip-flop (dead
     logic, e.g. placeholders left by {!absorb_driver}).  Returns the new

@@ -41,11 +41,12 @@ let do_protect session (p : Request.protect) =
   match Session.netlist session p.source with
   | Error _ as e -> e
   | Ok nl -> (
+      let base_sta = Session.sta session p.source nl in
       match
         Flow.run ~seed:p.seed
           ?fraction:p.config.Sttc_campaign.Manifest.fraction
           ~hardening:(hardening_of_config p.config)
-          ~policy:Flow.Strict p.algorithm nl
+          ~base_sta ~policy:Flow.Strict p.algorithm nl
       with
       | exception Invalid_argument m -> Error m
       | resilient ->

@@ -1,7 +1,12 @@
 module Metrics = Sttc_obs.Metrics
 module Netlist = Sttc_netlist.Netlist
+module Sta = Sttc_analysis.Sta
 
-type entry = { netlist : Netlist.t; mutable stamp : int }
+type entry = {
+  netlist : Netlist.t;
+  mutable stamp : int;
+  mutable sta : Sta.t option;
+}
 
 type t = {
   capacity : int;
@@ -89,6 +94,36 @@ let netlist t source =
                 | None ->
                     t.tick <- t.tick + 1;
                     Hashtbl.replace t.table k
-                      { netlist = nl; stamp = t.tick };
+                      { netlist = nl; stamp = t.tick; sta = None };
                     evict_over_capacity t);
                 Ok nl))
+
+let sta t source nl =
+  let compute () = Sta.analyze Sttc_tech.Library.cmos90 nl in
+  if t.capacity <= 0 then begin
+    Metrics.incr "serve.sta_cache_misses";
+    compute ()
+  end
+  else
+    let k = key source in
+    let cached =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table k with
+          | Some e when e.netlist == nl -> e.sta
+          | Some _ | None -> None)
+    in
+    match cached with
+    | Some s ->
+        Metrics.incr "serve.sta_cache_hits";
+        s
+    | None ->
+        Metrics.incr "serve.sta_cache_misses";
+        (* analyze outside the lock; concurrent misses both compute the
+           same deterministic result and one insert wins harmlessly *)
+        let s = compute () in
+        locked t (fun () ->
+            (match Hashtbl.find_opt t.table k with
+            | Some e when e.netlist == nl -> (
+                match e.sta with None -> e.sta <- Some s | Some _ -> ())
+            | Some _ | None -> ());
+            s)

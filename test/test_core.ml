@@ -209,6 +209,40 @@ let test_parametric_respects_timing () =
     true
     (degradation <= 1.10 +. 1e-9)
 
+let test_timing_ok_early_out () =
+  (* a staged gate outside every endpoint cone cannot move any arrival:
+     timing_ok must answer from the session's current state without
+     propagating (counter select.timing_early_out), and still agree
+     with the legacy full-STA mode *)
+  let module B = Netlist.Builder in
+  let b = B.create ~design_name:"dangling" () in
+  let a = B.add_pi b "a" in
+  let c = B.add_pi b "c" in
+  let g1 = B.add_gate b "g1" (Gate_fn.And 2) [ a; c ] in
+  let g2 = B.add_gate b "g2" (Gate_fn.Or 2) [ a; c ] in
+  B.add_output b "o" g1;
+  let nl = B.finalize b in
+  let clock_ps = 1000. in
+  let module Metrics = Sttc_obs.Metrics in
+  Sttc_obs.Obs.enable ();
+  Metrics.reset ();
+  let ctx = Select.prepare ~rng:(Rng.make 1) ~incremental:true lib nl in
+  Alcotest.(check bool)
+    "g2 is outside every endpoint cone" false
+    ctx.Select.feeds_endpoint.(g2);
+  let ok_inc = Select.timing_ok ctx ~clock_ps [ g2 ] in
+  let early =
+    Metrics.counter_value (Metrics.snapshot ()) "select.timing_early_out"
+  in
+  Sttc_obs.Obs.disable ();
+  Alcotest.(check int) "early-out taken" 1 early;
+  let ctx_full = Select.prepare ~rng:(Rng.make 1) ~incremental:false lib nl in
+  let ok_full = Select.timing_ok ctx_full ~clock_ps [ g2 ] in
+  Alcotest.(check bool) "same verdict as full STA" ok_full ok_inc;
+  (* a second query with the same set is also a pure cache hit *)
+  Alcotest.(check bool) "repeat query stable" ok_inc
+    (Select.timing_ok ctx ~clock_ps [ g2 ])
+
 let test_parametric_eligibility () =
   (* parametric only selects fan-in >= 2 gates on the timing paths; the
      USL closure may add others, but every replaced node is a former CMOS
@@ -675,6 +709,8 @@ let () =
             test_parametric_respects_timing;
           Alcotest.test_case "parametric eligibility" `Quick
             test_parametric_eligibility;
+          Alcotest.test_case "timing_ok early-out" `Quick
+            test_timing_ok_early_out;
         ] );
       ( "security",
         [

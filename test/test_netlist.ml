@@ -661,6 +661,51 @@ let test_profiles_match_paper_sizes () =
         (List.length (Netlist.gates nl)))
     expect
 
+(* ---------- scale families ---------- *)
+
+let test_family_profiles_generate () =
+  (* every profile must yield a valid netlist of exactly the requested
+     gate count, deterministically; the bench sweep extends this check
+     to 10^6 gates *)
+  List.iter
+    (fun profile ->
+      let name = Generator.profile_name profile in
+      List.iter
+        (fun gates ->
+          let nl = Generator.generate_family ~seed:7 ~profile ~gates () in
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%d gate count" name gates)
+            gates
+            (List.length (Netlist.gates nl));
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%d has flip-flops" name gates)
+            true
+            (Netlist.dffs nl <> []);
+          let again = Generator.generate_family ~seed:7 ~profile ~gates () in
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%d deterministic" name gates)
+            (Bench_io.to_string nl) (Bench_io.to_string again))
+        [ 1_000; 5_000 ])
+    Generator.all_profiles
+
+let test_family_profile_names () =
+  List.iter
+    (fun p ->
+      match Generator.profile_of_string (Generator.profile_name p) with
+      | Ok p' ->
+          Alcotest.(check string)
+            "name roundtrip"
+            (Generator.profile_name p)
+            (Generator.profile_name p')
+      | Error m -> Alcotest.fail m)
+    Generator.all_profiles;
+  (match Generator.profile_of_string "s-like" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  match Generator.profile_of_string "nope" with
+  | Ok _ -> Alcotest.fail "accepted bogus profile"
+  | Error _ -> ()
+
 let test_profiles_unknown () =
   Alcotest.(check bool) "find none" true (Profiles.find "s99999" = None);
   Alcotest.check_raises "find_exn"
@@ -780,6 +825,12 @@ let () =
         [
           Alcotest.test_case "paper sizes" `Quick test_profiles_match_paper_sizes;
           Alcotest.test_case "unknown" `Quick test_profiles_unknown;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "profiles generate" `Quick
+            test_family_profiles_generate;
+          Alcotest.test_case "profile names" `Quick test_family_profile_names;
         ] );
       ("properties", netlist_props);
     ]

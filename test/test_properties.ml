@@ -298,6 +298,136 @@ let prop_sim_matches_bdd =
              Sttc_logic.Bdd.eval bdds.(driver) assign = bit outs.(i))
            (Netlist.outputs nl)))
 
+(* ---------- incremental timing & activity differentials ----------
+
+   The incremental engine's contract is exactness, not approximation:
+   every quantity it produces must be bit-identical to a from-scratch
+   analysis of the modified netlist.  These properties drive random
+   netlists through random replacement sets and compare with [=]. *)
+
+module Sta = Sttc_analysis.Sta
+module Activity = Sttc_analysis.Activity
+module Algorithms = Sttc_core.Algorithms
+
+let cmos = Sttc_tech.Library.cmos90
+
+let random_gate_subset seed nl k =
+  let gates = Array.of_list (Netlist.gates nl) in
+  let k = min k (Array.length gates) in
+  if k = 0 then [] else Array.to_list (Rng.sample (Rng.make seed) k gates)
+
+let arrivals_equal nl a b =
+  let n = Netlist.node_count nl in
+  let rec go i =
+    i >= n || (Sta.arrival_ps a i = Sta.arrival_ps b i && go (i + 1))
+  in
+  go 0
+
+let prop_retime_matches_analyze =
+  QCheck2.Test.make ~name:"retime is bit-identical to from-scratch analyze"
+    ~count:15
+    QCheck2.Gen.(pair gen_seed (int_range 1 8))
+    (fun (seed, k) ->
+      let nl = gen_netlist seed in
+      let base = Sta.analyze cmos nl in
+      let picks = random_gate_subset (seed + 17) nl k in
+      let nl' = Transform.replace_many ~keep_function:false nl picks in
+      let inc = Sta.retime cmos base nl' ~changed:[] in
+      let full = Sta.analyze cmos nl' in
+      arrivals_equal nl' inc full
+      && Sta.critical_delay_ps inc = Sta.critical_delay_ps full
+      && Sta.critical_path inc = Sta.critical_path full)
+
+let prop_trial_session_matches_scratch =
+  (* a persistent trial session advanced through a drifting sequence of
+     candidate sets must agree with a fresh replace+analyze at every
+     step — the exact access pattern of the selection loops *)
+  QCheck2.Test.make ~name:"trial sessions track from-scratch STA exactly"
+    ~count:10 gen_seed
+    (fun seed ->
+      let nl = gen_netlist seed in
+      let base = Sta.analyze cmos nl in
+      let tr = Sta.trial cmos base in
+      let ov = Transform.Overlay.create nl in
+      let current = ref [] in
+      List.for_all
+        (fun (i, k) ->
+          let target = random_gate_subset (seed + (31 * i) + 7) nl k in
+          let removed =
+            List.filter (fun g -> not (List.mem g target)) !current
+          in
+          let added =
+            List.filter (fun g -> not (List.mem g !current)) target
+          in
+          List.iter (Transform.Overlay.unstage ov) removed;
+          Transform.Overlay.stage_all ov added;
+          (match List.rev_append removed added with
+          | [] -> ()
+          | seeds ->
+              ignore
+                (Sta.trial_advance tr
+                   ~kind_of:(Transform.Overlay.kind ov)
+                   seeds));
+          current := target;
+          let full =
+            Sta.analyze cmos
+              (Transform.replace_many ~keep_function:false nl target)
+          in
+          let d, p = Sta.trial_current_critical tr in
+          d = Sta.critical_delay_ps full
+          && p = Sta.critical_path full
+          && Sta.trial_current_delay_ps tr = Sta.critical_delay_ps full)
+        [ (0, 3); (1, 5); (2, 1); (3, 4); (4, 0); (5, 2) ])
+
+let prop_activity_refine_matches_full =
+  QCheck2.Test.make ~name:"Activity.refine is bit-identical to the full fixpoint"
+    ~count:12
+    QCheck2.Gen.(triple gen_seed (int_range 1 6) bool)
+    (fun (seed, k, keep_function) ->
+      let nl = gen_netlist seed in
+      let base = Activity.analyze nl in
+      let picks = random_gate_subset (seed + 5) nl k in
+      let nl' = Transform.replace_many ~keep_function nl picks in
+      let inc = Activity.refine base nl' ~changed:[] in
+      let full = Activity.analyze nl' in
+      let n = Netlist.node_count nl' in
+      let rec go i =
+        i >= n
+        || (Activity.probability inc i = Activity.probability full i
+           && Activity.switching inc i = Activity.switching full i
+           && go (i + 1))
+      in
+      go 0)
+
+let prop_parametric_incremental_matches_full =
+  (* the whole parametric flow — including its repair loop, which
+     retracts gates from an accepted set — must emit byte-identical
+     hybrids whether candidate timing runs on the incremental session
+     or on the legacy full re-analysis (STTC_FULL_STA=1) *)
+  QCheck2.Test.make
+    ~name:"parametric flow is byte-identical with and without incremental STA"
+    ~count:6 gen_seed
+    (fun seed ->
+      let nl = gen_netlist seed in
+      let alg =
+        Flow.Parametric
+          { Algorithms.default_parametric with Algorithms.clock_factor = 1.05 }
+      in
+      let fingerprint () =
+        match protect ~seed alg nl with
+        | r ->
+            Ok
+              ( Sttc_netlist.Bench_io.to_string
+                  (Hybrid.foundry_view r.Flow.hybrid),
+                Hybrid.bitstream r.Flow.hybrid )
+        | exception e -> Error (Printexc.to_string e)
+      in
+      Unix.putenv "STTC_FULL_STA" "1";
+      let full = fingerprint () in
+      Unix.putenv "STTC_FULL_STA" "";
+      let inc = fingerprint () in
+      full = inc)
+
 let prop_lognum_prod_is_log_sum =
   QCheck2.Test.make ~name:"Lognum.prod equals the sum of logs" ~count:200
     QCheck2.Gen.(list_size (int_range 1 20) (float_range 0.5 1e6))
@@ -334,6 +464,14 @@ let () =
             prop_segments_partition_path;
             prop_sta_arrival_monotone;
             prop_power_hybrid_exceeds_base;
+          ] );
+      ( "incremental",
+        List.map to_case
+          [
+            prop_retime_matches_analyze;
+            prop_trial_session_matches_scratch;
+            prop_activity_refine_matches_full;
+            prop_parametric_incremental_matches_full;
           ] );
       ( "semantics",
         List.map to_case [ prop_sim_matches_bdd; prop_lognum_prod_is_log_sum ] );

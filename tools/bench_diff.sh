@@ -1,0 +1,70 @@
+#!/bin/sh
+# Guard the scale-bench numbers: re-run a subset of the scale sweep and
+# compare per-size protect wall-clock against the committed
+# BENCH_scale.json, flagging regressions beyond the tolerance.
+#
+#   tools/bench_diff.sh                # quick subset: 1e3 and 1e4 gates
+#   tools/bench_diff.sh 1000,10000,50000
+#
+# The tolerance is a ratio (default 1.20 = +20%); override with
+# BENCH_DIFF_TOLERANCE.  Exit 1 when any size regresses.  Absolute
+# wall-clock is machine-dependent, so this is a same-machine check:
+# run it before and after a change, not across hardware.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SIZES="${1:-1000,10000}"
+TOL="${BENCH_DIFF_TOLERANCE:-1.20}"
+
+if ! [ -f BENCH_scale.json ]; then
+  echo "bench_diff: no committed BENCH_scale.json to compare against" >&2
+  exit 1
+fi
+
+dune build bench/main.exe
+BENCH_BIN="$PWD/_build/default/bench/main.exe"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cp BENCH_scale.json "$workdir/committed.json"
+
+echo "== fresh scale sweep (sizes: $SIZES)"
+(cd "$workdir" && STTC_SCALE_SIZES="$SIZES" "$BENCH_BIN" scale)
+
+# BENCH_scale.json is emitted one field per line, so a line-oriented
+# scrape is reliable: pair each "gates" with the row's "protect_s".
+rows() {
+  awk -F'[:,]' '
+    /"gates"/     { gsub(/ /, "", $2); gates = $2 }
+    /"protect_s"/ { gsub(/ /, "", $2); print gates, $2 }
+  ' "$1"
+}
+
+rows "$workdir/committed.json" > "$workdir/committed.rows"
+rows "$workdir/BENCH_scale.json" > "$workdir/fresh.rows"
+
+status=0
+while read -r gates fresh; do
+  committed=$(awk -v g="$gates" '$1 == g { print $2 }' "$workdir/committed.rows")
+  if [ -z "$committed" ]; then
+    echo "bench_diff: $gates gates: not in committed BENCH_scale.json, skipping"
+    continue
+  fi
+  verdict=$(awk -v f="$fresh" -v c="$committed" -v tol="$TOL" 'BEGIN {
+    ratio = (c > 0) ? f / c : 0
+    printf "%.2f %s", ratio, (ratio > tol) ? "REGRESSION" : "ok"
+  }')
+  ratio=${verdict% *}
+  word=${verdict#* }
+  printf '  %8s gates  protect %8.2fs committed vs %8.2fs fresh  (x%s %s)\n' \
+    "$gates" "$committed" "$fresh" "$ratio" "$word"
+  if [ "$word" = "REGRESSION" ]; then
+    status=1
+  fi
+done < "$workdir/fresh.rows"
+
+if [ "$status" -ne 0 ]; then
+  echo "bench_diff: protect wall-clock regressed beyond x$TOL on at least one size" >&2
+fi
+exit $status

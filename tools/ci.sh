@@ -212,6 +212,53 @@ fi
 sttc obs-check --metrics "$SERVE_METRICS" \
   --require serve.requests,serve.cache_hits,serve.overloaded,serve.queue_depth
 
+echo "== scale gate (5e4-gate family: incremental protect under ceiling, byte-identical to full STA)"
+# A 50k-gate s-like family circuit must protect inside a hard wall-clock
+# ceiling on the incremental timing path, and the hybrid it emits
+# (foundry view + bitstream) must be byte-identical to the legacy
+# full-re-analysis flow forced via STTC_FULL_STA=1.  The metrics
+# snapshot must show the incremental engine actually ran (cone retimes).
+sttc gen -b custom --profile slike --gates 50000 --seed 7 \
+  -o "$tmpdir/scale.bench" > /dev/null
+SCALE_METRICS="$tmpdir/scale.metrics.json"
+if ! timeout 120 "$STTC_BIN" protect -i "$tmpdir/scale.bench" -a parametric \
+     --seed 1 -o "$tmpdir/scale.inc.bench" \
+     --bitstream "$tmpdir/scale.inc.bits" \
+     --metrics "$SCALE_METRICS" > /dev/null; then
+  echo "SCALE GATE FAILED: incremental protect missed the 120 s ceiling on 5e4 gates" >&2
+  exit 1
+fi
+if ! STTC_FULL_STA=1 timeout 600 "$STTC_BIN" protect \
+     -i "$tmpdir/scale.bench" -a parametric --seed 1 \
+     -o "$tmpdir/scale.full.bench" \
+     --bitstream "$tmpdir/scale.full.bits" > /dev/null; then
+  echo "SCALE GATE FAILED: STTC_FULL_STA=1 reference protect failed" >&2
+  exit 1
+fi
+if ! cmp -s "$tmpdir/scale.inc.bench" "$tmpdir/scale.full.bench"; then
+  echo "SCALE GATE FAILED: incremental foundry view differs from the full-STA flow" >&2
+  exit 1
+fi
+if ! cmp -s "$tmpdir/scale.inc.bits" "$tmpdir/scale.full.bits"; then
+  echo "SCALE GATE FAILED: incremental bitstream differs from the full-STA flow" >&2
+  exit 1
+fi
+sttc obs-check --metrics "$SCALE_METRICS" \
+  --require sta.retime.cone,sta.retime.cone_nodes
+
+echo "== serve sta-cache gate (repeated protect of one netlist must hit the base-STA memo)"
+# Two protect requests for the same circuit under different seeds: the
+# response cache cannot absorb them (different keys), so the second one
+# must find the base Sta.analyze memoized by content hash.
+cat > "$tmpdir/cache.requests" <<'EOF'
+{"id":"p1","verb":"protect","netlist":"s641","algorithm":"dependent","seed":1}
+{"id":"p2","verb":"protect","netlist":"s641","algorithm":"dependent","seed":2}
+EOF
+"$STTC_BIN" client --offline --request-file "$tmpdir/cache.requests" \
+  --metrics "$tmpdir/cache.metrics.json" > /dev/null
+sttc obs-check --metrics "$tmpdir/cache.metrics.json" \
+  --require serve.sta_cache_hits,serve.sta_cache_misses
+
 echo "== deprecation gate (Harness.run callers must migrate to Harness.attack)"
 # the deprecated alias lives for one PR; nothing outside lib/attack may
 # call it, except the alias-equivalence test that silences the warning

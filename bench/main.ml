@@ -18,8 +18,8 @@ module Runner = Sttc_experiments.Runner
 module Flow = Sttc_core.Flow
 module Profiles = Sttc_netlist.Iscas_profiles
 
-let protect_strict ~seed alg nl =
-  (Flow.run ~seed ~policy:Flow.Strict alg nl).Flow.accepted
+let protect_strict ?backend ~seed alg nl =
+  (Flow.run ~seed ?backend ~policy:Flow.Strict alg nl).Flow.accepted
 
 let section title =
   Printf.printf
@@ -509,6 +509,7 @@ let serve_bench ~jobs () =
            algorithm = Flow.Independent { count = 3 };
            config = Sttc_campaign.Manifest.default_config;
            seed = 1;
+           backend = "stt";
            sign_off = false;
            emit_foundry = false;
            emit_bitstream = false;
@@ -894,13 +895,124 @@ let scale_bench () =
        ]);
   Printf.printf "  wrote BENCH_scale.json\n"
 
+(* ---------- cross-technology backend record ---------- *)
+
+(* Protects each circuit under every registered protection backend with
+   the same seed, asserts the selections (the replaced gates) are
+   identical across technologies — pricing differs, the flow's choices
+   must not — then runs the combinational SAT attack under each
+   backend's attacker model (TVD keys constrained to the known candidate
+   family) and records overhead, keyspace and attack cost side by side
+   in BENCH_backend.json. *)
+let backend_bench () =
+  section "Protection backends - STT-MRAM LUTs vs TVD camouflaged cells";
+  let module J = Sttc_obs.Json in
+  let module Backend = Sttc_backend.Backend in
+  let module Hybrid = Sttc_core.Hybrid in
+  let module Netlist = Sttc_netlist.Netlist in
+  let module Sat_attack = Sttc_attack.Sat_attack in
+  let circuits = [ "s27"; "c17"; "s641"; "s1196" ] in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let nl = Runner.build_circuit name in
+        let per_backend =
+          List.map
+            (fun backend ->
+              let r, protect_s =
+                time (fun () ->
+                    protect_strict ~backend ~seed:1
+                      (Flow.Independent { count = 5 })
+                      nl)
+              in
+              (backend, r, protect_s))
+            Backend.all
+        in
+        (* selection is backend-independent: same netlist, same seed,
+           same replaced gates whatever the cell technology *)
+        let selections =
+          List.map (fun (_, r, _) -> Hybrid.lut_ids r.Flow.hybrid) per_backend
+        in
+        (match selections with
+        | first :: rest when List.for_all (( = ) first) rest -> ()
+        | _ ->
+            Printf.printf "backend selections DIFFER on %s\n" name;
+            exit 1);
+        List.map
+          (fun (backend, (r : Flow.result), protect_s) ->
+            let hybrid = r.Flow.hybrid in
+            let foundry = Hybrid.foundry_view hybrid in
+            let arities =
+              List.map
+                (fun id ->
+                  match Netlist.kind foundry id with
+                  | Netlist.Lut { arity; _ } -> arity
+                  | _ -> assert false)
+                (Hybrid.lut_ids hybrid)
+            in
+            let keyspace = Backend.search_space backend ~arities in
+            let candidates =
+              Backend.sat_candidates backend foundry (Hybrid.lut_ids hybrid)
+            in
+            let outcome, attack_s =
+              time (fun () -> Sat_attack.run ~timeout_s:60. ~candidates hybrid)
+            in
+            let verdict, iterations, queries =
+              match outcome with
+              | Sat_attack.Broken b -> ("broken", b.iterations, b.queries)
+              | Sat_attack.Exhausted e ->
+                  ("exhausted:" ^ e.reason, e.iterations, 0)
+            in
+            let o = r.Flow.overhead in
+            Printf.printf
+              "  %-6s %-4s protect %6.2fs  perf %+6.2f%%  power %+6.2f%%  \
+               area %+6.2f%%  keys 10^%.1f  sat %-8s %6.2fs (%d it)\n%!"
+              name (Backend.name backend) protect_s
+              o.Sttc_core.Ppa.performance_pct o.Sttc_core.Ppa.power_pct
+              o.Sttc_core.Ppa.area_pct
+              (Sttc_util.Lognum.log10 keyspace)
+              verdict attack_s iterations;
+            J.Obj
+              [
+                ("circuit", J.String name);
+                ("backend", J.String (Backend.name backend));
+                ("luts", J.Int (Hybrid.lut_count hybrid));
+                ("protect_s", J.Float protect_s);
+                ("performance_pct", J.Float o.Sttc_core.Ppa.performance_pct);
+                ("power_pct", J.Float o.Sttc_core.Ppa.power_pct);
+                ("area_pct", J.Float o.Sttc_core.Ppa.area_pct);
+                ("keyspace_log10", J.Float (Sttc_util.Lognum.log10 keyspace));
+                ("sat_verdict", J.String verdict);
+                ("sat_s", J.Float attack_s);
+                ("sat_iterations", J.Int iterations);
+                ("sat_queries", J.Int queries);
+              ])
+          per_backend)
+      circuits
+  in
+  Sttc_obs.Export.write_file "BENCH_backend.json"
+    (J.Obj
+       [
+         ("experiment", J.String "protection-backends");
+         ("algorithm", J.String "independent");
+         ("seed", J.Int 1);
+         ("sat_timeout_s", J.Float 60.);
+         ("rows", J.List rows);
+       ]);
+  Printf.printf "  wrote BENCH_backend.json\n"
+
 (* ---------- driver ---------- *)
 
 let sections =
   [
     "fig1"; "table1"; "table2"; "fig3"; "attacks"; "sidechannel"; "baseline";
     "ablation"; "faults"; "parallel"; "sat"; "lint"; "campaign"; "serve";
-    "micro"; "scale";
+    "micro"; "scale"; "backend";
   ]
 
 (* argument mistakes exit with the same sysexits EX_USAGE code 64 the
@@ -973,4 +1085,5 @@ let () =
   if want "serve" then serve_bench ~jobs ();
   if want "micro" then micro ();
   if want "scale" then scale_bench ();
+  if want "backend" then backend_bench ();
   Printf.printf "\nbench: done\n"

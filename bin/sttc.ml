@@ -32,6 +32,46 @@ let jobs_arg =
 
 let resolve_jobs j = if j <= 0 then Sttc_util.Pool.default_jobs () else j
 
+(* ---------- the --backend flag ----------
+
+   One doc string and one parser shared by every subcommand that takes
+   the flag, so `--help` text and the usage-error message can never
+   drift apart.  An unknown name is a cmdliner parse error and exits
+   with the usage code 64 through [Cmd.eval' ~term_err] like every
+   other argument mistake. *)
+
+let backend_doc =
+  Printf.sprintf
+    "Protection backend: %s.  $(b,stt) is the paper's STT-MRAM LUT \
+     technology (free 2^2^n function space per cell); $(b,tvd) models \
+     threshold-voltage-defined camouflaged cells, whose candidate \
+     functions are known and few."
+    (String.concat " or "
+       (List.map
+          (fun n -> Printf.sprintf "$(b,%s)" n)
+          (Sttc_backend.Backend.names ())))
+
+let backend_conv =
+  let parse s =
+    match Sttc_backend.Backend.find s with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown backend %s (expected one of %s)" s
+               (String.concat ", " (Sttc_backend.Backend.names ()))))
+  in
+  let print fmt b =
+    Format.pp_print_string fmt (Sttc_backend.Backend.name b)
+  in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Sttc_backend.Backend.stt
+    & info [ "backend" ] ~docv:"NAME" ~doc:backend_doc)
+
 (* ---------- observability flags ---------- *)
 
 let trace_arg =
@@ -49,9 +89,9 @@ let metrics_arg =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
 (* the CLI always wants the hard-failure semantics of the flow *)
-let protect_strict ~seed ?fraction ?hardening alg nl =
-  (Sttc_core.Flow.run ~seed ?fraction ?hardening ~policy:Sttc_core.Flow.Strict
-     alg nl)
+let protect_strict ~seed ?fraction ?hardening ?backend alg nl =
+  (Sttc_core.Flow.run ~seed ?fraction ?hardening ?backend
+     ~policy:Sttc_core.Flow.Strict alg nl)
     .Sttc_core.Flow.accepted
 
 (* protect/attack/lint are two-transport commands: they build the same
@@ -242,8 +282,8 @@ let protect_cmd =
              ~doc:"Apply the Section IV-A.3 hardening: two dummy inputs per \
                    LUT and complex-function driver absorption.")
   in
-  let run input alg seed output bitstream verilog sign_off harden trace
-      metrics =
+  let run input alg seed backend output bitstream verilog sign_off harden
+      trace metrics =
     Sttc_obs.Obs.with_run ?trace ?metrics @@ fun () ->
     exit_of_result
       (match read_source input with
@@ -257,6 +297,7 @@ let protect_cmd =
                 config =
                   { Sttc_campaign.Manifest.label = "cli"; fraction = None; harden };
                 seed;
+                backend = Sttc_backend.Backend.name backend;
                 sign_off;
                 emit_foundry = output <> None;
                 emit_bitstream = bitstream <> None;
@@ -302,8 +343,9 @@ let protect_cmd =
   Cmd.v
     (Cmd.info "protect" ~doc:"Run the security-driven hybrid STT-CMOS flow.")
     Term.(
-      const run $ netlist_arg $ algorithm_arg $ seed_arg $ output $ bitstream
-      $ verilog $ sign_off $ harden $ trace_arg $ metrics_arg)
+      const run $ netlist_arg $ algorithm_arg $ seed_arg $ backend_arg
+      $ output $ bitstream $ verilog $ sign_off $ harden $ trace_arg
+      $ metrics_arg)
 
 (* ---------- optimize ---------- *)
 
@@ -598,7 +640,7 @@ let attack_cmd =
              key to $(docv), one 'node-id truth-table' line per LUT.  CI \
              diffs this file across --solver modes byte-for-byte.")
   in
-  let run input alg seed timeout jobs solver key_out trace metrics =
+  let run input alg seed backend timeout jobs solver key_out trace metrics =
     Sttc_obs.Obs.with_run ?trace ?metrics @@ fun () ->
     exit_of_result
       (match key_out with
@@ -608,11 +650,16 @@ let attack_cmd =
           match read_netlist input with
           | Error m -> Error m
           | Ok nl -> (
-              let r = protect_strict ~seed alg nl in
+              let r = protect_strict ~seed ~backend alg nl in
               let hybrid = r.Sttc_core.Flow.hybrid in
+              let candidates =
+                Sttc_backend.Backend.sat_candidates backend
+                  (Sttc_core.Hybrid.foundry_view hybrid)
+                  (Sttc_core.Hybrid.lut_ids hybrid)
+              in
               match
-                Sttc_attack.Sat_attack.run ~timeout_s:timeout ~mode:solver
-                  hybrid
+                Sttc_attack.Sat_attack.run ~timeout_s:timeout ~candidates
+                  ~mode:solver hybrid
               with
               | Sttc_attack.Sat_attack.Broken b ->
                   let oc = open_out path in
@@ -645,7 +692,14 @@ let attack_cmd =
               match
                 offline_handle
                   (Sttc_serve.Request.Attack
-                     { source; algorithm = alg; seed; config; timing = true })
+                     {
+                       source;
+                       algorithm = alg;
+                       seed;
+                       backend = Sttc_backend.Backend.name backend;
+                       config;
+                       timing = true;
+                     })
               with
               | Sttc_serve.Response.Ok
                   { payload = Sttc_serve.Response.Attack { rendered; _ }; _ }
@@ -661,8 +715,8 @@ let attack_cmd =
     (Cmd.info "attack"
        ~doc:"Protect a netlist, then run the reverse-engineering attack campaign against it.")
     Term.(
-      const run $ netlist_arg $ algorithm_arg $ seed_arg $ timeout $ jobs_arg
-      $ solver $ key_out $ trace_arg $ metrics_arg)
+      const run $ netlist_arg $ algorithm_arg $ seed_arg $ backend_arg
+      $ timeout $ jobs_arg $ solver $ key_out $ trace_arg $ metrics_arg)
 
 (* ---------- experiments ---------- *)
 
@@ -692,7 +746,7 @@ let isolate_arg =
   Arg.(value & flag & info [ "isolate" ] ~doc)
 
 let experiment_cmd name doc render =
-  let run quick seed checkpoint timeout isolate jobs trace metrics =
+  let run quick seed backend checkpoint timeout isolate jobs trace metrics =
     Sttc_obs.Obs.with_run ?trace ?metrics @@ fun () ->
     let module R = Sttc_experiments.Runner in
     let cfg =
@@ -704,6 +758,7 @@ let experiment_cmd name doc render =
         isolate;
         checkpoint;
         jobs = resolve_jobs jobs;
+        backend = Sttc_backend.Backend.name backend;
         on_event =
           (function
           | R.Started _ -> ()
@@ -715,8 +770,8 @@ let experiment_cmd name doc render =
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const run $ quick_arg $ seed_arg $ checkpoint_arg $ timeout_arg
-      $ isolate_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      const run $ quick_arg $ seed_arg $ backend_arg $ checkpoint_arg
+      $ timeout_arg $ isolate_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let fig1_cmd =
   Cmd.v
@@ -1235,9 +1290,16 @@ let client_cmd =
 let () =
   let doc = "Hybrid STT-CMOS designs for reverse-engineering prevention." in
   let info = Cmd.info "sttc" ~version:Sttc_obs.Build_info.version ~doc in
+  (* [~term_err] only covers term-evaluation errors; cmdliner reports a
+     malformed command line (unknown flag, bad --backend name, …) as
+     [Exit.cli_error].  Both are argument mistakes, so both exit 64. *)
+  let route_cli_error code =
+    if code = Cmd.Exit.cli_error then usage_exit else code
+  in
   exit
-    (Cmd.eval' ~term_err:usage_exit
-       (Cmd.group info
+    (route_cli_error
+       (Cmd.eval' ~term_err:usage_exit
+          (Cmd.group info
           [
             gen_cmd;
             stats_cmd;
@@ -1260,4 +1322,4 @@ let () =
             client_cmd;
             version_cmd;
             obs_check_cmd;
-          ]))
+          ])))

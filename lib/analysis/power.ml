@@ -36,8 +36,9 @@ let estimate ?activity lib nl =
           dynamic := !dynamic +. dyn;
           leakage := !leakage +. leak;
           let total = dyn +. leak in
+          (* the reconfigurable bucket, whatever the backend technology *)
           (match cell.Cell.style with
-          | Cell.Stt_lut -> stt := !stt +. total
+          | Cell.Stt_lut | Cell.Tvd -> stt := !stt +. total
           | Cell.Cmos | Cell.Sequential -> cmos := !cmos +. total))
     nl;
   {

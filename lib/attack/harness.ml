@@ -196,7 +196,18 @@ let budgeted ~budget attack f =
         if Sttc_util.Pool.now_s () -. t0 > budget then exhausted () else entry
     | exception Sttc_util.Pool.Deadline_exceeded -> exhausted ()
 
-let attack ?solver ?(config = Config.default) ~circuit ~algorithm hybrid =
+let attack ?solver ?(backend = Sttc_backend.Backend.stt) ?(config = Config.default)
+    ~circuit ~algorithm hybrid =
+  Sttc_obs.Metrics.incr
+    ("backend.attack." ^ Sttc_backend.Backend.name backend);
+  (* The SAT attackers know the backend's candidate family (Kerckhoffs:
+     only the configuration is secret) and restrict their key variables
+     to it; the oracle-sampling attacks are encoding-agnostic. *)
+  let candidates =
+    Sttc_backend.Backend.sat_candidates backend
+      (Sttc_core.Hybrid.foundry_view hybrid)
+      (Sttc_core.Hybrid.lut_ids hybrid)
+  in
   let {
     Config.sat_timeout_s;
     seq_timeout_s;
@@ -229,8 +240,8 @@ let attack ?solver ?(config = Config.default) ~circuit ~algorithm hybrid =
       }
     else
       match
-        Sat_attack.run ~timeout_s:sat_timeout_s ~mode:solver_mode ?solver
-          hybrid
+        Sat_attack.run ~timeout_s:sat_timeout_s ~candidates ~mode:solver_mode
+          ?solver hybrid
       with
     | Sat_attack.Broken b ->
         {
@@ -347,7 +358,7 @@ let attack ?solver ?(config = Config.default) ~circuit ~algorithm hybrid =
     else
       match
         Sat_attack.run_sequential ~frames:seq_frames ~timeout_s:seq_timeout_s
-          ~mode:solver_mode ?solver hybrid
+          ~candidates ~mode:solver_mode ?solver hybrid
       with
       | Sat_attack.Broken b ->
           {
@@ -412,25 +423,6 @@ let attack ?solver ?(config = Config.default) ~circuit ~algorithm hybrid =
     lut_count = Sttc_core.Hybrid.lut_count hybrid;
     entries;
   }
-
-let run ?(sat_timeout_s = 30.) ?seq_timeout_s ?(tt_budget = 4000)
-    ?(guess_rounds = 8) ?(brute_max_bits = 16) ?(seq_frames = 4)
-    ?(seed = 0xcafe) ?(jobs = 1) ?(solver_mode = Sat_attack.Incremental)
-    ~circuit ~algorithm hybrid =
-  attack
-    ~config:
-      {
-        Config.sat_timeout_s;
-        seq_timeout_s;
-        tt_budget;
-        guess_rounds;
-        brute_max_bits;
-        seq_frames;
-        seed;
-        jobs;
-        solver_mode;
-      }
-    ~circuit ~algorithm hybrid
 
 let verdict_string = function
   | Recovered -> "RECOVERED"

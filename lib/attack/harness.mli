@@ -72,6 +72,7 @@ end
 
 val attack :
   ?solver:Sttc_logic.Sat.Solver.t ->
+  ?backend:Sttc_backend.Backend.t ->
   ?config:Config.t ->
   circuit:string ->
   algorithm:string ->
@@ -108,27 +109,14 @@ val attack :
     honoured only when [config.jobs <= 1]: with concurrent attacks the
     two SAT engines would race on one arena, so the harness silently
     falls back to fresh solvers.  Recycling never changes results —
-    {!Sttc_logic.Sat.Solver.reset} restores fresh-solver semantics. *)
+    {!Sttc_logic.Sat.Solver.reset} restores fresh-solver semantics.
 
-val run :
-  ?sat_timeout_s:float ->
-  ?seq_timeout_s:float ->
-  ?tt_budget:int ->
-  ?guess_rounds:int ->
-  ?brute_max_bits:int ->
-  ?seq_frames:int ->
-  ?seed:int ->
-  ?jobs:int ->
-  ?solver_mode:Sat_attack.solver_mode ->
-  circuit:string ->
-  algorithm:string ->
-  Sttc_core.Hybrid.t ->
-  campaign
-[@@ocaml.deprecated "use Harness.attack with a Harness.Config.t"]
-(** The pre-[Config] optional-argument surface, kept for exactly one
-    release as an alias of {!attack} (identical defaults and results).
-    New code must build a {!Config.t}; [tools/ci.sh] greps for stray
-    callers. *)
+    [backend] (default {!Sttc_backend.Backend.stt}) shapes the
+    attacker's knowledge: under a candidate-restricted backend the two
+    SAT attacks constrain every LUT's key to the known candidate family
+    ([Sat_attack]'s [~candidates]), while the oracle-sampling attacks
+    run unchanged.  The recovered bitstream is still verified against
+    the real oracle either way. *)
 
 val verdict_string : verdict -> string
 (** ["RECOVERED"], ["partial NN%"] or ["resisted"] — the rendering used

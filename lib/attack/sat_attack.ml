@@ -252,7 +252,7 @@ let verify_break hybrid bitstream =
   | _ -> false
 
 let run_sequential ?(frames = 5) ?(max_iterations = 500)
-    ?(max_conflicts_per_call = 200_000) ?(timeout_s = 60.)
+    ?(max_conflicts_per_call = 200_000) ?(timeout_s = 60.) ?(candidates = [])
     ?(mode = Incremental) ?solver hybrid =
   let t0 = Unix.gettimeofday () in
   let foundry = Hybrid.foundry_view hybrid in
@@ -263,6 +263,8 @@ let run_sequential ?(frames = 5) ?(max_iterations = 500)
     Encode.encode_unrolled ~cnf ~share_frame_pis:c1.Encode.frame_pis ~frames
       foundry
   in
+  restrict_keys cnf c1.Encode.u_keys candidates;
+  restrict_keys cnf c2.Encode.u_keys candidates;
   (* miter: some primary output differs in some frame, under [act] *)
   let diffs = ref [] in
   Array.iteri

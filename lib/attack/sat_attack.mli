@@ -85,6 +85,7 @@ val run_sequential :
   ?max_iterations:int ->
   ?max_conflicts_per_call:int ->
   ?timeout_s:float ->
+  ?candidates:(Sttc_netlist.Netlist.node_id * Sttc_logic.Truth.t list) list ->
   ?mode:solver_mode ->
   ?solver:Sttc_logic.Sat.Solver.t ->
   Sttc_core.Hybrid.t ->
@@ -97,4 +98,5 @@ val run_sequential :
     length-[frames] sequences may still differ on longer ones, so a
     recovered bitstream is verified and reported [Exhausted] with reason
     ["sequence-length limit"] when it is wrong — quantifying how much
-    harder the sequential attack is than the combinational one. *)
+    harder the sequential attack is than the combinational one.
+    [candidates] restricts per-LUT key spaces exactly as in {!run}. *)

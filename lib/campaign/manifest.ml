@@ -16,11 +16,12 @@ type t = {
   retries : int;
   heartbeat_timeout_s : float;
   attempt_timeout_s : float option;
+  backend : string;
 }
 
 let make ?(algorithms = Flow.default_algorithms) ?(configs = [ default_config ])
     ?(shards = 1) ?timeout_s ?(retries = 2) ?(heartbeat_timeout_s = 60.)
-    ?attempt_timeout_s ~name ~circuits ~seeds () =
+    ?attempt_timeout_s ?(backend = "stt") ~name ~circuits ~seeds () =
   {
     name;
     circuits;
@@ -32,6 +33,7 @@ let make ?(algorithms = Flow.default_algorithms) ?(configs = [ default_config ])
     retries;
     heartbeat_timeout_s;
     attempt_timeout_s;
+    backend;
   }
 
 let known_circuit name =
@@ -53,6 +55,8 @@ let validate m =
   else if m.retries < 0 then fail "manifest: retries must be >= 0"
   else if m.heartbeat_timeout_s <= 0. then
     fail "manifest: heartbeat_timeout_s must be > 0"
+  else if Option.is_none (Sttc_backend.Backend.find m.backend) then
+    fail "manifest: unknown backend %s" m.backend
   else
     match List.find_opt (fun c -> not (known_circuit c)) m.circuits with
     | Some c -> fail "manifest: unknown circuit %s" c
@@ -171,10 +175,12 @@ let to_json m =
     @ (match m.timeout_s with
       | Some t -> [ ("timeout_s", Json.Float t) ]
       | None -> [])
+    @ (match m.attempt_timeout_s with
+      | Some t -> [ ("attempt_timeout_s", Json.Float t) ]
+      | None -> [])
     @
-    match m.attempt_timeout_s with
-    | Some t -> [ ("attempt_timeout_s", Json.Float t) ]
-    | None -> [])
+    if m.backend = "stt" then []
+    else [ ("backend", Json.String m.backend) ])
 
 let map_result f items =
   let rec go i acc = function
@@ -243,6 +249,12 @@ let of_json j =
         let* v = float_field "heartbeat_timeout_s" in
         Ok (Option.value v ~default:60.)
       in
+      let* backend =
+        match mem "backend" j with
+        | Json.Null -> Ok "stt"
+        | Json.String s -> Ok s
+        | _ -> Error "manifest: \"backend\" must be a string"
+      in
       Ok
         {
           name;
@@ -255,6 +267,7 @@ let of_json j =
           retries;
           heartbeat_timeout_s;
           attempt_timeout_s;
+          backend;
         }
   | _ -> Error "manifest: not a JSON object"
 

@@ -26,7 +26,8 @@
       "timeout_s": 60.0,             ?  // per-run wall budget
       "retries": 2,                  ?  // per-shard retry budget
       "heartbeat_timeout_s": 60.0,   ?  // worker liveness watchdog
-      "attempt_timeout_s": 1800.0    ?  // per-attempt wall watchdog
+      "attempt_timeout_s": 1800.0,   ?  // per-attempt wall watchdog
+      "backend": "tvd"               ?  // protection backend; default "stt"
     }
     v}
 
@@ -65,6 +66,11 @@ type t = {
           presumed hung and killed *)
   attempt_timeout_s : float option;
       (** hard wall-clock watchdog per worker attempt *)
+  backend : string;
+      (** protection backend for every run
+          ({!Sttc_backend.Backend.names}); default ["stt"], omitted from
+          the JSON rendering at that default so historical manifests are
+          byte-stable *)
 }
 
 val make :
@@ -75,6 +81,7 @@ val make :
   ?retries:int ->
   ?heartbeat_timeout_s:float ->
   ?attempt_timeout_s:float ->
+  ?backend:string ->
   name:string ->
   circuits:string list ->
   seeds:int list ->
@@ -86,7 +93,7 @@ val make :
 val validate : t -> (unit, string) result
 (** Structural sanity: non-empty dimensions, known circuit names,
     unique config labels, [shards >= 1], [retries >= 0], positive
-    watchdog budgets. *)
+    watchdog budgets, known backend name. *)
 
 (** {1 The run list}
 

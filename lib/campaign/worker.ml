@@ -30,6 +30,7 @@ let run ?(allow_kill_injection = false) ~dir ~shard ~attempt () =
              m.Manifest.shards)
       else (
         Sttc_obs.Obs.enable ();
+        let backend = Sttc_backend.Backend.find_exn m.Manifest.backend in
         let plan = Shard.assign m ~shard in
         let prior = Shard.load_checkpoint ~dir ~shard in
         let find_prior idx =
@@ -62,7 +63,7 @@ let run ?(allow_kill_injection = false) ~dir ~shard ~attempt () =
                   Runner.run_unit ?timeout_s:m.Manifest.timeout_s
                     ?fraction:r.config.fraction
                     ?hardening:(if r.config.harden then Some hardened else None)
-                    ~seed:r.seed ~benchmark:r.circuit r.algorithm
+                    ~backend ~seed:r.seed ~benchmark:r.circuit r.algorithm
                 in
                 rows := Shard.of_result r result :: !rows;
                 incr computed;

@@ -1,5 +1,6 @@
 module Netlist = Sttc_netlist.Netlist
 module Rng = Sttc_util.Rng
+module Backend = Sttc_backend.Backend
 
 type algorithm =
   | Independent of { count : int }
@@ -75,7 +76,7 @@ let no_hardening = { extra_inputs_per_lut = 0; absorb_drivers = false }
 
 let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
     ?(fraction = 0.02) ?(hardening = no_hardening) ?(semantic = false)
-    ?base_sta algorithm netlist =
+    ?(backend = Backend.stt) ?base_sta algorithm netlist =
   Sttc_obs.Span.with_ "flow.protect" ~cat:"core"
     ~attrs:
       [
@@ -85,6 +86,15 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
   @@ fun () ->
   if Netlist.gates netlist = [] then
     invalid_arg "Flow.run: netlist has no CMOS gates";
+  (* Hardening grows LUT configs past the replaced gate's own function,
+     which a candidate-restricted cell (TVD) cannot realize. *)
+  if
+    Backend.restricted backend
+    && (hardening.extra_inputs_per_lut > 0 || hardening.absorb_drivers)
+  then
+    invalid_arg
+      ("Flow.run: hardening requires a free-function backend, not "
+      ^ Backend.name backend);
   let rng = Rng.make (seed lxor Hashtbl.hash (algorithm_name algorithm)) in
   let (hybrid, meta, base_sta), selection_seconds =
     Sttc_util.Timing.time (fun () ->
@@ -138,6 +148,7 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
   in
   Sttc_obs.Metrics.(
     incr "flow.protects";
+    incr ("backend.protect." ^ Backend.name backend);
     observe "flow.selection_seconds" selection_seconds);
   let obs_result r =
     Sttc_obs.Metrics.(
@@ -197,11 +208,20 @@ let protect ?(seed = 1) ?(library = Sttc_tech.Library.cmos90)
     end
   in
   let security =
-    Security.evaluate (Hybrid.foundry_view hybrid) ~luts:(Hybrid.lut_ids hybrid)
+    Security.evaluate
+      ~constants:{ Security.alpha = backend.Backend.alpha; p = backend.Backend.p }
+      (Hybrid.foundry_view hybrid) ~luts:(Hybrid.lut_ids hybrid)
   in
   let overhead =
-    let baseline = Ppa.baseline ~sta:base_sta library netlist in
-    Ppa.evaluate ~baseline library ~base:netlist
+    (* The default backend prices with the caller's library as given (it
+       may deliberately carry the SRAM style for the Section II
+       comparison); any other backend forces its own cell technology. *)
+    let eval_library =
+      if backend == Backend.stt then library
+      else Backend.eval_library backend library
+    in
+    let baseline = Ppa.baseline ~sta:base_sta eval_library netlist in
+    Ppa.evaluate ~baseline eval_library ~base:netlist
       ~hybrid:(Hybrid.programmed hybrid)
   in
   obs_result
@@ -247,7 +267,7 @@ let degradation_chain = function
   | Independent _ as i -> [ i ]
 
 let protect_resilient ?(seed = 1) ?library ?fraction ?hardening ?semantic
-    ?base_sta ?(max_reseeds = 2) algorithm netlist =
+    ?backend ?base_sta ?(max_reseeds = 2) algorithm netlist =
   let rejections = ref [] in
   let reject attempted attempt_seed reason =
     rejections := { attempted; attempt_seed; reason } :: !rejections
@@ -255,7 +275,7 @@ let protect_resilient ?(seed = 1) ?library ?fraction ?hardening ?semantic
   let try_once alg attempt_seed =
     match
       protect ~seed:attempt_seed ?library ?fraction ?hardening ?semantic
-        ?base_sta alg netlist
+        ?backend ?base_sta alg netlist
     with
     | r -> (
         match meets_timing alg r with
@@ -306,8 +326,8 @@ let default_resilience = { max_reseeds = 2 }
 
 type policy = Strict | Resilient of resilience
 
-let run ?seed ?library ?fraction ?hardening ?semantic ?base_sta ~policy
-    algorithm netlist =
+let run ?seed ?library ?fraction ?hardening ?semantic ?backend ?base_sta
+    ~policy algorithm netlist =
   Sttc_obs.Span.with_ "flow.run" ~cat:"core"
     ~attrs:
       [
@@ -319,13 +339,13 @@ let run ?seed ?library ?fraction ?hardening ?semantic ?base_sta ~policy
   match policy with
   | Strict ->
       let accepted =
-        protect ?seed ?library ?fraction ?hardening ?semantic ?base_sta
-          algorithm netlist
+        protect ?seed ?library ?fraction ?hardening ?semantic ?backend
+          ?base_sta algorithm netlist
       in
       { accepted; requested = algorithm; rejections = []; degraded = false }
   | Resilient { max_reseeds } ->
-      protect_resilient ?seed ?library ?fraction ?hardening ?semantic ?base_sta
-        ~max_reseeds algorithm netlist
+      protect_resilient ?seed ?library ?fraction ?hardening ?semantic ?backend
+        ?base_sta ~max_reseeds algorithm netlist
 
 let lint_view ?(library = Sttc_tech.Library.cmos90) r =
   let algorithm =

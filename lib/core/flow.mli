@@ -102,6 +102,7 @@ val run :
   ?fraction:float ->
   ?hardening:hardening ->
   ?semantic:bool ->
+  ?backend:Sttc_backend.Backend.t ->
   ?base_sta:Sttc_analysis.Sta.t ->
   policy:policy ->
   algorithm ->
@@ -109,6 +110,14 @@ val run :
   resilient
 (** Run the full selection-and-replacement stage and the evaluation
     around it.  Deterministic for a fixed seed at either policy.
+
+    [backend] (default {!Sttc_backend.Backend.stt}) picks the protection
+    technology.  Selection and hybrid construction are backend
+    independent — the same (netlist, algorithm, seed) yields the same
+    hybrid under every backend — while the PPA pricing, the Eq. 1-3
+    constants and the provisioning cost are the backend's.  Hardening
+    raises [Invalid_argument] under a candidate-restricted backend
+    (e.g. [tvd]): its cells cannot realize the expanded functions.
 
     [base_sta] supplies a memoized timing analysis of the input netlist
     (e.g. the serve session cache); it is used only when it was computed

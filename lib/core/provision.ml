@@ -2,6 +2,7 @@ module Netlist = Sttc_netlist.Netlist
 module Truth = Sttc_logic.Truth
 module Mtj = Sttc_fault.Mtj
 module Ecc = Sttc_fault.Ecc
+module Backend = Sttc_backend.Backend
 
 type entry = {
   lut_name : string;
@@ -82,27 +83,28 @@ let apply nl entries =
 
 type cost = {
   mtj_cells : int;
+  cell_noun : string;
   write_energy_nj : float;
   write_time_us : float;
   verify_cycles : int;
 }
 
-let programming_cost hybrid =
+let programming_cost ?(backend = Backend.stt) hybrid =
   let cells = Hybrid.bitstream_bits hybrid in
   {
     mtj_cells = cells;
+    cell_noun = backend.Backend.cell_noun;
     write_energy_nj =
-      float_of_int cells *. Sttc_tech.Stt_lib.write_energy_fj /. 1e6;
-    write_time_us =
-      float_of_int cells *. Sttc_tech.Stt_lib.write_time_ns /. 1e3;
+      float_of_int cells *. backend.Backend.write_energy_fj /. 1e6;
+    write_time_us = float_of_int cells *. backend.Backend.write_time_ns /. 1e3;
     verify_cycles = cells;
   }
 
 let pp_cost fmt c =
   Format.fprintf fmt
-    "programming: %d MTJ cells, %.3f nJ write energy, %.2f us serial write \
+    "programming: %d %s cells, %.3f nJ write energy, %.2f us serial write \
      time, %d verify cycles"
-    c.mtj_cells c.write_energy_nj c.write_time_us c.verify_cycles
+    c.mtj_cells c.cell_noun c.write_energy_nj c.write_time_us c.verify_cycles
 
 (* ---------- resilient programming ---------- *)
 
@@ -219,7 +221,8 @@ let structural_check nl entries =
           if unconfigured = [] then None
           else Some (Unconfigured (List.rev unconfigured)))
 
-let program ?(resilience = no_resilience) ~channel nl entries =
+let program ?(resilience = no_resilience) ?(backend = Backend.stt) ~channel nl
+    entries =
   Sttc_obs.Span.with_ "provision.program" ~cat:"core"
     ~attrs:[ ("luts", string_of_int (List.length entries)) ]
   @@ fun () ->
@@ -238,12 +241,13 @@ let program ?(resilience = no_resilience) ~channel nl entries =
   let cost cells =
     {
       mtj_cells = cells;
+      cell_noun = backend.Backend.cell_noun;
       write_energy_nj =
         (Mtj.energy_units channel -. energy0)
-        *. Sttc_tech.Stt_lib.write_energy_fj /. 1e6;
+        *. backend.Backend.write_energy_fj /. 1e6;
       write_time_us =
         float_of_int (Mtj.attempts channel - attempts0)
-        *. Sttc_tech.Stt_lib.write_time_ns /. 1e3;
+        *. backend.Backend.write_time_ns /. 1e3;
       verify_cycles = Mtj.verify_reads channel - verify0;
     }
   in

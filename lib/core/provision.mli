@@ -45,6 +45,8 @@ val apply :
 
 type cost = {
   mtj_cells : int;  (** total configuration bits written *)
+  cell_noun : string;
+      (** the backend's word for one programmable cell ("MTJ", "TVD") *)
   write_energy_nj : float;
   write_time_us : float;
       (** serial programming, one cell at a time — worst case *)
@@ -52,8 +54,10 @@ type cost = {
       (** read-back cycles to confirm the configuration *)
 }
 
-val programming_cost : Hybrid.t -> cost
-(** Ideal-channel cost: one write and one verify per configuration bit. *)
+val programming_cost : ?backend:Sttc_backend.Backend.t -> Hybrid.t -> cost
+(** Ideal-channel cost: one write and one verify per configuration bit,
+    priced with the backend's per-cell write energy/time (default
+    {!Sttc_backend.Backend.stt}). *)
 
 val pp_cost : Format.formatter -> cost -> unit
 
@@ -120,13 +124,17 @@ type program_report = {
 
 val program :
   ?resilience:resilience ->
+  ?backend:Sttc_backend.Backend.t ->
   channel:Sttc_fault.Mtj.channel ->
   Sttc_netlist.Netlist.t ->
   entry list ->
   program_report
 (** Program a foundry view through a stochastic write channel
-    (default resilience: {!no_resilience}).  Never raises on device
-    faults or bitstream/netlist mismatches — every anomaly is classified
-    in [outcome]. *)
+    (default resilience: {!no_resilience}; default backend: [stt], which
+    prices the cost report with the MTJ write constants — TVD parts go
+    through the same program-verify-retry channel model with their own
+    per-cell trim energy/time).  Never raises on device faults or
+    bitstream/netlist mismatches — every anomaly is classified in
+    [outcome]. *)
 
 val pp_program_report : Format.formatter -> program_report -> unit

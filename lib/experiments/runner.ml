@@ -3,14 +3,15 @@ module Report = Sttc_core.Report
 module Profiles = Sttc_netlist.Iscas_profiles
 module Timing = Sttc_util.Timing
 module Pool = Sttc_util.Pool
+module Backend = Sttc_backend.Backend
 
 let master_seed = 20160605 (* DAC'16 *)
 
 (* Every stage below is deterministic in its seed alone, so protecting a
    benchmark on a worker domain gives the same result as on the main
    one. *)
-let strict ~seed ?hardening alg nl =
-  (Flow.run ~seed ?hardening ~policy:Flow.Strict alg nl).Flow.accepted
+let strict ~seed ?hardening ?backend alg nl =
+  (Flow.run ~seed ?hardening ?backend ~policy:Flow.Strict alg nl).Flow.accepted
 
 (* ---------- progress events ---------- *)
 
@@ -59,6 +60,7 @@ module Config = struct
     isolate : bool;
     checkpoint : string option;
     jobs : int;
+    backend : string;
     on_event : event -> unit;
   }
 
@@ -71,6 +73,7 @@ module Config = struct
       isolate = false;
       checkpoint = None;
       jobs = 1;
+      backend = "stt";
       on_event = ignore;
     }
 
@@ -81,6 +84,7 @@ module Config = struct
   let with_isolate isolate t = { t with isolate }
   let with_checkpoint p t = { t with checkpoint = Some p }
   let with_jobs jobs t = { t with jobs }
+  let with_backend backend t = { t with backend }
   let with_on_event on_event t = { t with on_event }
 
   module Json = Sttc_obs.Json
@@ -99,7 +103,10 @@ module Config = struct
       @ (match t.checkpoint with
         | Some p -> [ ("checkpoint", Json.String p) ]
         | None -> [])
-      @ [ ("jobs", Json.Int t.jobs) ])
+      @ [ ("jobs", Json.Int t.jobs) ]
+      @
+      if t.backend = default.backend then []
+      else [ ("backend", Json.String t.backend) ])
 
   let ( let* ) = Result.bind
   let mem name j = Option.value (Json.member name j) ~default:Json.Null
@@ -152,6 +159,15 @@ module Config = struct
           | Json.Int n -> Ok n
           | _ -> Error "runner config: \"jobs\" must be an integer"
         in
+        let* backend =
+          match mem "backend" j with
+          | Json.Null -> Ok default.backend
+          | Json.String s -> (
+              match Backend.find s with
+              | Some _ -> Ok s
+              | None -> Error ("runner config: unknown backend " ^ s))
+          | _ -> Error "runner config: \"backend\" must be a string"
+        in
         Ok
           {
             quick;
@@ -161,6 +177,7 @@ module Config = struct
             isolate;
             checkpoint;
             jobs;
+            backend;
             on_event = ignore;
           }
     | _ -> Error "runner config: not a JSON object"
@@ -176,19 +193,21 @@ end
    garbage at the path) is rejected cleanly and the run recomputes from
    scratch instead of feeding [Marshal] undefined bytes.  A stale-seed
    file likewise degrades to an empty checkpoint. *)
-let checkpoint_magic = "benchmark-rows-v2"
+let checkpoint_magic = "benchmark-rows-v3"
 
-let load_checkpoint path seed =
+let load_checkpoint path seed backend =
   match Sttc_util.Ckpt.load path ~magic:checkpoint_magic with
-  | Ok ((ckpt_seed, rows) : int * (string * Report.benchmark_row) list) ->
-      if ckpt_seed = seed then rows else []
+  | Ok
+      ((ckpt_seed, ckpt_backend, rows) :
+        int * string * (string * Report.benchmark_row) list) ->
+      if ckpt_seed = seed && ckpt_backend = backend then rows else []
   | Error `Missing -> []
   | Error (`Rejected _) ->
       Sttc_obs.Metrics.incr "runner.checkpoint_rejected";
       []
 
-let save_checkpoint path seed rows =
-  Sttc_util.Ckpt.save path ~magic:checkpoint_magic (seed, rows);
+let save_checkpoint path seed backend rows =
+  Sttc_util.Ckpt.save path ~magic:checkpoint_magic (seed, backend, rows);
   Sttc_obs.Metrics.incr "runner.checkpoint_saves";
   Sttc_obs.Span.instant "runner.checkpoint_save" ~cat:"experiments"
     ~attrs:[ ("rows", string_of_int (List.length rows)) ]
@@ -265,13 +284,13 @@ let assemble_row info outcomes =
   { Report.circuit = info.Profiles.name; size = info.Profiles.n_gates;
     results; failures }
 
-let protect_outcome ~guard ~emit ~seed ~name nl alg =
+let protect_outcome ~guard ~emit ~seed ~backend ~name nl alg =
   let alg_name = Flow.algorithm_name alg in
   let t0 = Pool.now_s () in
   let outcome =
     Sttc_obs.Span.with_ "runner.protect" ~cat:"experiments"
       ~attrs:[ ("benchmark", name); ("algorithm", alg_name) ]
-      (fun () -> guard.guard (fun () -> strict ~seed alg nl))
+      (fun () -> guard.guard (fun () -> strict ~seed ~backend alg nl))
   in
   Sttc_obs.Metrics.observe "runner.protect_seconds" (Pool.now_s () -. t0);
   match outcome with
@@ -291,7 +310,7 @@ let guarded_build ~guard info =
   Sttc_obs.Metrics.observe "runner.build_seconds" (Pool.now_s () -. t0);
   b
 
-let run_benchmark_serial ~guard ~emit ~seed info =
+let run_benchmark_serial ~guard ~emit ~seed ~backend info =
   let name = info.Profiles.name in
   emit (Started name);
   Sttc_obs.Metrics.incr "runner.benchmarks";
@@ -309,7 +328,7 @@ let run_benchmark_serial ~guard ~emit ~seed info =
       finish (build_failed_row info (attempt_reason "build" a))
   | `Ok nl ->
       let outcomes =
-        List.map (protect_outcome ~guard ~emit ~seed ~name nl)
+        List.map (protect_outcome ~guard ~emit ~seed ~backend ~name nl)
           Flow.default_algorithms
       in
       let row = assemble_row info outcomes in
@@ -319,7 +338,7 @@ let run_benchmark_serial ~guard ~emit ~seed info =
 
 (* Serial: benchmarks run one after the other, incrementally
    checkpointed — byte-for-byte the historical behaviour. *)
-let rows_serial ~cfg infos completed0 =
+let rows_serial ~cfg ~backend infos completed0 =
   let { Config.seed; timeout_s; isolate; checkpoint; on_event = emit; _ } =
     cfg
   in
@@ -333,12 +352,15 @@ let rows_serial ~cfg infos completed0 =
           emit (Restored name);
           row
       | None ->
-          let row = run_benchmark_serial ~guard ~emit ~seed info in
+          let row = run_benchmark_serial ~guard ~emit ~seed ~backend info in
           (* rows that failed outright are not checkpointed, so a rerun
              with a longer budget recomputes them *)
           if row.Report.failures = [] then begin
             completed := !completed @ [ (name, row) ];
-            Option.iter (fun p -> save_checkpoint p seed !completed) checkpoint
+            Option.iter
+              (fun p ->
+                save_checkpoint p seed cfg.Config.backend !completed)
+              checkpoint
           end;
           row)
     infos
@@ -348,7 +370,7 @@ let rows_serial ~cfg infos completed0 =
    merge in submission order into exactly the serial rows; the
    checkpoint is written during the merge, in the same benchmark order
    a serial run would use. *)
-let rows_parallel ~cfg infos completed0 =
+let rows_parallel ~cfg ~backend infos completed0 =
   let { Config.seed; timeout_s; isolate; checkpoint; jobs; on_event; _ } =
     cfg
   in
@@ -397,7 +419,7 @@ let rows_parallel ~cfg infos completed0 =
           Pool.map_exn ?deadline_s:timeout_s pool
             (fun (info, nl, alg) ->
               let name = info.Profiles.name in
-              (name, protect_outcome ~guard ~emit ~seed ~name nl alg))
+              (name, protect_outcome ~guard ~emit ~seed ~backend ~name nl alg))
             protect_tasks
         in
         List.map
@@ -430,13 +452,17 @@ let rows_parallel ~cfg infos completed0 =
           let row = List.assoc name computed in
           if row.Report.failures = [] then begin
             completed := !completed @ [ (name, row) ];
-            Option.iter (fun p -> save_checkpoint p seed !completed) checkpoint
+            Option.iter
+              (fun p ->
+                save_checkpoint p seed cfg.Config.backend !completed)
+              checkpoint
           end;
           row)
     infos
 
 let rows (cfg : Config.t) =
   if cfg.Config.jobs < 1 then invalid_arg "Runner.rows: jobs must be >= 1";
+  let backend = Backend.find_exn cfg.Config.backend in
   let infos =
     match cfg.Config.only with
     | Some names ->
@@ -449,7 +475,7 @@ let rows (cfg : Config.t) =
   in
   let completed =
     match cfg.Config.checkpoint with
-    | Some p -> load_checkpoint p cfg.Config.seed
+    | Some p -> load_checkpoint p cfg.Config.seed cfg.Config.backend
     | None -> []
   in
   if completed <> [] then begin
@@ -475,8 +501,8 @@ let rows (cfg : Config.t) =
   if
     Pool.worthwhile ~min_work:30_000. ~jobs:cfg.Config.jobs
       ~tasks:(List.length pending) ~work ()
-  then rows_parallel ~cfg infos completed
-  else rows_serial ~cfg infos completed
+  then rows_parallel ~cfg ~backend infos completed
+  else rows_serial ~cfg ~backend infos completed
 
 (* ---------- shard-scoped entry points (campaign engine) ---------- *)
 
@@ -488,7 +514,7 @@ let build_circuit ?seed name =
       | Some build -> build ()
       | None -> invalid_arg ("unknown benchmark " ^ name))
 
-let run_unit ?timeout_s ?fraction ?hardening ~seed ~benchmark alg =
+let run_unit ?timeout_s ?fraction ?hardening ?backend ~seed ~benchmark alg =
   Sttc_obs.Span.with_ "runner.unit" ~cat:"experiments"
     ~attrs:
       [ ("benchmark", benchmark); ("algorithm", Flow.algorithm_name alg) ]
@@ -497,7 +523,8 @@ let run_unit ?timeout_s ?fraction ?hardening ~seed ~benchmark alg =
   let outcome =
     serial_guard ~timeout_s ~isolate:true (fun () ->
         let nl = build_circuit benchmark in
-        (Flow.run ~seed ?fraction ?hardening ~policy:Flow.Strict alg nl)
+        (Flow.run ~seed ?fraction ?hardening ?backend ~policy:Flow.Strict alg
+           nl)
           .Flow.accepted)
   in
   Sttc_obs.Metrics.observe "runner.unit_seconds" (Pool.now_s () -. t0);
@@ -511,7 +538,7 @@ let table2 rows = Report.table2 rows
 let fig3 rows = Report.fig3 rows
 
 let attack_campaign ?(seed = master_seed) ?(sat_timeout_s = 15.) ?(jobs = 1)
-    () =
+    ?(backend = Backend.stt) () =
   let spec =
     {
       Sttc_netlist.Generator.design_name = "atk80";
@@ -527,13 +554,13 @@ let attack_campaign ?(seed = master_seed) ?(sat_timeout_s = 15.) ?(jobs = 1)
     Sttc_obs.Span.with_ "runner.campaign" ~cat:"experiments"
       ~attrs:[ ("algorithm", Flow.algorithm_name alg) ]
     @@ fun () ->
-    let r = strict ~seed alg nl in
+    let r = strict ~seed ~backend alg nl in
     let config =
       Sttc_attack.Harness.Config.(
         default |> with_sat_timeout_s sat_timeout_s |> with_tt_budget 3000
         |> with_guess_rounds 6)
     in
-    Sttc_attack.Harness.attack ~config
+    Sttc_attack.Harness.attack ~backend ~config
       ~circuit:spec.Sttc_netlist.Generator.design_name
       ~algorithm:(Flow.algorithm_name alg) r.Flow.hybrid
   in

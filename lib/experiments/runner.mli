@@ -64,12 +64,15 @@ module Config : sig
         (** snapshot file rewritten atomically as benchmarks complete *)
     jobs : int;
         (** worker domains; [1] = serial (identical rows either way) *)
+    backend : string;
+        (** protection backend name ({!Sttc_backend.Backend.names});
+            default ["stt"] *)
     on_event : event -> unit;  (** progress stream consumer *)
   }
 
   val default : t
   (** quick=false, seed={!master_seed}, no restriction, no timeout, no
-      isolation, no checkpoint, jobs=1, events dropped. *)
+      isolation, no checkpoint, jobs=1, backend="stt", events dropped. *)
 
   val with_quick : bool -> t -> t
   val with_seed : int -> t -> t
@@ -78,12 +81,14 @@ module Config : sig
   val with_isolate : bool -> t -> t
   val with_checkpoint : string -> t -> t
   val with_jobs : int -> t -> t
+  val with_backend : string -> t -> t
   val with_on_event : (event -> unit) -> t -> t
 
   val to_json : t -> Sttc_obs.Json.t
   (** The data fields only — [on_event] is a function and has no wire
       form.  Optional fields ([only], [timeout_s], [checkpoint]) are
-      omitted when unset. *)
+      omitted when unset, and [backend] is omitted at its default, so
+      historical configs render byte-identically. *)
 
   val of_json : Sttc_obs.Json.t -> (t, string) result
   (** Missing fields take their {!default}s; [on_event] is always
@@ -97,8 +102,13 @@ val rows : Config.t -> Sttc_core.Report.benchmark_row list
     build and protect stage, [isolate] degrades crashes to partial rows
     (rendered as ["-"] cells with a footnote), and [checkpoint] lets a
     killed run resume where it stopped — a corrupt, foreign or
-    different-seed checkpoint is ignored, and partial rows are never
-    checkpointed, so a rerun with a longer budget recomputes them.
+    different-seed or different-backend checkpoint is ignored, and
+    partial rows are never checkpointed, so a rerun with a longer budget
+    recomputes them.
+
+    [backend] selects the protection technology for every protect stage
+    (resolved up front with {!Sttc_backend.Backend.find_exn}, so an
+    unknown name raises before any work starts).
 
     Parallelism: with [jobs > 1] the build stages and the benchmark ×
     algorithm protect stages run on a {!Sttc_util.Pool}.  Rows (and the
@@ -134,6 +144,7 @@ val run_unit :
   ?timeout_s:float ->
   ?fraction:float ->
   ?hardening:Sttc_core.Flow.hardening ->
+  ?backend:Sttc_backend.Backend.t ->
   seed:int ->
   benchmark:string ->
   Sttc_core.Flow.algorithm ->
@@ -142,7 +153,8 @@ val run_unit :
     at [seed], and capture any crash or [timeout_s] overrun as [Error]
     with the reason — the caller (a campaign worker) records it as a
     footnoted partial row rather than dying.  Deterministic in [seed]
-    when no timeout fires.  The timeout uses
+    when no timeout fires.  [backend] selects the protection technology
+    (default STT).  The timeout uses
     {!Sttc_util.Timing.with_timeout} and is therefore main-domain
     only — exactly the situation of a worker process. *)
 
@@ -152,11 +164,17 @@ val table2 : Sttc_core.Report.benchmark_row list -> string
 val fig3 : Sttc_core.Report.benchmark_row list -> string
 
 val attack_campaign :
-  ?seed:int -> ?sat_timeout_s:float -> ?jobs:int -> unit -> string
+  ?seed:int ->
+  ?sat_timeout_s:float ->
+  ?jobs:int ->
+  ?backend:Sttc_backend.Backend.t ->
+  unit ->
+  string
 (** Protect an 80-gate circuit three ways and run the SAT / truth-table /
     hill-climb / brute-force attacks against each.  [jobs > 1] runs one
     pool task per algorithm (each campaign's attacks then enforce their
-    budgets cooperatively). *)
+    budgets cooperatively).  [backend] (default STT) applies to both the
+    defence and the attacker model. *)
 
 val sweep :
   ?seed:int ->

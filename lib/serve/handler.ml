@@ -42,11 +42,14 @@ let do_protect session (p : Request.protect) =
   | Error _ as e -> e
   | Ok nl -> (
       let base_sta = Session.sta session p.source nl in
+      match Sttc_backend.Backend.find_exn p.backend with
+      | exception Invalid_argument m -> Error m
+      | backend -> (
       match
         Flow.run ~seed:p.seed
           ?fraction:p.config.Sttc_campaign.Manifest.fraction
           ~hardening:(hardening_of_config p.config)
-          ~base_sta ~policy:Flow.Strict p.algorithm nl
+          ~backend ~base_sta ~policy:Flow.Strict p.algorithm nl
       with
       | exception Invalid_argument m -> Error m
       | resilient ->
@@ -66,7 +69,7 @@ let do_protect session (p : Request.protect) =
               ( Some (Provision.to_string (Provision.of_hybrid hybrid)),
                 Some
                   (Format.asprintf "%a@." Provision.pp_cost
-                     (Provision.programming_cost hybrid)) )
+                     (Provision.programming_cost ~backend hybrid)) )
             else (None, None)
           in
           let verilog =
@@ -86,7 +89,7 @@ let do_protect session (p : Request.protect) =
                  programming_cost;
                  verilog;
                  sign_off;
-               }))
+               })))
 
 (* ---------- attack ---------- *)
 
@@ -101,19 +104,24 @@ let do_attack ?solver session (a : Request.attack) =
   match Session.netlist session a.source with
   | Error _ as e -> e
   | Ok nl -> (
-      match Flow.run ~seed:a.seed ~policy:Flow.Strict a.algorithm nl with
+      match Sttc_backend.Backend.find_exn a.backend with
+      | exception Invalid_argument m -> Error m
+      | backend -> (
+      match
+        Flow.run ~seed:a.seed ~backend ~policy:Flow.Strict a.algorithm nl
+      with
       | exception Invalid_argument m -> Error m
       | resilient ->
           let hybrid = resilient.Flow.accepted.Flow.hybrid in
           let campaign =
-            Harness.attack ?solver ~config:a.config
+            Harness.attack ?solver ~backend ~config:a.config
               ~circuit:(Netlist.design_name nl)
               ~algorithm:(Flow.algorithm_name a.algorithm)
               hybrid
           in
           let campaign = if a.timing then campaign else zero_seconds campaign in
           let rendered = Format.asprintf "%a@." Harness.pp_campaign campaign in
-          Ok (Response.Attack { campaign; rendered }))
+          Ok (Response.Attack { campaign; rendered })))
 
 (* ---------- lint ---------- *)
 

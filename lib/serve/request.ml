@@ -12,6 +12,7 @@ type protect = {
   algorithm : Flow.algorithm;
   config : Manifest.config;
   seed : int;
+  backend : string;
   sign_off : bool;
   emit_foundry : bool;
   emit_bitstream : bool;
@@ -23,6 +24,7 @@ type attack = {
   source : source;
   algorithm : Flow.algorithm;
   seed : int;
+  backend : string;
   config : Harness.Config.t;
   timing : bool;
 }
@@ -67,6 +69,10 @@ let source_to_json = function
 let opt name f = function Some v -> [ (name, f v) ] | None -> []
 let flag name b = if b then [ (name, Json.Bool true) ] else []
 
+(* emitted only off its default so pre-backend requests render
+   byte-identically *)
+let backend_field b = if b = "stt" then [] else [ ("backend", Json.String b) ]
+
 let to_json t =
   let common = opt "id" (fun s -> Json.String s) t.id in
   let budgeted = opt "timeout_s" (fun s -> Json.Float s) t.timeout_s in
@@ -79,6 +85,7 @@ let to_json t =
           ("config", Manifest.config_to_json p.config);
           ("seed", Json.Int p.seed);
         ]
+        @ backend_field p.backend
         @ flag "sign_off" p.sign_off
         @ flag "emit_foundry" p.emit_foundry
         @ flag "emit_bitstream" p.emit_bitstream
@@ -91,6 +98,7 @@ let to_json t =
           ("seed", Json.Int a.seed);
           ("config", Harness.Config.to_json a.config);
         ]
+        @ backend_field a.backend
         @ flag "timing" a.timing
     | Lint l ->
         [
@@ -160,6 +168,20 @@ let seed_field j =
   | Json.Int n -> Ok n
   | _ -> Error "\"seed\" must be an integer"
 
+(* the name is validated here so a typo fails the request parse, not the
+   handler *)
+let backend_of_json j =
+  match mem "backend" j with
+  | Json.Null -> Ok "stt"
+  | Json.String s -> (
+      match Sttc_backend.Backend.find s with
+      | Some _ -> Ok s
+      | None ->
+          Error
+            (Printf.sprintf "unknown backend %s (expected one of %s)" s
+               (String.concat ", " (Sttc_backend.Backend.names ()))))
+  | _ -> Error "\"backend\" must be a string"
+
 let protect_of_json j =
   let* source = source_of_json (mem "netlist" j) in
   let* algorithm = algorithm_field j in
@@ -169,6 +191,7 @@ let protect_of_json j =
     | c -> Manifest.config_of_json c
   in
   let* seed = seed_field j in
+  let* backend = backend_of_json j in
   let* sign_off = bool_field j "sign_off" in
   let* emit_foundry = bool_field j "emit_foundry" in
   let* emit_bitstream = bool_field j "emit_bitstream" in
@@ -181,6 +204,7 @@ let protect_of_json j =
          algorithm;
          config;
          seed;
+         backend;
          sign_off;
          emit_foundry;
          emit_bitstream;
@@ -192,13 +216,14 @@ let attack_of_json j =
   let* source = source_of_json (mem "netlist" j) in
   let* algorithm = algorithm_field j in
   let* seed = seed_field j in
+  let* backend = backend_of_json j in
   let* config =
     match mem "config" j with
     | Json.Null -> Ok Harness.Config.default
     | c -> Harness.Config.of_json c
   in
   let* timing = bool_field j "timing" in
-  Ok (Attack { source; algorithm; seed; config; timing })
+  Ok (Attack { source; algorithm; seed; backend; config; timing })
 
 let string_list_field j name =
   match mem name j with

@@ -32,6 +32,10 @@ type protect = {
   config : Sttc_campaign.Manifest.config;
       (** fraction / hardening, the manifest schema *)
   seed : int;
+  backend : string;
+      (** protection backend name ({!Sttc_backend.Backend.names});
+          ["stt"] when absent, omitted from the wire form at that
+          default so pre-backend requests stay byte-identical *)
   sign_off : bool;  (** SAT-verify programmed hybrid == original *)
   emit_foundry : bool;  (** include the foundry-view .bench text *)
   emit_bitstream : bool;  (** include the provisioning bitstream *)
@@ -46,6 +50,9 @@ type attack = {
   source : source;
   algorithm : Sttc_core.Flow.algorithm;
   seed : int;  (** protection seed (the attack budgets live in [config]) *)
+  backend : string;
+      (** backend for both the defence and the attacker model; same
+          default and wire behaviour as {!protect.backend} *)
   config : Sttc_attack.Harness.Config.t;
   timing : bool;
 }

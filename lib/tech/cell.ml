@@ -1,6 +1,7 @@
 type style =
   | Cmos
   | Stt_lut
+  | Tvd
   | Sequential
 
 type t = {
@@ -14,7 +15,7 @@ type t = {
 }
 
 let activity_independent c =
-  match c.style with Stt_lut -> true | Cmos | Sequential -> false
+  match c.style with Stt_lut -> true | Cmos | Tvd | Sequential -> false
 
 let dynamic_power_uw c ~activity ~clock_ghz =
   if activity < 0. || activity > 1. then

@@ -6,6 +6,10 @@
 type style =
   | Cmos  (** static custom CMOS gate *)
   | Stt_lut  (** non-volatile MTJ-based reconfigurable LUT *)
+  | Tvd
+      (** threshold-voltage-defined camouflaged cell: a static CMOS-style
+          gate whose function is set by the implant, so its power is
+          activity dependent like any other gate *)
   | Sequential  (** D flip-flop *)
 
 type t = {

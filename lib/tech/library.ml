@@ -1,6 +1,7 @@
 type lut_style =
   | Stt
   | Sram
+  | Tvd
 
 type t = {
   clock_ghz : float;
@@ -23,6 +24,7 @@ let lut_cell t n =
   match t.lut_style with
   | Stt -> Stt_lib.lut n
   | Sram -> Sram_lib.lut n
+  | Tvd -> Tvd_lib.lut n
 
 let dff_cell _t = Cmos_lib.dff
 

@@ -7,6 +7,7 @@
 type lut_style =
   | Stt  (** non-volatile MTJ LUTs — the paper's technology *)
   | Sram  (** volatile SRAM LUTs — the prior-work baseline [8] *)
+  | Tvd  (** threshold-voltage-defined camouflaged cells — {!Tvd_lib} *)
 
 type t
 

@@ -1,0 +1,27 @@
+(** Threshold-voltage-defined (TVD) camouflaged cells — the adjacent
+    defense family the backend layer prices against the paper's STT LUTs
+    (Iyengar & Ghosh, arXiv:1512.01581; Collantes et al.,
+    arXiv:1605.00684).
+
+    A TVD cell is a static gate whose logic function is selected by a
+    threshold-voltage implant (or a one-time charge trim) among a small
+    family of candidates, all of which share one layout.  Compared with
+    an STT LUT of the same fan-in it is faster, smaller and leakier only
+    linearly in fan-in (no 2^n memory array), but its power is activity
+    dependent like ordinary CMOS, and its keyspace per cell is the
+    candidate-family size rather than [2^2^n]. *)
+
+val lut : int -> Cell.t
+(** TVD camouflaged cell of a given fan-in (1..6). *)
+
+val candidate_functions : int -> Sttc_logic.Gate_fn.t list
+(** The functions one TVD layout of the given fan-in can realize: the
+    full standard-gate family of that arity ({!Sttc_logic.Gate_fn.all_of_arity}).
+    Every replaced gate's function is in this family, and an attacker is
+    assumed to know it — only the implant choice is secret. *)
+
+val program_energy_fj : float
+(** Energy to trim one cell's threshold at configuration time. *)
+
+val program_time_ns : float
+(** Serial per-cell trim time. *)

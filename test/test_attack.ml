@@ -658,21 +658,20 @@ let test_harness_config_json_roundtrip () =
   | Ok _ -> Alcotest.fail "unknown solver_mode must be rejected"
   | Error _ -> ()
 
-(* The deprecated optional-argument surface must stay an exact alias of
-   [attack] for its one remaining release. *)
-let test_harness_run_alias () =
+(* The stt backend is the harness default: passing it explicitly must
+   change nothing about the campaign. *)
+let test_harness_backend_default () =
   let nl = small_circuit 16 in
   let h = protect_n nl 2 16 in
-  let via_alias =
-    (Harness.run [@ocaml.warning "-3"]) ~sat_timeout_s:0. ~circuit:"t"
+  let config = Harness.Config.(default |> with_sat_timeout_s 0.) in
+  let implicit =
+    Harness.attack ~config ~circuit:"t" ~algorithm:"independent" h
+  in
+  let explicit =
+    Harness.attack ~backend:Sttc_backend.Backend.stt ~config ~circuit:"t"
       ~algorithm:"independent" h
   in
-  let via_config =
-    Harness.attack
-      ~config:Harness.Config.(default |> with_sat_timeout_s 0.)
-      ~circuit:"t" ~algorithm:"independent" h
-  in
-  Alcotest.(check bool) "alias equals attack" true (via_alias = via_config)
+  Alcotest.(check bool) "explicit stt equals default" true (implicit = explicit)
 
 (* Recycling one solver arena across attacks (the serve daemon's
    per-worker discipline) must recover the exact bitstream a fresh
@@ -770,7 +769,8 @@ let () =
             test_harness_seq_budget_independent;
           Alcotest.test_case "config json roundtrip" `Quick
             test_harness_config_json_roundtrip;
-          Alcotest.test_case "run alias" `Quick test_harness_run_alias;
+          Alcotest.test_case "backend default" `Quick
+            test_harness_backend_default;
           Alcotest.test_case "solver reuse identical" `Slow
             test_solver_reuse_identical;
         ] );

@@ -31,6 +31,7 @@ let protect_payload ?(source = Request.Named "s27") ?(seed = 1) () =
       algorithm = Flow.Independent { count = 3 };
       config = Manifest.default_config;
       seed;
+      backend = "stt";
       sign_off = false;
       emit_foundry = false;
       emit_bitstream = false;
@@ -73,6 +74,7 @@ let test_request_roundtrip () =
             config =
               { Manifest.default_config with label = "hardened"; harden = true };
             seed = 3;
+            backend = "stt";
             sign_off = true;
             emit_foundry = true;
             emit_bitstream = true;
@@ -90,6 +92,7 @@ let test_request_roundtrip () =
                   clock_factor = 1.3
                 };
             seed = 2;
+            backend = "tvd";
             config =
               Harness.Config.(
                 default |> with_sat_timeout_s 5. |> with_jobs 2

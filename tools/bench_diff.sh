@@ -1,70 +1,150 @@
 #!/bin/sh
-# Guard the scale-bench numbers: re-run a subset of the scale sweep and
-# compare per-size protect wall-clock against the committed
-# BENCH_scale.json, flagging regressions beyond the tolerance.
+# Guard committed bench numbers: re-run a bench section and compare its
+# wall-clock figures against the committed BENCH_<name>.json, flagging
+# regressions beyond the tolerance.
 #
-#   tools/bench_diff.sh                # quick subset: 1e3 and 1e4 gates
-#   tools/bench_diff.sh 1000,10000,50000
+#   tools/bench_diff.sh                      # scale, quick subset: 1e3 and 1e4
+#   tools/bench_diff.sh scale 1000,50000     # scale, chosen sizes
+#   tools/bench_diff.sh backend              # cross-technology sweep
+#   tools/bench_diff.sh serve                # daemon throughput (lower = worse)
+#   tools/bench_diff.sh all                  # every guarded BENCH_*.json present
 #
 # The tolerance is a ratio (default 1.20 = +20%); override with
-# BENCH_DIFF_TOLERANCE.  Exit 1 when any size regresses.  Absolute
+# BENCH_DIFF_TOLERANCE.  Exit 1 when anything regresses.  Absolute
 # wall-clock is machine-dependent, so this is a same-machine check:
 # run it before and after a change, not across hardware.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-SIZES="${1:-1000,10000}"
 TOL="${BENCH_DIFF_TOLERANCE:-1.20}"
 
-if ! [ -f BENCH_scale.json ]; then
-  echo "bench_diff: no committed BENCH_scale.json to compare against" >&2
-  exit 1
-fi
+BENCH="${1:-scale}"
+ARG="${2:-}"
+# historical spelling: a bare size list implies the scale bench
+case "$BENCH" in
+  *[0-9]*) ARG="$BENCH"; BENCH=scale ;;
+esac
 
 dune build bench/main.exe
 BENCH_BIN="$PWD/_build/default/bench/main.exe"
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
-cp BENCH_scale.json "$workdir/committed.json"
 
-echo "== fresh scale sweep (sizes: $SIZES)"
-(cd "$workdir" && STTC_SCALE_SIZES="$SIZES" "$BENCH_BIN" scale)
+status=0
 
-# BENCH_scale.json is emitted one field per line, so a line-oriented
-# scrape is reliable: pair each "gates" with the row's "protect_s".
-rows() {
+# The bench JSON files are emitted one field per line, so line-oriented
+# scrapes are reliable.  Each rows_* function prints "key value" pairs.
+
+scale_rows() {
   awk -F'[:,]' '
     /"gates"/     { gsub(/ /, "", $2); gates = $2 }
-    /"protect_s"/ { gsub(/ /, "", $2); print gates, $2 }
+    /"protect_s"/ { gsub(/ /, "", $2); print gates "/protect_s", $2 }
   ' "$1"
 }
 
-rows "$workdir/committed.json" > "$workdir/committed.rows"
-rows "$workdir/BENCH_scale.json" > "$workdir/fresh.rows"
+backend_rows() {
+  awk -F'[:,]' '
+    /"circuit"/   { gsub(/[" ]/, "", $2); circuit = $2 }
+    /"backend"/   { gsub(/[" ]/, "", $2); backend = $2 }
+    /"protect_s"/ { gsub(/ /, "", $2); print circuit "/" backend "/protect_s", $2 }
+    /"sat_s"/     { gsub(/ /, "", $2); print circuit "/" backend "/sat_s", $2 }
+  ' "$1"
+}
 
-status=0
-while read -r gates fresh; do
-  committed=$(awk -v g="$gates" '$1 == g { print $2 }' "$workdir/committed.rows")
-  if [ -z "$committed" ]; then
-    echo "bench_diff: $gates gates: not in committed BENCH_scale.json, skipping"
-    continue
-  fi
-  verdict=$(awk -v f="$fresh" -v c="$committed" -v tol="$TOL" 'BEGIN {
-    ratio = (c > 0) ? f / c : 0
-    printf "%.2f %s", ratio, (ratio > tol) ? "REGRESSION" : "ok"
-  }')
-  ratio=${verdict% *}
-  word=${verdict#* }
-  printf '  %8s gates  protect %8.2fs committed vs %8.2fs fresh  (x%s %s)\n' \
-    "$gates" "$committed" "$fresh" "$ratio" "$word"
-  if [ "$word" = "REGRESSION" ]; then
+serve_rows() {
+  awk -F'"' '
+    /"req_per_s"/ {
+      rest = $0
+      sub(/.*"req_per_s": */, "", rest)
+      sub(/[,}].*/, "", rest)
+      print $2 "/req_per_s", rest
+    }
+  ' "$1"
+}
+
+# compare <label> <committed.rows> <fresh.rows> <direction>
+# direction is "higher-bad" for seconds, "lower-bad" for throughput.
+compare() {
+  label=$1
+  committed_f=$2
+  fresh_f=$3
+  dir=$4
+  while read -r key fresh; do
+    committed=$(awk -v k="$key" '$1 == k { print $2 }' "$committed_f")
+    if [ -z "$committed" ]; then
+      echo "bench_diff: $label $key: not in committed file, skipping"
+      continue
+    fi
+    verdict=$(awk -v f="$fresh" -v c="$committed" -v tol="$TOL" -v d="$dir" 'BEGIN {
+      if (d == "lower-bad") ratio = (f > 0) ? c / f : 0
+      else                  ratio = (c > 0) ? f / c : 0
+      printf "%.2f %s", ratio, (ratio > tol) ? "REGRESSION" : "ok"
+    }')
+    ratio=${verdict% *}
+    word=${verdict#* }
+    printf '  %-26s %14s committed vs %14s fresh  (x%s %s)\n' \
+      "$key" "$committed" "$fresh" "$ratio" "$word"
+    if [ "$word" = "REGRESSION" ]; then
+      status=1
+    fi
+  done < "$fresh_f"
+}
+
+# run_one <name> <rows-fn> <direction> [section-banner]
+run_one() {
+  name=$1
+  rows_fn=$2
+  dir=$3
+  file="BENCH_$name.json"
+  if ! [ -f "$file" ]; then
+    echo "bench_diff: no committed $file to compare against" >&2
     status=1
+    return
   fi
-done < "$workdir/fresh.rows"
+  echo "== fresh $name bench"
+  (cd "$workdir" && "$BENCH_BIN" "$name")
+  "$rows_fn" "$file" > "$workdir/$name.committed"
+  "$rows_fn" "$workdir/$file" > "$workdir/$name.fresh"
+  compare "$name" "$workdir/$name.committed" "$workdir/$name.fresh" "$dir"
+}
+
+run_scale() {
+  sizes="${ARG:-1000,10000}"
+  if ! [ -f BENCH_scale.json ]; then
+    echo "bench_diff: no committed BENCH_scale.json to compare against" >&2
+    status=1
+    return
+  fi
+  echo "== fresh scale sweep (sizes: $sizes)"
+  (cd "$workdir" && STTC_SCALE_SIZES="$sizes" "$BENCH_BIN" scale)
+  scale_rows BENCH_scale.json > "$workdir/scale.committed"
+  scale_rows "$workdir/BENCH_scale.json" > "$workdir/scale.fresh"
+  compare scale "$workdir/scale.committed" "$workdir/scale.fresh" higher-bad
+}
+
+run_bench() {
+  case "$1" in
+    scale)   run_scale ;;
+    backend) run_one backend backend_rows higher-bad ;;
+    serve)   run_one serve serve_rows lower-bad ;;
+    *)
+      echo "bench_diff: unknown bench '$1' (expected scale, backend, serve or all)" >&2
+      exit 2
+      ;;
+  esac
+}
+
+if [ "$BENCH" = all ]; then
+  for b in scale backend serve; do
+    [ -f "BENCH_$b.json" ] && run_bench "$b"
+  done
+else
+  run_bench "$BENCH"
+fi
 
 if [ "$status" -ne 0 ]; then
-  echo "bench_diff: protect wall-clock regressed beyond x$TOL on at least one size" >&2
+  echo "bench_diff: wall-clock regressed beyond x$TOL on at least one row" >&2
 fi
 exit $status

@@ -259,16 +259,47 @@ EOF
 sttc obs-check --metrics "$tmpdir/cache.metrics.json" \
   --require serve.sta_cache_hits,serve.sta_cache_misses
 
-echo "== deprecation gate (Harness.run callers must migrate to Harness.attack)"
-# the deprecated alias lives for one PR; nothing outside lib/attack may
-# call it, except the alias-equivalence test that silences the warning
-if grep -rn "Harness\.run" --include='*.ml' --include='*.mli' \
-     bin bench examples test lib \
-   | grep -v '^lib/attack/' \
-   | grep -v 'ocaml\.warning "-3"'; then
-  echo "DEPRECATION GATE FAILED: Harness.run called outside lib/attack" >&2
+echo "== backend gate (stt byte-identity, tvd protect->attack smoke, unknown name exits 64)"
+# The backend seam must be invisible under the default technology:
+# `--backend stt` must reproduce the default table1 byte for byte.
+sttc table1 --quick --backend stt -j 1 > "$tmpdir/table1.stt"
+if ! diff -u "$tmpdir/table1.j1" "$tmpdir/table1.stt"; then
+  echo "BACKEND GATE FAILED: --backend stt table1 differs from the default path" >&2
   exit 1
 fi
+sttc fig3 --quick -j 1 > "$tmpdir/fig3.default"
+sttc fig3 --quick --backend stt -j 1 > "$tmpdir/fig3.stt"
+if ! diff -u "$tmpdir/fig3.default" "$tmpdir/fig3.stt"; then
+  echo "BACKEND GATE FAILED: --backend stt fig3 differs from the default path" >&2
+  exit 1
+fi
+# TVD end to end on s27: protect (bitstream out), then the SAT harness
+# under the restricted attacker model; both must bump their per-backend
+# counters.
+sttc protect -i "$tmpdir/s27.bench" -a dependent --backend tvd \
+  --bitstream "$tmpdir/s27.tvd.bits" \
+  --metrics "$tmpdir/tvd.protect.metrics.json" > /dev/null
+if ! [ -s "$tmpdir/s27.tvd.bits" ]; then
+  echo "BACKEND GATE FAILED: tvd protect emitted no bitstream" >&2
+  exit 1
+fi
+sttc attack -i "$tmpdir/s27.bench" -a dependent --backend tvd \
+  --metrics "$tmpdir/tvd.attack.metrics.json" > /dev/null
+sttc obs-check --metrics "$tmpdir/tvd.protect.metrics.json" \
+  --require backend.protect.tvd
+sttc obs-check --metrics "$tmpdir/tvd.attack.metrics.json" \
+  --require backend.attack.tvd
+# unknown backend names are usage errors (exit 64), uniformly across the
+# subcommands that take the flag
+for cmd in "protect -i $tmpdir/s27.bench" "attack -i $tmpdir/s27.bench" \
+           "table1 --quick"; do
+  bogus_status=0
+  sttc $cmd --backend sram > /dev/null 2>&1 || bogus_status=$?
+  if [ "$bogus_status" -ne 64 ]; then
+    echo "BACKEND GATE FAILED: '--backend sram' must exit 64, got $bogus_status ($cmd)" >&2
+    exit 1
+  fi
+done
 
 status=0
 for b in $benches; do
